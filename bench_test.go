@@ -1,0 +1,350 @@
+// Package bench holds the top-level benchmark harness: one testing.B
+// benchmark per table and figure in the paper's evaluation section, plus
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// Wall-clock ns/op measures the simulator; the reproduced quantity — the
+// virtual latency or iteration time the paper reports — is exported as the
+// custom metrics "virt-us" (microseconds) or "improvement-%" so `go test
+// -bench` output can be compared against the paper directly.
+//
+// Benchmarks run at benchmark-friendly geometry; the cmd/ binaries run the
+// full sweeps.
+package bench
+
+import (
+	"testing"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/halo3d"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/osu"
+	"mv2sim/internal/shoc"
+	"mv2sim/internal/sim"
+	"mv2sim/internal/transpose"
+)
+
+// reportVirt attaches the reproduced virtual-time result to the bench.
+func reportVirt(b *testing.B, t sim.Time) {
+	b.ReportMetric(t.Micros(), "virt-us")
+}
+
+// --- Figure 2: non-contiguous pack schemes -------------------------------
+
+func benchPack(b *testing.B, scheme osu.PackScheme, size int) {
+	var last sim.Time
+	for i := 0; i < b.N; i++ {
+		last = osu.PackLatency(scheme, size, osu.PackConfig{Iters: 1})
+	}
+	reportVirt(b, last)
+}
+
+func BenchmarkFig2PackSmall(b *testing.B) {
+	// The 4 KB anchor point of Figure 2(a) / section I-A.
+	b.Run("nc2nc", func(b *testing.B) { benchPack(b, osu.PackD2HNC2NC, 4<<10) })
+	b.Run("nc2c", func(b *testing.B) { benchPack(b, osu.PackD2HNC2C, 4<<10) })
+	b.Run("nc2c2c", func(b *testing.B) { benchPack(b, osu.PackD2D2HNC2C2C, 4<<10) })
+}
+
+func BenchmarkFig2PackLarge(b *testing.B) {
+	// The 4 MB point of Figure 2(b).
+	b.Run("nc2nc", func(b *testing.B) { benchPack(b, osu.PackD2HNC2NC, 4<<20) })
+	b.Run("nc2c2c", func(b *testing.B) { benchPack(b, osu.PackD2D2HNC2C2C, 4<<20) })
+}
+
+// --- Figure 5: vector latency across the three designs -------------------
+
+func benchVector(b *testing.B, d osu.Design, size int) {
+	var last sim.Time
+	for i := 0; i < b.N; i++ {
+		last = osu.VectorLatency(d, size, osu.VectorConfig{Iters: 1})
+	}
+	reportVirt(b, last)
+}
+
+func BenchmarkFig5VectorSmall(b *testing.B) {
+	for _, d := range osu.Designs {
+		d := d
+		b.Run(d.String(), func(b *testing.B) { benchVector(b, d, 4<<10) })
+	}
+}
+
+func BenchmarkFig5VectorLarge(b *testing.B) {
+	for _, d := range osu.Designs {
+		d := d
+		b.Run(d.String(), func(b *testing.B) { benchVector(b, d, 1<<20) })
+	}
+}
+
+// --- Section IV-B: block-size ablation ------------------------------------
+
+func BenchmarkBlockSizeSweep(b *testing.B) {
+	for _, bs := range []int{16 << 10, 64 << 10, 256 << 10} {
+		bs := bs
+		b.Run(bName(bs), func(b *testing.B) {
+			cfg := osu.VectorConfig{Iters: 1}
+			cfg.Cluster.MPI.BlockSize = bs
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+			}
+			reportVirt(b, last)
+		})
+	}
+}
+
+func bName(n int) string {
+	if n >= 1<<20 {
+		return "block1M"
+	}
+	switch n {
+	case 16 << 10:
+		return "block16K"
+	case 64 << 10:
+		return "block64K"
+	case 256 << 10:
+		return "block256K"
+	}
+	return "block?"
+}
+
+// --- Table I: code complexity ---------------------------------------------
+
+func BenchmarkTable1Complexity(b *testing.B) {
+	var loc int
+	for i := 0; i < b.N; i++ {
+		def := shoc.AnalyzeComplexity(shoc.Def)
+		nc := shoc.AnalyzeComplexity(shoc.NC)
+		loc = def.LinesOfCode - nc.LinesOfCode
+	}
+	b.ReportMetric(float64(loc), "loc-saved")
+}
+
+// --- Tables II & III: Stencil2D --------------------------------------------
+
+func benchStencil(b *testing.B, prec shoc.Precision, grid int) {
+	const scale = 64
+	g := shoc.PaperGrids(scale)[grid]
+	var def, nc sim.Time
+	for i := 0; i < b.N; i++ {
+		rd, err := shoc.Run(shoc.ScaledParams(g, prec, shoc.Def, scale, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rn, err := shoc.Run(shoc.ScaledParams(g, prec, shoc.NC, scale, 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, nc = rd.MedianIter, rn.MedianIter
+	}
+	reportVirt(b, nc)
+	b.ReportMetric(100*(1-float64(nc)/float64(def)), "improvement-%")
+}
+
+func BenchmarkTable2Stencil(b *testing.B) {
+	for i, label := range []string{"1x8", "8x1", "2x4", "4x2"} {
+		i := i
+		b.Run(label, func(b *testing.B) { benchStencil(b, shoc.F32, i) })
+	}
+}
+
+func BenchmarkTable3Stencil(b *testing.B) {
+	for i, label := range []string{"1x8", "8x1", "2x4", "4x2"} {
+		i := i
+		b.Run(label, func(b *testing.B) { benchStencil(b, shoc.F64, i) })
+	}
+}
+
+// --- Figure 6: communication breakdown -------------------------------------
+
+func BenchmarkFig6Breakdown(b *testing.B) {
+	var eastCuda sim.Time
+	for i := 0; i < b.N; i++ {
+		bd, err := shoc.RunBreakdown(64, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eastCuda = bd.Get("east_cuda")
+	}
+	reportVirt(b, eastCuda)
+}
+
+// --- Ablations beyond the paper's figures ----------------------------------
+
+// BenchmarkEagerThreshold shows the eager/rendezvous tradeoff: a 32 KB
+// device vector under different eager limits.
+func BenchmarkEagerThreshold(b *testing.B) {
+	for _, limit := range []int{1 << 10, 16 << 10, 64 << 10} {
+		limit := limit
+		b.Run(bName16(limit), func(b *testing.B) {
+			cfg := osu.VectorConfig{Iters: 1}
+			cfg.Cluster.MPI.EagerLimit = limit
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				last = osu.VectorLatency(osu.DesignMV2GPUNC, 32<<10, cfg)
+			}
+			reportVirt(b, last)
+		})
+	}
+}
+
+func bName16(n int) string {
+	switch n {
+	case 1 << 10:
+		return "eager1K"
+	case 16 << 10:
+		return "eager16K"
+	case 64 << 10:
+		return "eager64K"
+	}
+	return "eager?"
+}
+
+// BenchmarkVbufPool shows staging-pool pressure on pipeline depth: a 1 MB
+// *contiguous* transfer (16 chunks, no pack stage, so staging depth is the
+// limiter) with shrinking vbuf pools. For strided vectors the pool barely
+// matters because device-side packing dominates — exactly the paper's
+// observation that pack latency determines pipeline performance.
+func BenchmarkVbufPool(b *testing.B) {
+	for _, count := range []int{2, 4, 64} {
+		count := count
+		b.Run(vName(count), func(b *testing.B) {
+			cfg := osu.VectorConfig{
+				Iters:      1,
+				PitchBytes: 4, // pitch == element size: fully contiguous
+				Cluster:    cluster.Config{VbufCount: count},
+			}
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+			}
+			reportVirt(b, last)
+		})
+	}
+}
+
+func vName(n int) string {
+	switch n {
+	case 2:
+		return "vbufs2"
+	case 4:
+		return "vbufs4"
+	case 64:
+		return "vbufs64"
+	}
+	return "vbufs?"
+}
+
+// BenchmarkPackOffloadAblation quantifies the paper's central design
+// choice at library level: the identical pipeline with GPU-offloaded
+// packing (default) vs host-staged strided PCIe packing (HostStagedPack).
+func BenchmarkPackOffloadAblation(b *testing.B) {
+	for _, staged := range []bool{false, true} {
+		staged := staged
+		name := "gpu-offload"
+		if staged {
+			name = "host-staged"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := osu.VectorConfig{Iters: 1, PitchBytes: 16}
+			cfg.Cluster.Core.HostStagedPack = staged
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+			}
+			reportVirt(b, last)
+		})
+	}
+}
+
+// BenchmarkGPUDirect measures what the paper's successors (GPUDirect RDMA,
+// MVAPICH2-GDR) gained over the host-staged pipeline on the same testbed:
+// the same 1 MB vector with and without the two staging stages, plus the
+// fully zero-copy contiguous case.
+func BenchmarkGPUDirect(b *testing.B) {
+	cases := []struct {
+		name  string
+		gdr   bool
+		pitch int
+	}{
+		{"staged-vector", false, 16},
+		{"gdr-vector", true, 16},
+		{"gdr-contiguous", true, 4},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			cfg := osu.VectorConfig{Iters: 1, PitchBytes: c.pitch}
+			cfg.Cluster.GPUDirect = c.gdr
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+			}
+			reportVirt(b, last)
+		})
+	}
+}
+
+// BenchmarkTranspose measures the distributed datatype transpose — the
+// all-pairs exchange of column-vector blocks across 8 GPUs.
+func BenchmarkTranspose(b *testing.B) {
+	var last sim.Time
+	for i := 0; i < b.N; i++ {
+		res, err := transpose.Run(transpose.Params{Ranks: 8, N: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.Elapsed
+	}
+	reportVirt(b, last)
+}
+
+// BenchmarkHalo3D measures the 3D subarray halo exchange on 8 GPUs.
+func BenchmarkHalo3D(b *testing.B) {
+	var last sim.Time
+	for i := 0; i < b.N; i++ {
+		res, err := halo3d.Run(halo3d.Params{PZ: 2, PY: 2, PX: 2, NZ: 48, NY: 48, NX: 48, Iters: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.MedianIter
+	}
+	reportVirt(b, last)
+}
+
+// BenchmarkRendezvousProtocol compares put-based (the paper's) and
+// get-based (RGET) rendezvous for a 1 MB contiguous host transfer.
+func BenchmarkRendezvousProtocol(b *testing.B) {
+	for _, mode := range []mpi.RendezvousMode{mpi.RendezvousPut, mpi.RendezvousGet} {
+		mode := mode
+		name := "put"
+		if mode == mpi.RendezvousGet {
+			name = "get"
+		}
+		b.Run(name, func(b *testing.B) {
+			var last sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := cluster.Config{NoGPU: true}
+				cfg.MPI.Rendezvous = mode
+				cl := cluster.New(cfg)
+				err := cl.Run(func(n *cluster.Node) {
+					r := n.Rank
+					buf := r.AllocHost(1 << 20)
+					if r.Rank() == 0 {
+						t0 := r.Now()
+						r.Send(buf, 1<<20, datatype.Byte, 1, 0)
+						r.Recv(buf, 0, datatype.Byte, 1, 1)
+						last = r.Now() - t0
+					} else {
+						r.Recv(buf, 1<<20, datatype.Byte, 0, 0)
+						r.Send(buf, 0, datatype.Byte, 0, 1)
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportVirt(b, last)
+		})
+	}
+}

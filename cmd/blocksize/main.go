@@ -1,0 +1,23 @@
+// Command blocksize regenerates the section IV-B tuning experiment: the
+// MV2-GPU-NC latency of one vector message across pipeline block sizes.
+// The paper found 64 KB optimal on its cluster; the sweep shows the
+// U-shape — small blocks pay per-chunk overhead, the whole-message block
+// loses all overlap.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mv2sim/internal/osu"
+)
+
+func main() {
+	msg := flag.Int("msg", 4<<20, "vector message size in bytes")
+	iters := flag.Int("iters", 3, "iterations per point")
+	flag.Parse()
+
+	blocks := []int{4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20, *msg}
+	fmt.Println(osu.BlockSizeSweep(*msg, blocks, osu.VectorConfig{Iters: *iters}))
+	fmt.Println("Paper (section IV-B): 64 KB optimal on the evaluated cluster.")
+}

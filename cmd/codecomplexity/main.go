@@ -1,0 +1,19 @@
+// Command codecomplexity regenerates Table I of the paper: the main-loop
+// communication call counts and lines of code of the two Stencil2D halo
+// exchange implementations shipped in internal/shoc. The analysis runs
+// over the exact sources embedded at build time.
+package main
+
+import (
+	"fmt"
+
+	"mv2sim/internal/shoc"
+)
+
+func main() {
+	fmt.Println(shoc.ComplexityTable())
+	def := shoc.AnalyzeComplexity(shoc.Def)
+	nc := shoc.AnalyzeComplexity(shoc.NC)
+	reduction := 100 * (1 - float64(nc.LinesOfCode)/float64(def.LinesOfCode))
+	fmt.Printf("Main-loop LoC reduced by %.0f%% (paper: 36%%)\n", reduction)
+}

@@ -1,0 +1,24 @@
+// Command osubw measures osu_bw-style streaming bandwidth for
+// non-contiguous device vectors under MV2-GPU-NC — an extension of the
+// paper's latency-only evaluation in the direction its future work names
+// ("evaluate the impact of our approach with more applications").
+//
+// Vector throughput saturates at the device pack engine, well below the
+// QDR wire rate: the same "packing determines pipeline performance"
+// observation the paper makes for latency, restated for bandwidth.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mv2sim/internal/osu"
+)
+
+func main() {
+	window := flag.Int("window", 16, "messages in flight per measurement")
+	flag.Parse()
+
+	sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	fmt.Println(osu.RunBandwidthTable(sizes, *window, osu.VectorConfig{}))
+}

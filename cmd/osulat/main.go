@@ -1,0 +1,55 @@
+// Command osulat regenerates Figure 5 of the paper: GPU-to-GPU vector
+// latency for the three application designs of Figure 4 — blocking
+// Cpy2D+Send, the hand-written Cpy2DAsync+CpyAsync+Isend pipeline, and the
+// transparent MV2-GPU-NC library path — on a 1x2 process grid with 4-byte
+// vector elements.
+//
+// Usage:
+//
+//	osulat           # both panels
+//	osulat -small    # Figure 5(a): 16 B – 4 KB
+//	osulat -large    # Figure 5(b): 4 KB – 4 MB
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mv2sim/internal/osu"
+	"mv2sim/internal/report"
+	"mv2sim/internal/sim"
+)
+
+func main() {
+	small := flag.Bool("small", false, "only the small-message panel (Figure 5a)")
+	large := flag.Bool("large", false, "only the large-message panel (Figure 5b)")
+	iters := flag.Int("iters", 3, "iterations per point (median reported)")
+	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
+	flag.Parse()
+
+	cfg := osu.VectorConfig{Iters: *iters, PitchBytes: *pitch}
+	smallSizes := []int{16, 64, 256, 1 << 10, 4 << 10}
+	largeSizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+	if !*large || *small {
+		fmt.Println(osu.RunFigure5("Figure 5(a): vector communication latency, small messages (us)", smallSizes, cfg))
+	}
+	if !*small || *large {
+		fig := osu.RunFigure5("Figure 5(b): vector communication latency, large messages (us)", largeSizes, cfg)
+		fmt.Println(fig)
+		// The paper's headline: improvement of MV2-GPU-NC over Cpy2D+Send
+		// at 4 MB (paper: 88%).
+		var blocking, nc sim.Time
+		for _, s := range fig.Series {
+			last := s.Values[len(s.Values)-1]
+			switch s.Name {
+			case osu.DesignCpy2DSend.String():
+				blocking = last
+			case osu.DesignMV2GPUNC.String():
+				nc = last
+			}
+		}
+		fmt.Printf("MV2-GPU-NC improvement over Cpy2D+Send at 4 MB: %s (paper: 88%%)\n\n",
+			report.Improvement(blocking, nc))
+	}
+}

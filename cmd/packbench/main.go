@@ -1,0 +1,68 @@
+// Command packbench regenerates Figure 2 of the paper: the latency of the
+// three non-contiguous pack schemes (D2H nc2nc, D2H nc2c, D2D2H nc2c2c)
+// for vector data of 4-byte elements, on the simulated Tesla-C2050-class
+// device.
+//
+// Usage:
+//
+//	packbench            # both panels (small + large)
+//	packbench -small     # Figure 2(a): 16 B – 4 KB
+//	packbench -large     # Figure 2(b): 4 KB – 4 MB
+//	packbench -csv       # CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mv2sim/internal/osu"
+	"mv2sim/internal/report"
+)
+
+func main() {
+	small := flag.Bool("small", false, "only the small-message panel (Figure 2a)")
+	large := flag.Bool("large", false, "only the large-message panel (Figure 2b)")
+	iters := flag.Int("iters", 5, "timing iterations per point (median reported)")
+	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
+	csv := flag.Bool("csv", false, "emit CSV")
+	widths := flag.Bool("widths", false, "also sweep element width at 256 KB (beyond the paper's fixed 4 B)")
+	flag.Parse()
+
+	cfg := osu.PackConfig{Iters: *iters, PitchBytes: *pitch}
+	smallSizes := []int{16, 64, 256, 1 << 10, 4 << 10}
+	largeSizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+	show := func(fig *report.Figure) {
+		if *csv {
+			t := report.NewTable("", append([]string{"size"}, seriesNames(fig)...)...)
+			for i, size := range fig.Series[0].Sizes {
+				row := []string{fmt.Sprint(size)}
+				for _, s := range fig.Series {
+					row = append(row, fmt.Sprintf("%.3f", s.Values[i].Micros()))
+				}
+				t.Add(row...)
+			}
+			fmt.Print(t.CSV())
+			return
+		}
+		fmt.Println(fig.String())
+	}
+
+	if !*large || *small {
+		show(osu.RunFigure2("Figure 2(a): non-contiguous pack latency, small messages (us)", smallSizes, cfg))
+	}
+	if !*small || *large {
+		show(osu.RunFigure2("Figure 2(b): non-contiguous pack latency, large messages (us)", largeSizes, cfg))
+	}
+	if *widths {
+		fmt.Println(osu.WidthSweep(256<<10, []int{4, 16, 64, 256, 1024}, cfg))
+	}
+}
+
+func seriesNames(fig *report.Figure) []string {
+	var out []string
+	for _, s := range fig.Series {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+// Command pipetrace regenerates Figure 3 of the paper as a measured
+// artifact: it transfers one non-contiguous vector between two GPUs and
+// prints each chunk's completion time through the five pipeline stages
+// (D2D pack → D2H → RDMA → H2D → D2D unpack), making the overlap between
+// stages directly visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/core"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+)
+
+func main() {
+	msg := flag.Int("msg", 1<<20, "message size in bytes")
+	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
+	flag.Parse()
+
+	rows := *msg / 4
+	vec, err := datatype.Vector(rows, 1, *pitch/4, datatype.Float32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vec.MustCommit()
+
+	trace := &core.PipelineTrace{}
+	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20)}
+	cfg.Core.Trace = trace
+	cl := cluster.New(cfg)
+	err = cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(vec.Span(1))
+		if r.Rank() == 0 {
+			mem.Fill(buf, vec.Span(1), func(i int) byte { return byte(i) })
+			r.Send(buf, 1, vec, 1, 0)
+		} else {
+			r.Recv(buf, 1, vec, 0, 0)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Five-stage pipeline, %d-byte vector, %d-byte block chunks (completion times):\n\n",
+		*msg, cl.World.Config().BlockSize)
+	fmt.Println(trace)
+	if trace.Overlapped() {
+		fmt.Println("Overlap confirmed: packing was still running after the first chunk hit the wire.")
+	}
+}

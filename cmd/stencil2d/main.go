@@ -1,0 +1,63 @@
+// Command stencil2d regenerates the paper's application evaluation:
+// Tables II and III (median Stencil2D iteration times for both variants
+// on the four process grids) and Figure 6 (the dimension-wise
+// communication breakdown of Stencil2D-Def).
+//
+// The default geometry is the paper's divided by -scale in each dimension,
+// with the kernel cost scaled to preserve the communication/compute ratio
+// (see DESIGN.md). -scale 1 runs the exact 64Kx1K / 1Kx64K / 8Kx8K
+// per-process matrices; expect several minutes and ~10 GB of memory.
+//
+// Usage:
+//
+//	stencil2d                 # Table II (f32) at scale 16
+//	stencil2d -prec f64       # Table III
+//	stencil2d -both           # Tables II and III
+//	stencil2d -breakdown      # Figure 6
+//	stencil2d -scale 1        # full paper geometry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mv2sim/internal/shoc"
+)
+
+func main() {
+	prec := flag.String("prec", "f32", "precision: f32 or f64")
+	both := flag.Bool("both", false, "run both precisions (Tables II and III)")
+	scale := flag.Int("scale", 16, "divide each matrix dimension by this (1 = paper scale)")
+	iters := flag.Int("iters", 3, "timed iterations (median reported)")
+	breakdown := flag.Bool("breakdown", false, "run the Figure 6 communication breakdown instead")
+	flag.Parse()
+
+	if *breakdown {
+		bd, err := shoc.RunBreakdown(*scale, *iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(shoc.BreakdownTable(bd))
+		return
+	}
+
+	precs := map[string]shoc.Precision{"f32": shoc.F32, "f64": shoc.F64}
+	run := func(p shoc.Precision) {
+		t, err := shoc.RunTable(p, *scale, *iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t)
+	}
+	if *both {
+		run(shoc.F32)
+		run(shoc.F64)
+		return
+	}
+	p, ok := precs[*prec]
+	if !ok {
+		log.Fatalf("unknown precision %q (want f32 or f64)", *prec)
+	}
+	run(p)
+}

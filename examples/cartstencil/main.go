@@ -1,0 +1,126 @@
+// cartstencil: a compact Jacobi heat iteration on a Cartesian process
+// grid, written the way an MPI practitioner would: the topology comes
+// from CartCreate/Shift, boundary ranks communicate with ProcNull (no
+// edge special-casing anywhere), and the halo columns travel as vector
+// datatypes straight from device memory.
+//
+//	go run ./examples/cartstencil
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
+)
+
+const (
+	gridR, gridC = 2, 2 // process grid
+	rows, cols   = 64, 64
+	iters        = 20
+)
+
+func main() {
+	cl := cluster.New(cluster.Config{Nodes: gridR * gridC, GPUMemBytes: 16 << 20})
+
+	pitch := cols + 2
+	rowType, _ := datatype.Contiguous(cols, datatype.Float64)
+	rowType.MustCommit()
+	colType, _ := datatype.Vector(rows+2, 1, pitch, datatype.Float64)
+	colType.MustCommit()
+
+	heat := make([]float64, gridR*gridC)
+	err := cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		cart := r.Comm().CartCreate([]int{gridR, gridC}, []bool{false, false})
+		north, south := cart.Shift(0, 1)
+		west, east := cart.Shift(1, 1)
+
+		field := n.Ctx.MustMalloc((rows + 2) * pitch * 8)
+		next := n.Ctx.MustMalloc((rows + 2) * pitch * 8)
+		// Hot spot at the south-east corner of rank 0's block, right at
+		// the junction of all four ranks: diffusion must cross the halo
+		// exchange to reach every neighbour.
+		if r.Rank() == 0 {
+			putF64(field, (rows*pitch+cols)*8, 1000)
+			putF64(next, (rows*pitch+cols)*8, 1000)
+		}
+
+		off := func(row, col int) int { return (row*pitch + col) * 8 }
+		for it := 0; it < iters; it++ {
+			// Halo exchange: rows north/south, columns east/west. ProcNull
+			// neighbours complete instantly, so no ifs.
+			reqs := []*mpi.Request{
+				cart.Irecv(field.Add(off(0, 1)), 1, rowType, north, 0),
+				cart.Irecv(field.Add(off(rows+1, 1)), 1, rowType, south, 0),
+				cart.Irecv(field.Add(off(0, 0)), 1, colType, west, 1),
+				cart.Irecv(field.Add(off(0, cols+1)), 1, colType, east, 1),
+			}
+			cart.Send(field.Add(off(1, 1)), 1, rowType, north, 0)
+			cart.Send(field.Add(off(rows, 1)), 1, rowType, south, 0)
+			cart.Send(field.Add(off(0, 1)), 1, colType, west, 1)
+			cart.Send(field.Add(off(0, cols)), 1, colType, east, 1)
+			r.Waitall(reqs...)
+
+			// Jacobi relaxation (the "kernel"; cost modeled on the device).
+			done := n.Ctx.LaunchKernel(r.Proc(), kernelStream(n), rows*cols, 1.0, func() {
+				for i := 1; i <= rows; i++ {
+					for j := 1; j <= cols; j++ {
+						v := 0.25 * (getF64(field, off(i-1, j)) + getF64(field, off(i+1, j)) +
+							getF64(field, off(i, j-1)) + getF64(field, off(i, j+1)))
+						putF64(next, off(i, j), v)
+					}
+				}
+			})
+			r.Proc().Wait(done)
+			field, next = next, field
+		}
+
+		// Total heat on this rank.
+		var sum float64
+		for i := 1; i <= rows; i++ {
+			for j := 1; j <= cols; j++ {
+				sum += getF64(field, off(i, j))
+			}
+		}
+		heat[r.Rank()] = sum
+		r.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	total := 0.0
+	for rank, h := range heat {
+		fmt.Printf("rank %d (%d,%d): heat %8.3f\n", rank, rank/gridC, rank%gridC, h)
+		total += h
+	}
+	fmt.Printf("\nheat diffused across the grid; every rank's share came through\n")
+	fmt.Printf("device-resident vector datatypes (total in domain: %.3f)\n", total)
+}
+
+// kernelStream lazily creates one kernel stream per node.
+var streams = map[*cluster.Node]*cuda.Stream{}
+
+func kernelStream(n *cluster.Node) *cuda.Stream {
+	if s, ok := streams[n]; ok {
+		return s
+	}
+	s := n.Ctx.NewStream()
+	streams[n] = s
+	return s
+}
+
+func putF64(p mem.Ptr, off int, v float64) {
+	binary.LittleEndian.PutUint64(p.Add(off).Bytes(8), math.Float64bits(v))
+}
+
+func getF64(p mem.Ptr, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(p.Add(off).Bytes(8)))
+}

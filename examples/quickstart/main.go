@@ -1,0 +1,59 @@
+// Quickstart: the paper's programming model in a dozen lines.
+//
+// Two ranks, each with a GPU. Rank 0 owns a strided column inside a
+// matrix in *device memory* and sends it with a committed MPI vector
+// datatype — no cudaMemcpy anywhere. The library (internal/core) detects
+// the device pointer and runs the GPU-offloaded, pipelined transfer of
+// the paper transparently.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+)
+
+func main() {
+	// An 8-node testbed like the paper's: one Fermi-class GPU and one QDR
+	// HCA per node. Two nodes are enough here.
+	cl := cluster.New(cluster.Config{Nodes: 2, GPUMemBytes: 64 << 20})
+
+	// A column of a 1024x1024 float matrix: 1024 elements, one float wide,
+	// 1024 floats apart — MPI_Type_vector(1024, 1, 1024, MPI_FLOAT).
+	column, err := datatype.Vector(1024, 1, 1024, datatype.Float32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	column.MustCommit()
+
+	const matrixBytes = 1024 * 1024 * 4
+	err = cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		matrix := n.Ctx.MustMalloc(matrixBytes) // device memory
+		switch r.Rank() {
+		case 0:
+			mem.Fill(matrix, matrixBytes, func(i int) byte { return byte(i % 251) })
+			// Device pointer straight into MPI_Send — that's the paper.
+			r.Send(matrix, 1, column, 1, 0)
+			fmt.Printf("rank 0: sent one %d-byte strided column at t=%v\n",
+				column.Size(), r.Now())
+		case 1:
+			st := r.Recv(matrix, 1, column, 0, 0)
+			fmt.Printf("rank 1: received %d bytes from rank %d at t=%v\n",
+				st.Bytes, st.Source, r.Now())
+			// Verify a few strided elements landed where the type says.
+			for _, row := range []int{0, 500, 1023} {
+				off := row * 1024 * 4
+				fmt.Printf("  element %4d: % x\n", row, matrix.Add(off).Bytes(4))
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

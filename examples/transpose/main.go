@@ -1,0 +1,87 @@
+// transpose: a distributed matrix transpose between two GPUs using only
+// MPI datatypes — the classic derived-datatype trick, running on device
+// memory.
+//
+// The sender describes one matrix column as MPI_Type_vector(rows, 1, cols)
+// and resizes its extent to one element, so sending `cols` of them streams
+// the columns out in order: the packed stream *is* the transposed matrix.
+// The receiver just receives a contiguous block. No explicit packing, no
+// staging copies in application code; the library's GPU path does the
+// gather with its pack kernel because this layout is not a uniform 2D
+// shape.
+//
+//	go run ./examples/transpose
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+)
+
+const (
+	rows = 96
+	cols = 64
+)
+
+func main() {
+	col, err := datatype.Vector(rows, 1, cols, datatype.Float32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	col.MustCommit()
+	// Shrink the extent to one float so consecutive "columns" start one
+	// element apart (MPI_Type_create_resized).
+	colStep, err := datatype.Resized(col, 0, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	colStep.MustCommit()
+
+	cl := cluster.New(cluster.Config{Nodes: 2, GPUMemBytes: 32 << 20})
+	err = cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		switch r.Rank() {
+		case 0:
+			matrix := n.Ctx.MustMalloc(rows * cols * 4)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					putF32(matrix, (i*cols+j)*4, float32(i*1000+j))
+				}
+			}
+			// Sending cols column-types transposes on the wire.
+			r.Send(matrix, cols, colStep, 1, 0)
+			fmt.Printf("rank 0: sent %dx%d matrix as %d column vectors\n", rows, cols, cols)
+		case 1:
+			transposed := n.Ctx.MustMalloc(cols * rows * 4)
+			st := r.Recv(transposed, cols*rows, datatype.Float32, 0, 0)
+			fmt.Printf("rank 1: received %d bytes; verifying transpose...\n", st.Bytes)
+			for j := 0; j < cols; j++ {
+				for i := 0; i < rows; i++ {
+					got := getF32(transposed, (j*rows+i)*4)
+					want := float32(i*1000 + j)
+					if got != want {
+						log.Fatalf("transpose[%d][%d] = %v, want %v", j, i, got, want)
+					}
+				}
+			}
+			fmt.Println("rank 1: transpose verified element-for-element")
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func putF32(p mem.Ptr, off int, v float32) {
+	binary.LittleEndian.PutUint32(p.Add(off).Bytes(4), math.Float32bits(v))
+}
+
+func getF32(p mem.Ptr, off int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(p.Add(off).Bytes(4)))
+}

@@ -1,0 +1,3 @@
+module mv2sim
+
+go 1.22

@@ -1,0 +1,133 @@
+// Package alloc provides a first-fit free-list allocator over a linear
+// arena with eager coalescing. It backs both simulated GPU device memory
+// (internal/gpu) and per-rank pinned host heaps (internal/hostmem).
+package alloc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span is one contiguous free range.
+type Span struct{ Off, Len int }
+
+// Allocator manages a [0,size) arena.
+type Allocator struct {
+	size  int
+	align int
+	free  []Span      // sorted by offset, non-adjacent, non-overlapping
+	live  map[int]int // offset -> rounded length
+
+	inUse     int
+	peakInUse int
+	nallocs   uint64
+}
+
+// New creates an allocator over size bytes with the given alignment
+// granularity (power of two).
+func New(size, align int) *Allocator {
+	if size <= 0 || align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("alloc: bad arena parameters size=%d align=%d", size, align))
+	}
+	return &Allocator{size: size, align: align, free: []Span{{0, size}}, live: map[int]int{}}
+}
+
+func (a *Allocator) alignUp(n int) int { return (n + a.align - 1) &^ (a.align - 1) }
+
+// Alloc reserves n bytes (rounded up to the alignment) and returns the
+// offset of the reservation.
+func (a *Allocator) Alloc(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("alloc: allocation size %d must be positive", n)
+	}
+	need := a.alignUp(n)
+	for i, s := range a.free {
+		if s.Len >= need {
+			off := s.Off
+			if s.Len == need {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = Span{s.Off + need, s.Len - need}
+			}
+			a.live[off] = need
+			a.inUse += need
+			if a.inUse > a.peakInUse {
+				a.peakInUse = a.inUse
+			}
+			a.nallocs++
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("alloc: out of memory (want %d bytes, %d free of %d, fragmented into %d spans)",
+		need, a.size-a.inUse, a.size, len(a.free))
+}
+
+// Free releases the reservation starting at off.
+func (a *Allocator) Free(off int) error {
+	n, ok := a.live[off]
+	if !ok {
+		return fmt.Errorf("alloc: free of unallocated offset 0x%x", off)
+	}
+	delete(a.live, off)
+	a.inUse -= n
+
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].Off > off })
+	a.free = append(a.free, Span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = Span{off, n}
+
+	if i+1 < len(a.free) && a.free[i].Off+a.free[i].Len == a.free[i+1].Off {
+		a.free[i].Len += a.free[i+1].Len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].Off+a.free[i-1].Len == a.free[i].Off {
+		a.free[i-1].Len += a.free[i].Len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+	return nil
+}
+
+// InUse returns the number of allocated (rounded) bytes.
+func (a *Allocator) InUse() int { return a.inUse }
+
+// PeakInUse returns the high-water mark of allocated bytes.
+func (a *Allocator) PeakInUse() int { return a.peakInUse }
+
+// LiveCount returns the number of outstanding reservations.
+func (a *Allocator) LiveCount() int { return len(a.live) }
+
+// FreeSpans returns a copy of the free list (diagnostics and tests).
+func (a *Allocator) FreeSpans() []Span { return append([]Span(nil), a.free...) }
+
+// CheckInvariants validates the free-list structure: sorted, coalesced,
+// disjoint from live allocations, and accounting summing to the arena.
+func (a *Allocator) CheckInvariants() error {
+	total := a.inUse
+	prevEnd := -1
+	for _, s := range a.free {
+		if s.Len <= 0 {
+			return fmt.Errorf("empty free span at 0x%x", s.Off)
+		}
+		if prevEnd >= 0 && s.Off < prevEnd {
+			return fmt.Errorf("free list unsorted or overlapping at 0x%x", s.Off)
+		}
+		prevEnd = s.Off + s.Len
+		total += s.Len
+	}
+	for i := 1; i < len(a.free); i++ {
+		if a.free[i-1].Off+a.free[i-1].Len == a.free[i].Off {
+			return fmt.Errorf("uncoalesced spans at 0x%x", a.free[i].Off)
+		}
+	}
+	if total != a.size {
+		return fmt.Errorf("accounting leak: free+live = %d, arena = %d", total, a.size)
+	}
+	for off, n := range a.live {
+		for _, s := range a.free {
+			if off < s.Off+s.Len && s.Off < off+n {
+				return fmt.Errorf("live allocation 0x%x overlaps free span 0x%x", off, s.Off)
+			}
+		}
+	}
+	return nil
+}

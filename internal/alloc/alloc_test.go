@@ -1,0 +1,103 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlignment(t *testing.T) {
+	a := New(1024, 64)
+	off1, err := a.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := a.Alloc(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1%64 != 0 || off2%64 != 0 {
+		t.Errorf("offsets %d,%d not aligned", off1, off2)
+	}
+	if off2-off1 != 64 {
+		t.Errorf("rounding: second alloc at %d, want 64", off2)
+	}
+	if a.InUse() != 128 {
+		t.Errorf("InUse = %d, want 128 (rounded)", a.InUse())
+	}
+	if a.PeakInUse() != 128 || a.LiveCount() != 2 {
+		t.Errorf("peak=%d live=%d", a.PeakInUse(), a.LiveCount())
+	}
+}
+
+func TestBadParametersPanic(t *testing.T) {
+	for _, c := range []struct{ size, align int }{{0, 8}, {64, 0}, {64, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.size, c.align)
+				}
+			}()
+			New(c.size, c.align)
+		}()
+	}
+}
+
+func TestFirstFitPolicy(t *testing.T) {
+	a := New(1024, 1)
+	x, _ := a.Alloc(256)
+	y, _ := a.Alloc(256)
+	z, _ := a.Alloc(256)
+	_ = y
+	if err := a.Free(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(z); err != nil {
+		t.Fatal(err)
+	}
+	// First fit places a small allocation in the earliest hole.
+	w, err := a.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Errorf("first-fit placed at %d, want 0", w)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeUnknownOffset(t *testing.T) {
+	a := New(1024, 1)
+	if err := a.Free(10); err == nil {
+		t.Error("free of unknown offset succeeded")
+	}
+}
+
+// Property: fill the arena with max-size allocations, free all, and the
+// arena is whole again — for any alignment in the supported range.
+func TestPropFillAndDrain(t *testing.T) {
+	f := func(alignPow uint8, sizes []uint16) bool {
+		align := 1 << (alignPow % 8)
+		a := New(1<<16, align)
+		var offs []int
+		for _, s := range sizes {
+			if off, err := a.Alloc(1 + int(s)%2048); err == nil {
+				offs = append(offs, off)
+			}
+		}
+		for _, off := range offs {
+			if err := a.Free(off); err != nil {
+				return false
+			}
+		}
+		if err := a.CheckInvariants(); err != nil {
+			return false
+		}
+		spans := a.FreeSpans()
+		return len(spans) == 1 && spans[0] == Span{0, 1 << 16} && a.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

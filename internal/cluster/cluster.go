@@ -1,0 +1,144 @@
+// Package cluster assembles the full simulated testbed of the paper: N
+// nodes, each with a host CPU and memory, one Fermi-class GPU, and one QDR
+// InfiniBand HCA, wired to an MPI world with the MV2-GPU-NC transport
+// installed. It is the single entry point benchmarks, examples and tests
+// use to get a ready-to-run system.
+package cluster
+
+import (
+	"fmt"
+
+	"mv2sim/internal/core"
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/hostmem"
+	"mv2sim/internal/ib"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/sim"
+)
+
+// Config sizes the cluster. Zero fields take defaults chosen to match the
+// paper's testbed shape at test-friendly memory sizes; experiments that
+// need the full 3 GB Tesla C2050 device memory set GPUMemBytes explicitly.
+type Config struct {
+	// Nodes is the number of cluster nodes (one MPI rank, one GPU each).
+	Nodes int
+	// GPUMemBytes is each GPU's global memory. Default 64 MiB.
+	GPUMemBytes int
+	// HostHeapBytes is each node's host heap for application and library
+	// allocations. Default 64 MiB.
+	HostHeapBytes int
+	// VbufCount is the number of registered staging chunks per node in
+	// EACH of the two pools (one for the send side, one for the receive
+	// side — separate pools make the pipeline deadlock-free even when
+	// many large transfers cross in both directions, the same reason
+	// MVAPICH2 partitions its vbuf credits). Default 64. Each chunk is
+	// MPI.BlockSize bytes.
+	VbufCount int
+	// GPUModel overrides the GPU cost model (zero value = calibrated
+	// defaults).
+	GPUModel gpu.CostModel
+	// IBModel overrides the fabric cost model.
+	IBModel ib.Model
+	// MPI carries the MPI-layer tunables (eager limit, block size, ...).
+	MPI mpi.Config
+	// Core carries the GPU-transport tunables.
+	Core core.Config
+	// NoGPU builds host-only nodes (no device, no transport); used to test
+	// the plain MPI path in isolation.
+	NoGPU bool
+	// GPUDirect enables GPUDirect RDMA end to end: the fabric accepts
+	// device-memory registration and the transport skips host staging.
+	// Not available on the paper's 2011 testbed; see internal/core.
+	GPUDirect bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.GPUMemBytes == 0 {
+		c.GPUMemBytes = 64 << 20
+	}
+	if c.HostHeapBytes == 0 {
+		c.HostHeapBytes = 64 << 20
+	}
+	if c.VbufCount == 0 {
+		c.VbufCount = 64
+	}
+	return c
+}
+
+// Node is one assembled cluster node.
+type Node struct {
+	Rank *mpi.Rank
+	Dev  *gpu.Device
+	Ctx  *cuda.Ctx
+	// Pool is the send-side staging pool; RecvPool the receive side.
+	Pool     *hostmem.Pool
+	RecvPool *hostmem.Pool
+}
+
+// Cluster is the assembled testbed.
+type Cluster struct {
+	Engine    *sim.Engine
+	Fabric    *ib.Fabric
+	World     *mpi.World
+	Transport *core.Transport
+	Nodes     []*Node
+}
+
+// New builds a cluster per cfg.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	e := sim.New()
+	if cfg.GPUDirect {
+		cfg.IBModel.AllowDeviceRegistration = true
+		cfg.Core.GPUDirect = true
+	}
+	fabric := ib.NewFabric(e, cfg.IBModel)
+	world := mpi.NewWorld(e, cfg.MPI)
+	cl := &Cluster{Engine: e, Fabric: fabric, World: world}
+
+	if !cfg.NoGPU {
+		cl.Transport = core.New(cfg.Core)
+		world.SetGPUTransport(cl.Transport)
+	}
+
+	blockSize := world.Config().BlockSize
+	for i := 0; i < cfg.Nodes; i++ {
+		hca := fabric.NewHCA(i)
+		heap := mem.NewHostSpace(fmt.Sprintf("node%d.heap", i), cfg.HostHeapBytes)
+		rank := world.AddRank(hca, heap)
+		node := &Node{Rank: rank}
+		if !cfg.NoGPU {
+			node.Dev = gpu.New(e, i, gpu.Config{MemBytes: cfg.GPUMemBytes, Model: cfg.GPUModel})
+			node.Ctx = cuda.NewCtx(e, node.Dev)
+			pinned := mem.NewHostSpace(fmt.Sprintf("node%d.pinned", i), 2*cfg.VbufCount*blockSize)
+			node.Pool = hostmem.NewPool(e, fmt.Sprintf("node%d.txvbufs", i), hca, pinned.Base(), blockSize, cfg.VbufCount)
+			node.RecvPool = hostmem.NewPool(e, fmt.Sprintf("node%d.rxvbufs", i), hca,
+				pinned.Base().Add(cfg.VbufCount*blockSize), blockSize, cfg.VbufCount)
+			cl.Transport.Attach(rank, node.Ctx, node.Pool, node.RecvPool)
+		}
+		cl.Nodes = append(cl.Nodes, node)
+	}
+	return cl
+}
+
+// Run launches fn on every rank and executes the simulation to completion.
+// When the simulation finishes, the engine is shut down: daemon processes
+// (CUDA stream workers, service loops) are terminated so a discarded
+// cluster's gigabytes of simulated memory become collectable. The cluster's
+// state (memories, statistics) remains readable, but no further simulation
+// can run on it.
+func (cl *Cluster) Run(fn func(n *Node)) error {
+	byRank := map[*mpi.Rank]*Node{}
+	for _, n := range cl.Nodes {
+		byRank[n.Rank] = n
+	}
+	cl.World.Launch(func(r *mpi.Rank) { fn(byRank[r]) })
+	err := cl.Engine.Run()
+	cl.Engine.Shutdown()
+	return err
+}

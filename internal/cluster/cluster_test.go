@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+)
+
+func TestDefaultsApplied(t *testing.T) {
+	cl := New(Config{})
+	if len(cl.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want default 2", len(cl.Nodes))
+	}
+	if cl.World.Size() != 2 || cl.Transport == nil {
+		t.Error("world/transport not wired")
+	}
+	for i, n := range cl.Nodes {
+		if n.Dev == nil || n.Ctx == nil || n.Pool == nil || n.Rank == nil {
+			t.Fatalf("node %d incomplete", i)
+		}
+		if n.Rank.Rank() != i || n.Dev.ID() != i {
+			t.Errorf("node %d identity mismatch", i)
+		}
+		if n.Pool.ChunkSize() != cl.World.Config().BlockSize {
+			t.Errorf("vbuf size %d != block size %d", n.Pool.ChunkSize(), cl.World.Config().BlockSize)
+		}
+	}
+}
+
+func TestNoGPUCluster(t *testing.T) {
+	cl := New(Config{Nodes: 3, NoGPU: true})
+	if cl.Transport != nil {
+		t.Error("NoGPU cluster has a transport")
+	}
+	for _, n := range cl.Nodes {
+		if n.Dev != nil || n.Pool != nil {
+			t.Error("NoGPU node has GPU resources")
+		}
+	}
+	// Host-only MPI still works end to end.
+	err := cl.Run(func(n *Node) {
+		r := n.Rank
+		buf := r.AllocHost(128)
+		next, prev := (r.Rank()+1)%3, (r.Rank()+2)%3
+		mem.Fill(buf, 128, func(i int) byte { return byte(r.Rank()) })
+		r.Sendrecv(buf, 128, datatype.Byte, next, 0, buf, 128, datatype.Byte, prev, 0)
+		if buf.Bytes(1)[0] != byte(prev) {
+			t.Errorf("rank %d ring exchange wrong", r.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDeliversMatchingNode(t *testing.T) {
+	cl := New(Config{Nodes: 4})
+	seen := map[int]bool{}
+	err := cl.Run(func(n *Node) {
+		if n.Rank == nil || n.Dev.ID() != n.Rank.Rank() {
+			t.Error("node/rank mismatch inside Run")
+		}
+		seen[n.Rank.Rank()] = true
+		n.Rank.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Errorf("ranks run = %d", len(seen))
+	}
+}
+
+func TestEndToEndDeviceMessage(t *testing.T) {
+	cl := New(Config{Nodes: 2, GPUMemBytes: 8 << 20})
+	v, _ := datatype.Vector(512, 4, 8, datatype.Byte)
+	v.MustCommit()
+	err := cl.Run(func(n *Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(v.Span(1))
+		if r.Rank() == 0 {
+			mem.Fill(buf, v.Span(1), func(i int) byte { return byte(i * 3) })
+			r.Send(buf, 1, v, 1, 0)
+		} else {
+			r.Recv(buf, 1, v, 0, 0)
+			for _, s := range v.SegmentsOf(1) {
+				if !mem.Equal(buf.Add(s.Off), buf.Add(s.Off), s.Len) {
+					t.Error("unreachable") // placeholder comparison below
+				}
+				b := buf.Add(s.Off).Bytes(s.Len)
+				for i := range b {
+					if b[i] != byte((s.Off+i)*3) {
+						t.Fatalf("corrupt byte at %d", s.Off+i)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2sim/internal/hostmem"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/sim"
+)
+
+// This file implements the HostStagedPack ablation: the same rendezvous
+// pipeline with GPU offload *disabled*. Non-contiguous data is gathered
+// straight across PCIe with strided cudaMemcpy2DAsync into the staging
+// vbufs ("D2H nc2c", Figure 1(b)) and scattered with strided H2D copies on
+// the receiving side — the strategy the paper rejects in section IV-A.
+// Keeping it selectable turns Figure 2's microbenchmark argument into a
+// library-level A/B experiment.
+
+// hostStagedApplies reports whether the ablation path can serve the
+// request: it needs a uniform 2D shape whose rows tile the pipeline block.
+func hostStagedApplies(t *Transport, pl plan, blockSize int) bool {
+	return t.cfg.HostStagedPack && pl.uniform && !pl.contig && blockSize%pl.shape.Width == 0
+}
+
+// sendHostStaged is the sender pipeline without stage 1: strided D2H
+// directly from the user buffer into each vbuf.
+func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
+	r := req.Rank()
+	e := r.World().Engine()
+	size := pl.size
+	blockSize := r.World().Config().BlockSize
+	rowsPerChunk := blockSize / pl.shape.Width
+
+	total, chunkBytes := req.AwaitCTS(p)
+	if chunkBytes != blockSize {
+		panic(fmt.Sprintf("core: receiver chunk size %d != block size %d", chunkBytes, blockSize))
+	}
+	chunkSent := make([]*sim.Event, total)
+	for c := 0; c < total; c++ {
+		off := c * chunkBytes
+		n := min(chunkBytes, size-off)
+		slot := req.AwaitSlot(p, c)
+		vbuf := n1.Pool.Get(p)
+		sent := e.NewEvent(fmt.Sprintf("rank%d.hschunk%d", r.Rank(), c))
+		chunkSent[c] = sent
+		startRow := c * rowsPerChunk
+		d2h := n1.Ctx.Memcpy2DAsync(p,
+			vbuf.Ptr, pl.shape.Width,
+			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
+			pl.shape.Width, n/pl.shape.Width, n1.d2hStream)
+		d2h.OnTrigger(func() {
+			rdma := r.RDMAChunk(req, slot, vbuf.Ptr, n)
+			rdma.OnTrigger(func() {
+				n1.Pool.Put(vbuf)
+				sent.Trigger()
+			})
+		})
+	}
+	p.WaitAll(chunkSent...)
+	req.CompleteSend()
+}
+
+// recvHostStaged is the receiver pipeline without stage 5: strided H2D
+// from each vbuf straight into the user buffer.
+func (t *Transport) recvHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
+	r := req.Rank()
+	size := req.Size()
+	total, chunkBytes := r.World().ChunkGeometry(size)
+	rowsPerChunk := chunkBytes / pl.shape.Width
+	chunkLen := func(c int) int { return min(chunkBytes, size-c*chunkBytes) }
+
+	slotVbuf := make([]*hostmem.Vbuf, total)
+	announced := 0
+	announce := func() {
+		var slots []mpi.Slot
+		v := n1.RecvPool.Get(p)
+		for {
+			c := announced
+			slotVbuf[c] = v
+			slots = append(slots, mpi.Slot{Chunk: c, Rkey: v.Region.Rkey, Off: 0, Len: chunkLen(c)})
+			announced++
+			if announced == total {
+				break
+			}
+			var ok bool
+			v, ok = n1.RecvPool.TryGet()
+			if !ok {
+				break
+			}
+		}
+		r.SendCTS(req, total, chunkBytes, slots)
+	}
+
+	h2dDone := make([]*sim.Event, total)
+	for c := 0; c < total; c++ {
+		for announced <= c {
+			announce()
+		}
+		got := req.AwaitFin(p)
+		if got != c {
+			panic(fmt.Sprintf("core: chunk %d out of order (expected %d)", got, c))
+		}
+		vbuf := slotVbuf[c]
+		n := chunkLen(c)
+		startRow := c * rowsPerChunk
+		ev := n1.Ctx.Memcpy2DAsync(p,
+			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
+			vbuf.Ptr, pl.shape.Width,
+			pl.shape.Width, n/pl.shape.Width, n1.h2dStream)
+		h2dDone[c] = ev
+		ev.OnTrigger(func() { n1.RecvPool.Put(vbuf) })
+	}
+	p.WaitAll(h2dDone...)
+	req.CompleteRecv()
+}

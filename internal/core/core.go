@@ -1,0 +1,487 @@
+// Package core implements MV2-GPU-NC, the paper's contribution: transparent
+// high-performance MPI communication of non-contiguous datatypes whose
+// buffers live in GPU device memory.
+//
+// The design follows section IV of the paper:
+//
+//  1. Datatype processing is offloaded to the GPU. Non-contiguous data is
+//     packed inside device memory into a contiguous temporary buffer
+//     ("tbuf") using the device's copy engine — cudaMemcpy2DAsync for
+//     vector-shaped types, a pack kernel for irregular ones — instead of
+//     letting the host gather it row-by-row across PCIe.
+//
+//  2. The transfer is a five-stage pipeline chunked at a configurable
+//     block size (64 KB optimal on the paper's cluster):
+//     D2D nc2c pack → D2H stage into a registered host vbuf → RDMA write
+//     into the receiver's vbuf → H2D stage into the receiver's tbuf →
+//     D2D c2nc unpack into the user buffer. Chunks flow through all five
+//     stages concurrently; the RTS is sent while packing is already in
+//     progress, overlapping the rendezvous handshake with datatype
+//     processing.
+//
+//  3. The programming model is unchanged: applications pass device
+//     pointers and committed MPI datatypes straight to Send/Recv; the
+//     library detects device memory (UVA classification on mem.Ptr) and
+//     routes the transfer here.
+//
+// Fully contiguous device transfers skip the pack/unpack stages and
+// pipeline directly between the user buffer and the staging vbufs — the
+// behaviour of the earlier MVAPICH2-GPU design the paper extends.
+package core
+
+import (
+	"fmt"
+
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/hostmem"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/sim"
+)
+
+// Config holds the transport tunables.
+type Config struct {
+	// KernelPackNsPerByte is the modeled per-byte cost of the generic
+	// pack/unpack GPU kernel used for types without a uniform 2D shape
+	// (read + write through device memory at ~80 GB/s effective).
+	KernelPackNsPerByte float64
+
+	// HostStagedPack disables the paper's GPU offload for rendezvous
+	// transfers of uniform 2D types: data is gathered straight across
+	// PCIe with strided D2H copies ("D2H nc2c", the scheme section IV-A
+	// rejects) instead of being packed on the device first. An ablation
+	// knob; see internal/core/ablation.go.
+	HostStagedPack bool
+
+	// Trace, when non-nil, records per-chunk stage completions of every
+	// rendezvous transfer routed through this transport — the executable
+	// Figure 3. Intended for single-transfer diagnostics.
+	Trace *PipelineTrace
+
+	// GPUDirect removes both host-staging stages: the HCA reads and
+	// writes registered device memory directly (GPUDirect RDMA, which the
+	// paper's 2011 testbed lacked). The fabric must allow device-memory
+	// registration (cluster.Config.GPUDirect sets both).
+	GPUDirect bool
+}
+
+// DefaultConfig returns the Fermi-class calibration.
+func DefaultConfig() Config {
+	return Config{KernelPackNsPerByte: 0.025}
+}
+
+// NodeGPU bundles one rank's GPU-side resources: its CUDA context, its
+// registered staging pools, and the four streams the pipeline stages run
+// on. Send and receive sides stage through SEPARATE vbuf pools: a sender's
+// vbufs recycle on local RDMA completion (no remote dependency), so
+// senders always make progress and the receiver-holds/sender-needs
+// circular wait that a shared pool allows under heavy bidirectional load
+// cannot form.
+type NodeGPU struct {
+	Ctx      *cuda.Ctx
+	Pool     *hostmem.Pool // send-side staging
+	RecvPool *hostmem.Pool // receive-side landing slots
+
+	packStream   *cuda.Stream
+	d2hStream    *cuda.Stream
+	h2dStream    *cuda.Stream
+	unpackStream *cuda.Stream
+}
+
+// Transport implements mpi.GPUTransport.
+type Transport struct {
+	cfg   Config
+	nodes map[*mpi.Rank]*NodeGPU
+}
+
+// New creates an empty transport; attach per-rank GPU resources with
+// Attach, then install it with World.SetGPUTransport.
+func New(cfg Config) *Transport {
+	if cfg.KernelPackNsPerByte == 0 {
+		cfg.KernelPackNsPerByte = DefaultConfig().KernelPackNsPerByte
+	}
+	return &Transport{cfg: cfg, nodes: map[*mpi.Rank]*NodeGPU{}}
+}
+
+// Attach binds a rank's CUDA context and staging pools to the transport.
+func (t *Transport) Attach(r *mpi.Rank, ctx *cuda.Ctx, sendPool, recvPool *hostmem.Pool) *NodeGPU {
+	n := &NodeGPU{
+		Ctx:          ctx,
+		Pool:         sendPool,
+		RecvPool:     recvPool,
+		packStream:   ctx.NewStream(),
+		d2hStream:    ctx.NewStream(),
+		h2dStream:    ctx.NewStream(),
+		unpackStream: ctx.NewStream(),
+	}
+	t.nodes[r] = n
+	return n
+}
+
+// Node returns the GPU state for a rank.
+func (t *Transport) Node(r *mpi.Rank) *NodeGPU {
+	n := t.nodes[r]
+	if n == nil {
+		panic(fmt.Sprintf("core: rank %d has a device buffer but no attached GPU", r.Rank()))
+	}
+	return n
+}
+
+// planFor analyzes the request's datatype once: either a uniform 2D shape
+// (offloadable to the copy engine) or the generic kernel path.
+type plan struct {
+	size    int
+	shape   datatype.Shape2D
+	uniform bool
+	contig  bool // single contiguous region: no pack/unpack stage at all
+}
+
+func planFor(req *mpi.Request) plan {
+	dt, count := req.Datatype(), req.Count()
+	shape, uniform := dt.Uniform2D(count)
+	return plan{
+		size:    req.Size(),
+		shape:   shape,
+		uniform: uniform,
+		contig:  uniform && shape.Rows == 1,
+	}
+}
+
+// packChunk enqueues the device-side pack of packed-byte range
+// [off, off+n) from the user buffer into dst (contiguous device memory) and
+// returns the completion event. p may be nil in engine context.
+func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, dst mem.Ptr, off, n int) *sim.Event {
+	dt, count, src := req.Datatype(), req.Count(), req.Buf()
+	if pl.uniform {
+		// Row-aligned 2D copy: callers align off and n to row boundaries.
+		w := pl.shape.Width
+		if off%w != 0 || n%w != 0 {
+			panic(fmt.Sprintf("core: pack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
+		}
+		return n1.Ctx.Memcpy2DAsync(p, dst, w, src.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, w, n/w, n1.packStream)
+	}
+	// Generic datatype: a pack kernel gathers the IOV on the device.
+	return n1.Ctx.LaunchKernel(p, n1.packStream, n, t.cfg.KernelPackNsPerByte, func() {
+		dt.PackRange(dst, src, count, off, n)
+	})
+}
+
+// unpackChunk is the inverse: scatter packed range [off, off+n) from src
+// (contiguous device memory) into the user buffer.
+func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, src mem.Ptr, off, n int) *sim.Event {
+	dt, count, dst := req.Datatype(), req.Count(), req.Buf()
+	if pl.uniform {
+		w := pl.shape.Width
+		if off%w != 0 || n%w != 0 {
+			panic(fmt.Sprintf("core: unpack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
+		}
+		return n1.Ctx.Memcpy2DAsync(p, dst.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, src, w, w, n/w, n1.unpackStream)
+	}
+	return n1.Ctx.LaunchKernel(p, n1.unpackStream, n, t.cfg.KernelPackNsPerByte, func() {
+		dt.UnpackRange(dst, src, count, off, n)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Eager path (and self-sends of any size)
+
+// StageToHost packs the device buffer and stages it into host bytes:
+// D2D pack into tbuf, then chunk-sized D2H copies through one vbuf.
+func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
+	r := req.Rank()
+	n1 := t.Node(r)
+	pl := planFor(req)
+	e := r.World().Engine()
+	e.Spawn(fmt.Sprintf("rank%d.gpustage", r.Rank()), func(p *sim.Proc) {
+		size := pl.size
+		packed := make([]byte, size)
+		var tbuf mem.Ptr
+		if !pl.contig {
+			tbuf = n1.Ctx.MustMalloc(size)
+			p.Wait(t.packChunk(p, n1, pl, req, tbuf, 0, size))
+		} else {
+			tbuf = req.Buf().Add(pl.shape.Off)
+		}
+		vbuf := n1.Pool.Get(p)
+		chunk := n1.Pool.ChunkSize()
+		for off := 0; off < size; off += chunk {
+			n := min(chunk, size-off)
+			p.Wait(n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStream))
+			p.Sleep(r.HostCopyCost(n))
+			copy(packed[off:off+n], vbuf.Ptr.Bytes(n))
+		}
+		n1.Pool.Put(vbuf)
+		if !pl.contig {
+			mustFree(n1.Ctx, tbuf)
+		}
+		deliver(packed)
+	})
+}
+
+// DeliverFromHost unpacks eager payload bytes into the device buffer:
+// host copy into a vbuf, H2D into tbuf, D2D unpack, complete.
+func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
+	r := req.Rank()
+	n1 := t.Node(r)
+	pl := planFor(req)
+	e := r.World().Engine()
+	e.Spawn(fmt.Sprintf("rank%d.gpudeliver", r.Rank()), func(p *sim.Proc) {
+		size := len(packed)
+		var tbuf mem.Ptr
+		if pl.contig {
+			tbuf = req.Buf().Add(pl.shape.Off)
+		} else {
+			tbuf = n1.Ctx.MustMalloc(size)
+		}
+		vbuf := n1.RecvPool.Get(p)
+		chunk := n1.Pool.ChunkSize()
+		for off := 0; off < size; off += chunk {
+			n := min(chunk, size-off)
+			p.Sleep(r.HostCopyCost(n))
+			copy(vbuf.Ptr.Bytes(n), packed[off:off+n])
+			p.Wait(n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStream))
+		}
+		n1.RecvPool.Put(vbuf)
+		if !pl.contig {
+			p.Wait(t.unpackChunk(p, n1, pl, req, tbuf, 0, size))
+			mustFree(n1.Ctx, tbuf)
+		}
+		req.CompleteRecv()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous sender: the five-stage pipeline, stages 1-3.
+
+// StartRendezvousSend sends the RTS immediately and starts packing before
+// the CTS arrives, overlapping the handshake with datatype processing.
+func (t *Transport) StartRendezvousSend(req *mpi.Request) {
+	r := req.Rank()
+	n1 := t.Node(r)
+	pl := planFor(req)
+	r.SendRTS(req)
+	e := r.World().Engine()
+	e.Spawn(fmt.Sprintf("rank%d.gpusend", r.Rank()), func(p *sim.Proc) {
+		size := pl.size
+		blockSize := r.World().Config().BlockSize
+		if t.cfg.GPUDirect {
+			t.sendGDR(p, n1, pl, req)
+			return
+		}
+		if hostStagedApplies(t, pl, blockSize) {
+			t.sendHostStaged(p, n1, pl, req)
+			return
+		}
+
+		// Stage 1: issue all device-side packs up front (row-aligned groups
+		// close to the block size), building a contiguous packed tbuf.
+		var tbuf mem.Ptr
+		var packDone []*sim.Event // packDone[i] covers packed bytes up to packCut[i]
+		var packCut []int
+		if pl.contig {
+			tbuf = req.Buf().Add(pl.shape.Off) // stage straight out of the user buffer
+		} else {
+			tbuf = n1.Ctx.MustMalloc(size)
+			step := size
+			if pl.uniform {
+				rows := max(1, blockSize/pl.shape.Width)
+				step = rows * pl.shape.Width
+			} else if size > blockSize {
+				step = blockSize
+			}
+			for off := 0; off < size; off += step {
+				n := min(step, size-off)
+				ev := t.packChunk(p, n1, pl, req, tbuf.Add(off), off, n)
+				packDone = append(packDone, ev)
+				packCut = append(packCut, off+n)
+				idx := len(packDone) - 1
+				ev.OnTrigger(func() { t.cfg.Trace.add("pack", idx, e.Now()) })
+			}
+		}
+		packReady := func(throughByte int) *sim.Event {
+			if pl.contig {
+				return nil
+			}
+			for i, cut := range packCut {
+				if cut >= throughByte {
+					return packDone[i]
+				}
+			}
+			return packDone[len(packDone)-1]
+		}
+
+		// Rendezvous handshake: by now the RTS is long gone; wait for the
+		// receiver's chunk geometry.
+		total, chunkBytes := req.AwaitCTS(p)
+		if chunkBytes != blockSize {
+			panic(fmt.Sprintf("core: receiver chunk size %d != configured block size %d", chunkBytes, blockSize))
+		}
+		if want := (size + chunkBytes - 1) / chunkBytes; total != want {
+			panic(fmt.Sprintf("core: receiver announced %d chunks, want %d", total, want))
+		}
+
+		// Stages 2-3 per chunk: D2H into a vbuf, RDMA write + FIN, recycle
+		// the vbuf at local completion. Chained via completion callbacks so
+		// chunk i's RDMA overlaps chunk i+1's D2H and later packs.
+		chunkSent := make([]*sim.Event, total)
+		for c := 0; c < total; c++ {
+			c := c
+			off := c * chunkBytes
+			n := min(chunkBytes, size-off)
+			slot := req.AwaitSlot(p, c)
+			if ev := packReady(off + n); ev != nil {
+				p.Wait(ev)
+			}
+			vbuf := n1.Pool.Get(p)
+			sent := e.NewEvent(fmt.Sprintf("rank%d.chunk%d.sent", r.Rank(), c))
+			chunkSent[c] = sent
+			d2h := n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStream)
+			d2h.OnTrigger(func() {
+				t.cfg.Trace.add("d2h", c, e.Now())
+				rdma := r.RDMAChunk(req, slot, vbuf.Ptr, n)
+				rdma.OnTrigger(func() {
+					t.cfg.Trace.add("rdma", c, e.Now())
+					n1.Pool.Put(vbuf)
+					sent.Trigger()
+				})
+			})
+		}
+		p.WaitAll(chunkSent...)
+		if !pl.contig {
+			mustFree(n1.Ctx, tbuf)
+		}
+		req.CompleteSend()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous receiver: stages 4-5.
+
+// StartRendezvousRecv announces vbuf landing slots (in batches bounded by
+// pool availability), then per arriving chunk stages H2D into tbuf and
+// unpacks row-aligned groups as their bytes land.
+func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
+	r := req.Rank()
+	n1 := t.Node(r)
+	pl := planFor(req)
+	e := r.World().Engine()
+	e.Spawn(fmt.Sprintf("rank%d.gpurecv", r.Rank()), func(p *sim.Proc) {
+		size := req.Size()
+		total, chunkBytes := r.World().ChunkGeometry(size)
+		if t.cfg.GPUDirect {
+			t.recvGDR(p, n1, pl, req)
+			return
+		}
+		if hostStagedApplies(t, pl, chunkBytes) {
+			t.recvHostStaged(p, n1, pl, req)
+			return
+		}
+		if chunkBytes != n1.RecvPool.ChunkSize() {
+			panic(fmt.Sprintf("core: block size %d != vbuf size %d", chunkBytes, n1.RecvPool.ChunkSize()))
+		}
+
+		var tbuf mem.Ptr
+		if pl.contig {
+			tbuf = req.Buf().Add(pl.shape.Off) // land H2D chunks straight in the user buffer
+		} else {
+			tbuf = n1.Ctx.MustMalloc(size)
+		}
+
+		chunkLen := func(c int) int { return min(chunkBytes, size-c*chunkBytes) }
+
+		// Progressive unpack state: rows are unpacked as soon as all their
+		// packed bytes have arrived on the device.
+		arrived := 0
+		unpackedThrough := 0
+		var unpackEvs []*sim.Event
+		advanceUnpack := func() {
+			if pl.contig {
+				return
+			}
+			var cut int
+			if pl.uniform {
+				cut = arrived / pl.shape.Width * pl.shape.Width
+			} else {
+				cut = arrived
+			}
+			if cut > unpackedThrough {
+				ev := t.unpackChunk(nil, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
+				unpackEvs = append(unpackEvs, ev)
+				idx := len(unpackEvs) - 1
+				ev.OnTrigger(func() { t.cfg.Trace.add("unpack", idx, e.Now()) })
+				unpackedThrough = cut
+			}
+		}
+
+		slotVbuf := make([]*hostmem.Vbuf, total)
+		announced := 0
+		announce := func() {
+			// Grab every immediately free receive vbuf (at least one,
+			// blocking) and announce the batch in one CTS. Receive vbufs
+			// recycle as soon as their chunk's H2D completes, and those
+			// H2Ds depend only on remote senders — which stage through
+			// their own pool — so this blocking Get always unblocks.
+			var slots []mpi.Slot
+			v := n1.RecvPool.Get(p)
+			for {
+				c := announced
+				slotVbuf[c] = v
+				slots = append(slots, mpi.Slot{Chunk: c, Rkey: v.Region.Rkey, Off: 0, Len: chunkLen(c)})
+				announced++
+				if announced == total {
+					break
+				}
+				var ok bool
+				v, ok = n1.RecvPool.TryGet()
+				if !ok {
+					break
+				}
+			}
+			r.SendCTS(req, total, chunkBytes, slots)
+		}
+
+		h2dDone := make([]*sim.Event, total)
+		for c := 0; c < total; c++ {
+			for announced <= c {
+				announce()
+			}
+			got := req.AwaitFin(p)
+			if got != c {
+				panic(fmt.Sprintf("core: chunk %d arrived out of order (expected %d)", got, c))
+			}
+			vbuf := slotVbuf[c]
+			n := chunkLen(c)
+			off := c * chunkBytes
+			ev := n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStream)
+			h2dDone[c] = ev
+			c := c
+			ev.OnTrigger(func() {
+				t.cfg.Trace.add("h2d", c, e.Now())
+				n1.RecvPool.Put(vbuf)
+				arrived += n
+				advanceUnpack()
+			})
+		}
+		p.WaitAll(h2dDone...)
+		// All bytes are on the device; flush any unpack tail and wait.
+		arrivedAll := size
+		arrived = arrivedAll
+		if !pl.contig {
+			if unpackedThrough < size {
+				ev := t.unpackChunk(p, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
+				unpackEvs = append(unpackEvs, ev)
+				unpackedThrough = size
+			}
+			p.WaitAll(unpackEvs...)
+			mustFree(n1.Ctx, tbuf)
+		}
+		req.CompleteRecv()
+	})
+}
+
+func mustFree(ctx *cuda.Ctx, p mem.Ptr) {
+	if err := ctx.Free(p); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/sim"
+)
+
+// This file implements the GPUDirect-RDMA mode: the pipeline with both
+// host-staging stages removed. The HCA reads packed chunks straight out of
+// the sender's device tbuf and deposits them straight into the receiver's
+// registered device tbuf; what remains is pack → RDMA → unpack.
+//
+// The paper's 2011 testbed had no GPUDirect RDMA — that is exactly why its
+// design stages through pinned host vbufs. The mode exists to quantify, on
+// the same simulated testbed, how much of the remaining transfer cost the
+// staging was responsible for, i.e. what the paper's successors
+// (MVAPICH2-GDR) stood to gain. Enable it with cluster.Config.GPUDirect,
+// which also tells the fabric to accept device-memory registration.
+
+// sendGDR is the sender pipeline without stage 2 (D2H): chunks RDMA out
+// of the packed device tbuf directly.
+func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
+	r := req.Rank()
+	e := r.World().Engine()
+	size := pl.size
+	blockSize := r.World().Config().BlockSize
+
+	tbuf := req.Buf()
+	var packDone []*sim.Event
+	var packCut []int
+	if pl.contig {
+		tbuf = req.Buf().Add(pl.shape.Off)
+	} else {
+		tbuf = n1.Ctx.MustMalloc(size)
+		step := size
+		if pl.uniform {
+			rows := max(1, blockSize/pl.shape.Width)
+			step = rows * pl.shape.Width
+		} else if size > blockSize {
+			step = blockSize
+		}
+		for off := 0; off < size; off += step {
+			n := min(step, size-off)
+			ev := t.packChunk(p, n1, pl, req, tbuf.Add(off), off, n)
+			packDone = append(packDone, ev)
+			packCut = append(packCut, off+n)
+		}
+	}
+	packReady := func(throughByte int) *sim.Event {
+		if pl.contig {
+			return nil
+		}
+		for i, cut := range packCut {
+			if cut >= throughByte {
+				return packDone[i]
+			}
+		}
+		return packDone[len(packDone)-1]
+	}
+
+	total, chunkBytes := req.AwaitCTS(p)
+	if chunkBytes != blockSize {
+		panic(fmt.Sprintf("core: receiver chunk size %d != block size %d", chunkBytes, blockSize))
+	}
+	chunkSent := make([]*sim.Event, total)
+	for c := 0; c < total; c++ {
+		off := c * chunkBytes
+		n := min(chunkBytes, size-off)
+		slot := req.AwaitSlot(p, c)
+		if ev := packReady(off + n); ev != nil {
+			p.Wait(ev)
+		}
+		sent := e.NewEvent(fmt.Sprintf("rank%d.gdrchunk%d", r.Rank(), c))
+		chunkSent[c] = sent
+		rdma := r.RDMAChunk(req, slot, tbuf.Add(off), n)
+		rdma.OnTrigger(sent.Trigger)
+	}
+	p.WaitAll(chunkSent...)
+	if !pl.contig {
+		mustFree(n1.Ctx, tbuf)
+	}
+	req.CompleteSend()
+}
+
+// recvGDR is the receiver pipeline without stage 4 (H2D): the whole device
+// tbuf (or the contiguous user buffer) is registered with the HCA and
+// announced in one CTS; arriving chunks are unpacked as their bytes land.
+func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
+	r := req.Rank()
+	size := req.Size()
+	total, chunkBytes := r.World().ChunkGeometry(size)
+	chunkLen := func(c int) int { return min(chunkBytes, size-c*chunkBytes) }
+
+	tbuf := req.Buf()
+	if pl.contig {
+		tbuf = req.Buf().Add(pl.shape.Off)
+	} else {
+		tbuf = n1.Ctx.MustMalloc(size)
+	}
+	region := r.HCA().Register(tbuf, size)
+
+	slots := make([]mpi.Slot, total)
+	for c := 0; c < total; c++ {
+		slots[c] = mpi.Slot{Chunk: c, Rkey: region.Rkey, Off: c * chunkBytes, Len: chunkLen(c)}
+	}
+	r.SendCTS(req, total, chunkBytes, slots)
+
+	arrived := 0
+	unpackedThrough := 0
+	var unpackEvs []*sim.Event
+	for c := 0; c < total; c++ {
+		got := req.AwaitFin(p)
+		if got != c {
+			panic(fmt.Sprintf("core: chunk %d out of order (expected %d)", got, c))
+		}
+		arrived += chunkLen(c)
+		if pl.contig {
+			continue
+		}
+		var cut int
+		if pl.uniform {
+			cut = arrived / pl.shape.Width * pl.shape.Width
+		} else {
+			cut = arrived
+		}
+		if cut > unpackedThrough {
+			ev := t.unpackChunk(nil, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
+			unpackEvs = append(unpackEvs, ev)
+			unpackedThrough = cut
+		}
+	}
+	r.HCA().Deregister(region)
+	if !pl.contig {
+		if unpackedThrough < size {
+			ev := t.unpackChunk(p, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
+			unpackEvs = append(unpackEvs, ev)
+		}
+		p.WaitAll(unpackEvs...)
+		mustFree(n1.Ctx, tbuf)
+	}
+	req.CompleteRecv()
+}

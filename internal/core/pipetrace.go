@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mv2sim/internal/sim"
+)
+
+// PipelineTrace records per-chunk stage completions of one rendezvous
+// transfer — the executable form of the paper's Figure 3 pipeline diagram.
+// Install one via Config.Trace before a transfer; each stage that finishes
+// appends an event.
+//
+// Stages, in data-flow order:
+//
+//	pack    D2D nc2c   (sender device copy engine)
+//	d2h     D2H c2c    (sender PCIe)
+//	rdma    RDMA write (wire, local completion)
+//	h2d     H2D c2c    (receiver PCIe)
+//	unpack  D2D c2nc   (receiver device copy engine)
+type PipelineTrace struct {
+	Events []StageEvent
+}
+
+// StageEvent is one stage completion.
+type StageEvent struct {
+	Stage string
+	Chunk int
+	At    sim.Time
+}
+
+func (t *PipelineTrace) add(stage string, chunk int, at sim.Time) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, StageEvent{stage, chunk, at})
+}
+
+// Completions returns the completion times of one stage indexed by chunk.
+func (t *PipelineTrace) Completions(stage string) map[int]sim.Time {
+	out := map[int]sim.Time{}
+	for _, ev := range t.Events {
+		if ev.Stage == stage {
+			out[ev.Chunk] = ev.At
+		}
+	}
+	return out
+}
+
+// Overlapped reports whether the trace shows true pipelining: some chunk's
+// later stage completed while an earlier stage of a later chunk was still
+// to come — concretely, the last pack completion is later than the first
+// RDMA completion (packing continued while data was already on the wire).
+func (t *PipelineTrace) Overlapped() bool {
+	packs := t.Completions("pack")
+	rdmas := t.Completions("rdma")
+	if len(packs) < 2 || len(rdmas) == 0 {
+		return false
+	}
+	var lastPack, firstRDMA sim.Time
+	first := true
+	for _, at := range packs {
+		if at > lastPack {
+			lastPack = at
+		}
+	}
+	for _, at := range rdmas {
+		if first || at < firstRDMA {
+			firstRDMA = at
+			first = false
+		}
+	}
+	return lastPack > firstRDMA
+}
+
+// String renders the trace as a per-chunk table of stage completion times
+// in microseconds — a textual Figure 3.
+func (t *PipelineTrace) String() string {
+	stages := []string{"pack", "d2h", "rdma", "h2d", "unpack"}
+	byStage := map[string]map[int]sim.Time{}
+	chunkSet := map[int]bool{}
+	for _, s := range stages {
+		byStage[s] = t.Completions(s)
+		for c := range byStage[s] {
+			chunkSet[c] = true
+		}
+	}
+	chunks := make([]int, 0, len(chunkSet))
+	for c := range chunkSet {
+		chunks = append(chunks, c)
+	}
+	sort.Ints(chunks)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s", "chunk")
+	for _, s := range stages {
+		fmt.Fprintf(&sb, "%12s", s)
+	}
+	sb.WriteByte('\n')
+	for _, c := range chunks {
+		fmt.Fprintf(&sb, "%-6d", c)
+		for _, s := range stages {
+			if at, ok := byStage[s][c]; ok {
+				fmt.Fprintf(&sb, "%10.1fus", at.Micros())
+			} else {
+				fmt.Fprintf(&sb, "%12s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

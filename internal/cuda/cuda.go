@@ -1,0 +1,273 @@
+// Package cuda provides a CUDA-4.0-flavoured runtime API over the
+// simulated GPU in internal/gpu: memory management, synchronous and
+// asynchronous 1D/2D memory copies, streams and events.
+//
+// The subset implemented is exactly what the paper's three code patterns
+// (Figure 4) and MVAPICH2's internals need:
+//
+//	Memcpy / Memcpy2D            — blocking copies (Figure 4(a))
+//	MemcpyAsync / Memcpy2DAsync  — stream-ordered copies (Figure 4(b))
+//	Stream Query/Synchronize     — pipeline progress checks
+//	Event Record/Synchronize     — inter-stream ordering
+//
+// Directions are inferred from the pointers (cudaMemcpyDefault under UVA);
+// host pointers are ordinary mem.Ptr values into a host Space.
+//
+// Semantics mirrored from CUDA: operations within one stream execute in
+// FIFO order; operations in different streams may overlap subject to the
+// device's engine resources (one H2D DMA engine, one D2H DMA engine, an
+// internal copy path, and the compute engine). A blocking call costs the
+// caller the async-issue time plus a synchronization overhead on top of
+// the transfer itself.
+package cuda
+
+import (
+	"fmt"
+
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// Ctx binds a simulated device to the CUDA API for one node.
+type Ctx struct {
+	e       *sim.Engine
+	dev     *gpu.Device
+	nstream int
+	def     *Stream
+}
+
+// NewCtx creates a context on the given device. The context owns the
+// default (NULL) stream used by the blocking API.
+func NewCtx(e *sim.Engine, dev *gpu.Device) *Ctx {
+	c := &Ctx{e: e, dev: dev}
+	c.def = c.NewStream()
+	return c
+}
+
+// Device returns the underlying simulated device.
+func (c *Ctx) Device() *gpu.Device { return c.dev }
+
+// Model returns the device cost model.
+func (c *Ctx) Model() *gpu.CostModel { return c.dev.Model() }
+
+// Malloc allocates device memory (cudaMalloc).
+func (c *Ctx) Malloc(n int) (mem.Ptr, error) { return c.dev.Malloc(n) }
+
+// MustMalloc allocates device memory or panics.
+func (c *Ctx) MustMalloc(n int) mem.Ptr { return c.dev.MustMalloc(n) }
+
+// Free releases device memory (cudaFree).
+func (c *Ctx) Free(p mem.Ptr) error { return c.dev.Free(p) }
+
+// op is one stream-ordered operation.
+type op struct {
+	shape       gpu.CopyShape
+	dst, src    mem.Ptr
+	kernCells   int
+	kernNsCell  float64
+	kernBody    func()
+	isKernel    bool
+	isMarker    bool       // event record: completes instantly in stream order
+	waitOn      *sim.Event // stream barrier: stall the stream until this fires
+	memsetBytes int        // >0: a fill; costed as a device-bandwidth write
+	memsetDst   mem.Ptr
+	done        *sim.Event
+}
+
+// Stream is a CUDA stream: a FIFO of operations executed by a dedicated
+// worker process that contends for the device's engines.
+type Stream struct {
+	ctx     *Ctx
+	name    string
+	q       *sim.Queue[*op]
+	pending int
+	drained *sim.Event // recreated whenever pending drops to 0 with waiters
+}
+
+// NewStream creates a stream with its own worker (cudaStreamCreate).
+func (c *Ctx) NewStream() *Stream {
+	s := &Stream{ctx: c, name: fmt.Sprintf("gpu%d.stream%d", c.dev.ID(), c.nstream)}
+	c.nstream++
+	s.q = sim.NewQueue[*op](c.e, s.name+".ops")
+	c.e.SpawnDaemon(s.name, s.run)
+	return s
+}
+
+func (s *Stream) run(p *sim.Proc) {
+	for {
+		o := s.q.Get(p)
+		switch {
+		case o.waitOn != nil:
+			// cudaStreamWaitEvent: the stream stalls here until the event
+			// completes; later ops in this stream wait behind it.
+			p.Wait(o.waitOn)
+		case o.isMarker:
+			// No device work; completes in stream order.
+		case o.memsetBytes > 0:
+			// A fill occupies the device like a half-bandwidth internal
+			// copy (one write stream, no read): model as a kernel of
+			// memsetBytes cells at the copy engine's per-byte write rate.
+			ns := 1e9 / s.ctx.Model().DevBandwidth
+			if !o.memsetDst.IsDevice() {
+				ns = 1e9 / s.ctx.Model().HostBandwidth
+			}
+			s.ctx.dev.ExecKernel(p, o.memsetBytes, ns, o.kernBody)
+		case o.isKernel:
+			s.ctx.dev.ExecKernel(p, o.kernCells, o.kernNsCell, o.kernBody)
+		default:
+			s.ctx.dev.ExecCopy(p, o.dst, o.shape.DPitch, o.src, o.shape.SPitch, o.shape.Width, o.shape.Height)
+		}
+		o.done.Trigger()
+		s.pending--
+		if s.pending == 0 && s.drained != nil {
+			s.drained.Trigger()
+			s.drained = nil
+		}
+	}
+}
+
+func (s *Stream) enqueue(o *op) *sim.Event {
+	o.done = s.ctx.e.NewEvent(s.name + ".op")
+	s.pending++
+	s.q.Put(o)
+	return o.done
+}
+
+// Query reports whether all work submitted to the stream has completed
+// (cudaStreamQuery == cudaSuccess).
+func (s *Stream) Query() bool { return s.pending == 0 }
+
+// Synchronize blocks until all submitted work completes
+// (cudaStreamSynchronize). The caller additionally pays the blocking-call
+// overhead.
+func (s *Stream) Synchronize(p *sim.Proc) {
+	if s.pending > 0 {
+		if s.drained == nil {
+			s.drained = s.ctx.e.NewEvent(s.name + ".drained")
+		}
+		p.Wait(s.drained)
+	}
+	p.Sleep(s.ctx.Model().SyncOverhead)
+}
+
+// issue charges the calling process the host-side cost of an async launch.
+// Asynchronous operations may also be issued from engine context (e.g. a
+// completion callback chaining the next pipeline stage) by passing a nil
+// proc; the issue cost is then not charged to anyone, modeling work done
+// by an already-running progress thread.
+func (c *Ctx) issue(p *sim.Proc) {
+	if p != nil {
+		p.Sleep(c.Model().AsyncIssue)
+	}
+}
+
+// MemcpyAsync enqueues a contiguous n-byte copy on the stream and returns
+// its completion event (cudaMemcpyAsync).
+func (c *Ctx) MemcpyAsync(p *sim.Proc, dst, src mem.Ptr, n int, s *Stream) *sim.Event {
+	c.issue(p)
+	return s.enqueue(&op{dst: dst, src: src, shape: gpu.Shape1D(n)})
+}
+
+// Memcpy2DAsync enqueues a 2D strided copy: height rows of width bytes,
+// with destination/source pitches (cudaMemcpy2DAsync).
+func (c *Ctx) Memcpy2DAsync(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spitch, width, height int, s *Stream) *sim.Event {
+	c.issue(p)
+	return s.enqueue(&op{dst: dst, src: src, shape: gpu.CopyShape{Width: width, Height: height, DPitch: dpitch, SPitch: spitch}})
+}
+
+// Memcpy performs a blocking contiguous copy (cudaMemcpy): issue on the
+// default stream, wait for it, pay the synchronization overhead.
+func (c *Ctx) Memcpy(p *sim.Proc, dst, src mem.Ptr, n int) {
+	ev := c.MemcpyAsync(p, dst, src, n, c.def)
+	p.Wait(ev)
+	p.Sleep(c.Model().SyncOverhead)
+}
+
+// Memcpy2D performs a blocking 2D copy (cudaMemcpy2D).
+func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spitch, width, height int) {
+	ev := c.Memcpy2DAsync(p, dst, dpitch, src, spitch, width, height, c.def)
+	p.Wait(ev)
+	p.Sleep(c.Model().SyncOverhead)
+}
+
+// LaunchKernel enqueues a kernel on the stream. cells×nsPerCell defines
+// the modeled duration; body applies the kernel's effect to memory at
+// completion time.
+func (c *Ctx) LaunchKernel(p *sim.Proc, s *Stream, cells int, nsPerCell float64, body func()) *sim.Event {
+	c.issue(p)
+	return s.enqueue(&op{isKernel: true, kernCells: cells, kernNsCell: nsPerCell, kernBody: body})
+}
+
+// Event is a CUDA event: a marker recorded into a stream.
+type Event struct {
+	c  *Ctx
+	ev *sim.Event
+}
+
+// NewEvent creates an unrecorded event (cudaEventCreate).
+func (c *Ctx) NewEvent() *Event { return &Event{c: c} }
+
+// Record enqueues the event marker on the stream (cudaEventRecord). The
+// event completes when all prior work in the stream has completed.
+// Re-recording resets the event to the new position.
+func (ev *Event) Record(p *sim.Proc, s *Stream) {
+	ev.c.issue(p)
+	ev.ev = s.enqueue(&op{isMarker: true})
+}
+
+// Query reports whether the recorded marker has completed
+// (cudaEventQuery). An unrecorded event reports false, mirroring CUDA's
+// cudaErrorNotReady-until-recorded behaviour closely enough for callers.
+func (ev *Event) Query() bool { return ev.ev != nil && ev.ev.Fired() }
+
+// Synchronize blocks until the recorded marker completes
+// (cudaEventSynchronize). It panics if the event was never recorded.
+func (ev *Event) Synchronize(p *sim.Proc) {
+	if ev.ev == nil {
+		panic("cuda: Synchronize on unrecorded event")
+	}
+	p.Wait(ev.ev)
+	p.Sleep(ev.c.Model().SyncOverhead)
+}
+
+// CompletedAt returns the virtual time the marker completed; it panics if
+// the event has not completed.
+func (ev *Event) CompletedAt() sim.Time {
+	if !ev.Query() {
+		panic("cuda: CompletedAt on incomplete event")
+	}
+	return ev.ev.FiredAt()
+}
+
+// MemsetAsync enqueues a fill of n bytes at dst with value b
+// (cudaMemsetAsync). Device fills run on the internal copy path at device
+// bandwidth; host fills cost host memcpy time.
+func (c *Ctx) MemsetAsync(p *sim.Proc, dst mem.Ptr, b byte, n int, s *Stream) *sim.Event {
+	c.issue(p)
+	return s.enqueue(&op{isKernel: true, kernCells: 0, kernNsCell: 0, kernBody: func() {
+		buf := dst.Bytes(n)
+		for i := range buf {
+			buf[i] = b
+		}
+	}, memsetBytes: n, memsetDst: dst})
+}
+
+// Memset performs a blocking fill (cudaMemset).
+func (c *Ctx) Memset(p *sim.Proc, dst mem.Ptr, b byte, n int) {
+	ev := c.MemsetAsync(p, dst, b, n, c.def)
+	p.Wait(ev)
+	p.Sleep(c.Model().SyncOverhead)
+}
+
+// StreamWaitEvent makes all work submitted to s after this call wait until
+// the event's recorded marker completes (cudaStreamWaitEvent) — the
+// standard way to express cross-stream dependencies without blocking the
+// host. The event must have been recorded.
+func (c *Ctx) StreamWaitEvent(p *sim.Proc, s *Stream, ev *Event) {
+	if ev.ev == nil {
+		panic("cuda: StreamWaitEvent on unrecorded event")
+	}
+	c.issue(p)
+	s.enqueue(&op{waitOn: ev.ev})
+}

@@ -1,0 +1,195 @@
+package datatype
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mv2sim/internal/mem"
+)
+
+func TestDarrayBlock1D(t *testing.T) {
+	// 10 elements over 3 processes, block: blocks of ceil(10/3)=4: [0,4) [4,8) [8,10).
+	sizes := []int{4, 4, 2}
+	for p := 0; p < 3; p++ {
+		dt, err := Darray([]int{10}, []Distribution{DistBlock}, []int{3}, []int{p}, RowMajor, Int32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dt.MustCommit()
+		if dt.Size() != sizes[p]*4 {
+			t.Errorf("proc %d: size = %d, want %d", p, dt.Size(), sizes[p]*4)
+		}
+		if dt.Extent() != 40 {
+			t.Errorf("proc %d: extent = %d, want 40 (global span)", p, dt.Extent())
+		}
+		iov := dt.IOV()
+		if len(iov) != 1 || iov[0].Off != p*16 {
+			t.Errorf("proc %d: iov = %v", p, iov)
+		}
+	}
+}
+
+func TestDarrayCyclic1D(t *testing.T) {
+	// 7 elements over 2 processes, cyclic: proc 0 gets 0,2,4,6; proc 1 gets 1,3,5.
+	dt0, _ := Darray([]int{7}, []Distribution{DistCyclic}, []int{2}, []int{0}, RowMajor, Byte)
+	dt0.MustCommit()
+	want0 := []Segment{{0, 1}, {2, 1}, {4, 1}, {6, 1}}
+	if !reflect.DeepEqual(dt0.IOV(), want0) {
+		t.Errorf("proc 0 iov = %v, want %v", dt0.IOV(), want0)
+	}
+	dt1, _ := Darray([]int{7}, []Distribution{DistCyclic}, []int{2}, []int{1}, RowMajor, Byte)
+	dt1.MustCommit()
+	want1 := []Segment{{1, 1}, {3, 1}, {5, 1}}
+	if !reflect.DeepEqual(dt1.IOV(), want1) {
+		t.Errorf("proc 1 iov = %v, want %v", dt1.IOV(), want1)
+	}
+}
+
+func TestDarray2DBlockBlock(t *testing.T) {
+	// 4x6 bytes over a 2x2 grid: proc (1,0) owns rows 2-3, cols 0-2.
+	dt, err := Darray([]int{4, 6}, []Distribution{DistBlock, DistBlock},
+		[]int{2, 2}, []int{1, 0}, RowMajor, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.MustCommit()
+	want := []Segment{{12, 3}, {18, 3}}
+	if !reflect.DeepEqual(dt.IOV(), want) {
+		t.Errorf("iov = %v, want %v", dt.IOV(), want)
+	}
+}
+
+func TestDarrayNoneDimension(t *testing.T) {
+	// Distribute rows in blocks, keep columns whole.
+	dt, err := Darray([]int{4, 5}, []Distribution{DistBlock, DistNone},
+		[]int{2, 1}, []int{1, 0}, RowMajor, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.MustCommit()
+	// Rows 2-3, all 5 columns: one coalesced run of 10 bytes at offset 10.
+	if got := dt.IOV(); len(got) != 1 || got[0] != (Segment{10, 10}) {
+		t.Errorf("iov = %v", got)
+	}
+}
+
+func TestDarrayColMajor(t *testing.T) {
+	// Fortran order: distributing the FIRST dimension cyclically over 2
+	// procs in a 3x2 col-major array = every other element of the fastest
+	// dimension.
+	dt, err := Darray([]int{3, 2}, []Distribution{DistCyclic, DistNone},
+		[]int{2, 1}, []int{1, 0}, ColMajor, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt.MustCommit()
+	// Col-major 3x2: memory index = row + col*3. Proc 1 owns rows 1 (of
+	// 0..2 cyclic over 2 procs -> rows 1 only? rows 1 then 3 (oob): {1}).
+	want := []Segment{{1, 1}, {4, 1}}
+	if !reflect.DeepEqual(dt.IOV(), want) {
+		t.Errorf("iov = %v, want %v", dt.IOV(), want)
+	}
+}
+
+func TestDarrayValidation(t *testing.T) {
+	if _, err := Darray([]int{4}, []Distribution{DistBlock}, []int{2}, []int{2}, RowMajor, Byte); err == nil {
+		t.Error("out-of-range coord accepted")
+	}
+	if _, err := Darray([]int{4}, []Distribution{DistNone}, []int{2}, []int{0}, RowMajor, Byte); err == nil {
+		t.Error("DistNone over >1 procs accepted")
+	}
+	if _, err := Darray([]int{4, 4}, []Distribution{DistBlock}, []int{2}, []int{0}, RowMajor, Byte); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Darray(nil, nil, nil, nil, RowMajor, Byte); err == nil {
+		t.Error("empty dims accepted")
+	}
+}
+
+func TestDarrayTrailingProcessMayOwnNothing(t *testing.T) {
+	// 4 elements over 3 procs block: blocks of 2: proc 2 owns nothing.
+	dt, err := Darray([]int{4}, []Distribution{DistBlock}, []int{3}, []int{2}, RowMajor, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if dt.Size() != 0 || len(dt.IOV()) != 0 {
+		t.Errorf("empty share: size=%d iov=%v", dt.Size(), dt.IOV())
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	for _, d := range []Distribution{DistNone, DistBlock, DistCyclic} {
+		if strings.Contains(d.String(), "(") {
+			t.Errorf("missing name for %d", d)
+		}
+	}
+}
+
+// Property: over any grid and distribution mix, the processes' darray
+// types partition the global array exactly — every element owned by
+// exactly one process.
+func TestPropDarrayPartition(t *testing.T) {
+	f := func(g1Raw, g2Raw, p1Raw, p2Raw, d1Raw, d2Raw uint8) bool {
+		g1, g2 := 1+int(g1Raw%8), 1+int(g2Raw%8)
+		p1, p2 := 1+int(p1Raw%3), 1+int(p2Raw%3)
+		dists := []Distribution{DistBlock, DistCyclic}
+		d1, d2 := dists[int(d1Raw)%2], dists[int(d2Raw)%2]
+		total := g1 * g2
+		coverage := make([]int, total)
+		for c1 := 0; c1 < p1; c1++ {
+			for c2 := 0; c2 < p2; c2++ {
+				dt, err := Darray([]int{g1, g2}, []Distribution{d1, d2},
+					[]int{p1, p2}, []int{c1, c2}, RowMajor, Byte)
+				if err != nil {
+					return false
+				}
+				if err := dt.Commit(); err != nil {
+					return false
+				}
+				for _, s := range dt.IOV() {
+					for i := 0; i < s.Len; i++ {
+						if s.Off+i >= total {
+							return false
+						}
+						coverage[s.Off+i]++
+					}
+				}
+			}
+		}
+		for _, c := range coverage {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pack/unpack through a darray type round-trips (it is a legal
+// committed type like any other).
+func TestDarrayPackRoundTrip(t *testing.T) {
+	dt, _ := Darray([]int{6, 6}, []Distribution{DistCyclic, DistBlock},
+		[]int{2, 3}, []int{1, 1}, RowMajor, Int32)
+	dt.MustCommit()
+	span := dt.UB()
+	h := mem.NewHostSpace("h", 2*span+dt.Size())
+	src := h.Base()
+	mem.Fill(src, span, func(i int) byte { return byte(i*3 + 7) })
+	packed := h.Base().Add(span)
+	dst := h.Base().Add(span + dt.Size())
+	dt.Pack(packed, src, 1)
+	dt.Unpack(dst, packed, 1)
+	for _, s := range dt.SegmentsOf(1) {
+		if !mem.Equal(dst.Add(s.Off), src.Add(s.Off), s.Len) {
+			t.Fatalf("segment %+v mismatch", s)
+		}
+	}
+}

@@ -1,0 +1,369 @@
+package datatype
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mv2sim/internal/mem"
+)
+
+func TestPredefinedTypes(t *testing.T) {
+	cases := []struct {
+		dt   *Datatype
+		size int
+	}{
+		{Byte, 1}, {Char, 1}, {Int32, 4}, {Int64, 8}, {Float32, 4}, {Float64, 8},
+	}
+	for _, c := range cases {
+		if c.dt.Size() != c.size || c.dt.Extent() != c.size {
+			t.Errorf("%s: size=%d extent=%d, want %d", c.dt.Name(), c.dt.Size(), c.dt.Extent(), c.size)
+		}
+		if !c.dt.Committed() {
+			t.Errorf("%s not pre-committed", c.dt.Name())
+		}
+		if c.dt.LB() != 0 || c.dt.UB() != c.size {
+			t.Errorf("%s bounds [%d,%d)", c.dt.Name(), c.dt.LB(), c.dt.UB())
+		}
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	ct, err := Contiguous(5, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Size() != 20 || ct.Extent() != 20 {
+		t.Errorf("size=%d extent=%d", ct.Size(), ct.Extent())
+	}
+	// Contiguous flattens to a single coalesced segment.
+	if got := ct.IOV(); len(got) != 1 || got[0] != (Segment{0, 20}) {
+		t.Errorf("iov = %v", got)
+	}
+}
+
+func TestVectorLayout(t *testing.T) {
+	// 3 blocks of 2 floats, stride 5 floats: offsets 0, 20, 40.
+	v, err := Vector(3, 2, 5, Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.MustCommit()
+	if v.Size() != 24 {
+		t.Errorf("size = %d, want 24", v.Size())
+	}
+	// Extent: lb=0, ub = 2*5*4 + 2*4 = 48.
+	if v.Extent() != 48 {
+		t.Errorf("extent = %d, want 48", v.Extent())
+	}
+	want := []Segment{{0, 8}, {20, 8}, {40, 8}}
+	if !reflect.DeepEqual(v.IOV(), want) {
+		t.Errorf("iov = %v, want %v", v.IOV(), want)
+	}
+}
+
+func TestVectorDegeneratesToContiguous(t *testing.T) {
+	// blocklen == stride: one coalesced segment.
+	v, _ := Vector(4, 3, 3, Int32)
+	v.MustCommit()
+	if got := v.IOV(); len(got) != 1 || got[0] != (Segment{0, 48}) {
+		t.Errorf("iov = %v, want single 48-byte segment", got)
+	}
+}
+
+func TestHvector(t *testing.T) {
+	hv, err := Hvector(3, 4, 100, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hv.MustCommit()
+	want := []Segment{{0, 4}, {100, 4}, {200, 4}}
+	if !reflect.DeepEqual(hv.IOV(), want) {
+		t.Errorf("iov = %v, want %v", hv.IOV(), want)
+	}
+	if hv.Extent() != 204 {
+		t.Errorf("extent = %d, want 204", hv.Extent())
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// Two blocks: 3 ints at displacement 4 (ints), 1 int at displacement 0.
+	ix, err := Indexed([]int{3, 1}, []int{4, 0}, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.MustCommit()
+	if ix.Size() != 16 {
+		t.Errorf("size = %d", ix.Size())
+	}
+	want := []Segment{{16, 12}, {0, 4}}
+	if !reflect.DeepEqual(ix.IOV(), want) {
+		t.Errorf("iov = %v, want %v", ix.IOV(), want)
+	}
+	if ix.LB() != 0 || ix.UB() != 28 {
+		t.Errorf("bounds [%d,%d), want [0,28)", ix.LB(), ix.UB())
+	}
+}
+
+func TestIndexedAdjacentBlocksCoalesce(t *testing.T) {
+	ix, _ := Indexed([]int{2, 2}, []int{0, 2}, Int32)
+	ix.MustCommit()
+	if got := ix.IOV(); len(got) != 1 || got[0] != (Segment{0, 16}) {
+		t.Errorf("iov = %v, want single segment", got)
+	}
+}
+
+func TestHindexed(t *testing.T) {
+	hx, err := Hindexed([]int{1, 1}, []int{10, 0}, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hx.MustCommit()
+	want := []Segment{{10, 4}, {0, 4}}
+	if !reflect.DeepEqual(hx.IOV(), want) {
+		t.Errorf("iov = %v", hx.IOV())
+	}
+}
+
+func TestStruct(t *testing.T) {
+	// {int32 at 0, 2×float64 at 8}: a typical C struct.
+	st, err := Struct([]int{1, 2}, []int{0, 8}, []*Datatype{Int32, Float64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.MustCommit()
+	if st.Size() != 20 {
+		t.Errorf("size = %d, want 20", st.Size())
+	}
+	if st.LB() != 0 || st.UB() != 24 {
+		t.Errorf("bounds [%d,%d)", st.LB(), st.UB())
+	}
+	want := []Segment{{0, 4}, {8, 16}}
+	if !reflect.DeepEqual(st.IOV(), want) {
+		t.Errorf("iov = %v, want %v", st.IOV(), want)
+	}
+}
+
+func TestStructNegativeLB(t *testing.T) {
+	st, err := Struct([]int{1, 1}, []int{-8, 0}, []*Datatype{Float64, Int32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.MustCommit()
+	if st.LB() != -8 || st.UB() != 4 {
+		t.Errorf("bounds [%d,%d), want [-8,4)", st.LB(), st.UB())
+	}
+}
+
+func TestNestedVectorOfVector(t *testing.T) {
+	// Inner: 2 blocks of 1 int, stride 2 ints → covers 4 ints of which 2 real.
+	inner, _ := Vector(2, 1, 2, Int32)
+	inner.MustCommit()
+	// Outer: 2 inner elements, byte stride 32.
+	outer, err := Hvector(2, 1, 32, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer.MustCommit()
+	if outer.Size() != 16 {
+		t.Errorf("size = %d, want 16", outer.Size())
+	}
+	want := []Segment{{0, 4}, {8, 4}, {32, 4}, {40, 4}}
+	if !reflect.DeepEqual(outer.IOV(), want) {
+		t.Errorf("iov = %v, want %v", outer.IOV(), want)
+	}
+}
+
+func TestSubarrayRowMajor(t *testing.T) {
+	// 4x6 int array, take the 2x3 region starting at (1,2).
+	sa, err := Subarray([]int{4, 6}, []int{2, 3}, []int{1, 2}, RowMajor, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.MustCommit()
+	if sa.Size() != 24 {
+		t.Errorf("size = %d, want 24", sa.Size())
+	}
+	// Rows at element offsets (1*6+2)=8 and (2*6+2)=14 → bytes 32 and 56.
+	want := []Segment{{32, 12}, {56, 12}}
+	if !reflect.DeepEqual(sa.IOV(), want) {
+		t.Errorf("iov = %v, want %v", sa.IOV(), want)
+	}
+	// Extent spans the full array.
+	if sa.Extent() != 4*6*4 {
+		t.Errorf("extent = %d, want 96", sa.Extent())
+	}
+}
+
+func TestSubarrayColMajor(t *testing.T) {
+	// Same region expressed in Fortran order: sizes (6,4) cols-first.
+	sa, err := Subarray([]int{6, 4}, []int{3, 2}, []int{2, 1}, ColMajor, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.MustCommit()
+	want := []Segment{{32, 12}, {56, 12}}
+	if !reflect.DeepEqual(sa.IOV(), want) {
+		t.Errorf("iov = %v, want %v", sa.IOV(), want)
+	}
+}
+
+func TestSubarray3D(t *testing.T) {
+	// 3x4x5 bytes, select 2x2x5 starting at (1,1,0): full innermost rows,
+	// which coalesce pairwise along the middle dimension.
+	sa, err := Subarray([]int{3, 4, 5}, []int{2, 2, 5}, []int{1, 1, 0}, RowMajor, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.MustCommit()
+	if sa.Size() != 20 {
+		t.Errorf("size = %d", sa.Size())
+	}
+	want := []Segment{{25, 10}, {45, 10}}
+	if !reflect.DeepEqual(sa.IOV(), want) {
+		t.Errorf("iov = %v, want %v", sa.IOV(), want)
+	}
+}
+
+func TestSubarrayValidation(t *testing.T) {
+	if _, err := Subarray([]int{4}, []int{5}, []int{0}, RowMajor, Byte); err == nil {
+		t.Error("oversized subregion accepted")
+	}
+	if _, err := Subarray([]int{4}, []int{2}, []int{3}, RowMajor, Byte); err == nil {
+		t.Error("out-of-range start accepted")
+	}
+	if _, err := Subarray([]int{4, 4}, []int{2}, []int{0}, RowMajor, Byte); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := Subarray(nil, nil, nil, RowMajor, Byte); err == nil {
+		t.Error("zero dimensions accepted")
+	}
+}
+
+func TestResized(t *testing.T) {
+	rt, err := Resized(Int32, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.MustCommit()
+	if rt.Extent() != 16 || rt.Size() != 4 {
+		t.Errorf("extent=%d size=%d", rt.Extent(), rt.Size())
+	}
+	// Packing 3 resized ints picks 4 bytes every 16.
+	segs := rt.SegmentsOf(3)
+	want := []Segment{{0, 4}, {16, 4}, {32, 4}}
+	if !reflect.DeepEqual(segs, want) {
+		t.Errorf("segments = %v, want %v", segs, want)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := Contiguous(-1, Byte); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Vector(2, -1, 4, Byte); err == nil {
+		t.Error("negative blocklen accepted")
+	}
+	if _, err := Contiguous(2, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	uncommitted, _ := Vector(2, 1, 2, Byte)
+	if _, err := Contiguous(2, uncommitted); err == nil {
+		t.Error("uncommitted base accepted")
+	}
+	if _, err := Indexed([]int{1}, []int{0, 1}, Byte); err == nil {
+		t.Error("indexed length mismatch accepted")
+	}
+	if _, err := Hindexed([]int{-1}, []int{0}, Byte); err == nil {
+		t.Error("negative hindexed blocklen accepted")
+	}
+	if _, err := Struct([]int{1}, []int{0}, []*Datatype{Int32, Byte}); err == nil {
+		t.Error("struct arg mismatch accepted")
+	}
+	if _, err := Resized(Byte, 0, -4); err == nil {
+		t.Error("negative extent accepted")
+	}
+}
+
+func TestOverlapRejectedAtCommit(t *testing.T) {
+	bad, err := Hindexed([]int{4, 4}, []int{0, 2}, Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Commit(); err == nil {
+		t.Error("overlapping type committed")
+	}
+}
+
+func TestCommitIdempotent(t *testing.T) {
+	v, _ := Vector(2, 1, 2, Int32)
+	if err := v.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Commit(); err != nil {
+		t.Errorf("second commit: %v", err)
+	}
+}
+
+func TestUncommittedPackPanics(t *testing.T) {
+	v, _ := Vector(2, 1, 2, Int32)
+	h := mem.NewHostSpace("h", 64)
+	defer func() {
+		if recover() == nil {
+			t.Error("pack of uncommitted type did not panic")
+		}
+	}()
+	v.Pack(h.Base(), h.Base().Add(32), 1)
+}
+
+func TestSpan(t *testing.T) {
+	v, _ := Vector(3, 2, 5, Float32)
+	v.MustCommit()
+	// extent 48, span(1) = 48, span(2) = 96.
+	if v.Span(1) != 48 || v.Span(2) != 96 || v.Span(0) != 0 {
+		t.Errorf("spans = %d,%d,%d", v.Span(1), v.Span(2), v.Span(0))
+	}
+}
+
+func TestSegmentsOfCoalescesAcrossElements(t *testing.T) {
+	// Element data fills the whole extent, so consecutive elements merge.
+	ct, _ := Contiguous(4, Byte)
+	ct.MustCommit()
+	segs := ct.SegmentsOf(3)
+	if len(segs) != 1 || segs[0] != (Segment{0, 12}) {
+		t.Errorf("segments = %v", segs)
+	}
+}
+
+func TestKindAndStrings(t *testing.T) {
+	v, _ := Vector(2, 1, 2, Int32)
+	if v.Kind() != KindVector {
+		t.Errorf("kind = %v", v.Kind())
+	}
+	for k := KindPredefined; k <= KindResized; k++ {
+		if strings.Contains(k.String(), "Kind(") {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+	if !strings.Contains(v.String(), "vector") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestEmptyTypes(t *testing.T) {
+	z, err := Contiguous(0, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := z.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if z.Size() != 0 || z.Extent() != 0 || len(z.IOV()) != 0 {
+		t.Errorf("empty type: size=%d extent=%d iov=%v", z.Size(), z.Extent(), z.IOV())
+	}
+	h := mem.NewHostSpace("h", 16)
+	z.Pack(h.Base(), h.Base(), 3) // must be a no-op, not a crash
+}

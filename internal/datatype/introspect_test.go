@@ -1,0 +1,124 @@
+package datatype
+
+import (
+	"reflect"
+	"testing"
+
+	"mv2sim/internal/mem"
+)
+
+func TestIndexedBlock(t *testing.T) {
+	ib, err := IndexedBlock(2, []int{0, 4, 8}, Int32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib.MustCommit()
+	if ib.Size() != 24 {
+		t.Errorf("size = %d", ib.Size())
+	}
+	want := []Segment{{0, 8}, {16, 8}, {32, 8}}
+	if !reflect.DeepEqual(ib.IOV(), want) {
+		t.Errorf("iov = %v, want %v", ib.IOV(), want)
+	}
+	if _, err := IndexedBlock(-1, []int{0}, Int32); err == nil {
+		t.Error("negative blocklen accepted")
+	}
+}
+
+func TestPackSize(t *testing.T) {
+	v, _ := Vector(4, 2, 5, Float32)
+	v.MustCommit()
+	if v.PackSize(3) != 3*32 {
+		t.Errorf("PackSize = %d", v.PackSize(3))
+	}
+}
+
+func TestGetEnvelope(t *testing.T) {
+	v, _ := Vector(3, 2, 5, Float32)
+	v.MustCommit()
+	env := v.GetEnvelope()
+	if env.Kind != KindVector || env.NumSegments != 3 || env.Size != 24 || env.Extent != 48 {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+func TestTrueExtent(t *testing.T) {
+	// Resized changes Extent but not TrueExtent.
+	hv, _ := Hvector(3, 4, 16, Byte)
+	hv.MustCommit()
+	rt, _ := Resized(hv, -100, 500)
+	rt.MustCommit()
+	lb, ext := rt.TrueExtent()
+	if lb != 0 || ext != 36 {
+		t.Errorf("true extent = (%d,%d), want (0,36)", lb, ext)
+	}
+	if rt.Extent() != 500 {
+		t.Errorf("resized extent = %d", rt.Extent())
+	}
+	z, _ := Contiguous(0, Byte)
+	z.MustCommit()
+	if lb, ext := z.TrueExtent(); lb != 0 || ext != 0 {
+		t.Errorf("empty true extent = (%d,%d)", lb, ext)
+	}
+}
+
+func TestGetElements(t *testing.T) {
+	v, _ := Vector(2, 1, 2, Int32) // size 8
+	v.MustCommit()
+	if n, exact := v.GetElements(24); n != 3 || !exact {
+		t.Errorf("GetElements(24) = (%d,%v)", n, exact)
+	}
+	if n, exact := v.GetElements(20); n != 2 || exact {
+		t.Errorf("GetElements(20) = (%d,%v)", n, exact)
+	}
+	z, _ := Contiguous(0, Byte)
+	z.MustCommit()
+	if n, exact := z.GetElements(0); n != 0 || !exact {
+		t.Errorf("empty GetElements = (%d,%v)", n, exact)
+	}
+}
+
+func TestIsContiguousAndSegmentCount(t *testing.T) {
+	ct, _ := Contiguous(8, Int32)
+	ct.MustCommit()
+	if !ct.IsContiguous() || ct.SegmentCount(5) != 1 {
+		t.Error("contiguous type misclassified")
+	}
+	v, _ := Vector(4, 1, 2, Int32)
+	v.MustCommit()
+	if v.IsContiguous() {
+		t.Error("strided vector classified contiguous")
+	}
+	if v.SegmentCount(3) != 12 {
+		t.Errorf("SegmentCount = %d, want 12", v.SegmentCount(3))
+	}
+	if v.SegmentCount(0) != 0 {
+		t.Error("SegmentCount(0) != 0")
+	}
+	// A vector with blocklen == stride coalesces to contiguous.
+	flat, _ := Vector(4, 3, 3, Int32)
+	flat.MustCommit()
+	if !flat.IsContiguous() {
+		t.Error("degenerate vector not contiguous")
+	}
+}
+
+func TestIndexedBlockRoundTrip(t *testing.T) {
+	ib, _ := IndexedBlock(3, []int{1, 6, 11}, Int32)
+	ib.MustCommit()
+	// Buffers are addressed from the base pointer, so they must span
+	// [0, UB), not just the lb..ub window Span reports.
+	need := ib.UB()
+	h := mem.NewHostSpace("h", 2*need+ib.Size())
+	src := h.Base()
+	mem.Fill(src, need, func(i int) byte { return byte(i + 1) })
+	packed := h.Base().Add(need)
+	dst := h.Base().Add(need + ib.Size())
+	ib.Pack(packed, src, 1)
+	ib.Unpack(dst, packed, 1)
+	for _, s := range ib.SegmentsOf(1) {
+		if !mem.Equal(dst.Add(s.Off), src.Add(s.Off), s.Len) {
+			t.Fatalf("segment %+v mismatch", s)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mv2sim/internal/mem"
+)
+
+// packFixture builds a typed source buffer with recognizable contents and
+// scratch space for packing.
+type packFixture struct {
+	src, packed, dst mem.Ptr
+}
+
+func newPackFixture(size int) packFixture {
+	h := mem.NewHostSpace("h", 3*size)
+	f := packFixture{
+		src:    h.Base(),
+		packed: h.Base().Add(size),
+		dst:    h.Base().Add(2 * size),
+	}
+	mem.Fill(f.src, size, func(i int) byte { return byte(i*7 + 3) })
+	return f
+}
+
+func TestVectorPackUnpackRoundTrip(t *testing.T) {
+	v, _ := Vector(4, 2, 5, Float32)
+	v.MustCommit()
+	const count = 3
+	span := v.Span(count)
+	f := newPackFixture(span + 64)
+	v.Pack(f.packed, f.src, count)
+	v.Unpack(f.dst, f.packed, count)
+	// Every byte the type touches must round-trip; untouched bytes stay 0.
+	for _, s := range v.SegmentsOf(count) {
+		if !mem.Equal(f.dst.Add(s.Off), f.src.Add(s.Off), s.Len) {
+			t.Fatalf("segment %+v did not round-trip", s)
+		}
+	}
+}
+
+func TestPackGathersInTypeMapOrder(t *testing.T) {
+	// Indexed with out-of-order displacements packs in map order, not
+	// address order (MPI semantics).
+	ix, _ := Indexed([]int{1, 1}, []int{2, 0}, Int32)
+	ix.MustCommit()
+	h := mem.NewHostSpace("h", 64)
+	src := h.Base()
+	mem.Fill(src, 16, func(i int) byte { return byte(i) })
+	packed := h.Base().Add(32)
+	ix.Pack(packed, src, 1)
+	want := []byte{8, 9, 10, 11, 0, 1, 2, 3}
+	if !reflect.DeepEqual(packed.Bytes(8), want) {
+		t.Errorf("packed = %v, want %v", packed.Bytes(8), want)
+	}
+}
+
+func TestStructPackRoundTrip(t *testing.T) {
+	st, _ := Struct([]int{1, 2, 3}, []int{0, 8, 32}, []*Datatype{Int32, Float64, Byte})
+	st.MustCommit()
+	const count = 4
+	f := newPackFixture(st.Span(count) + 64)
+	st.Pack(f.packed, f.src, count)
+	st.Unpack(f.dst, f.packed, count)
+	for _, s := range st.SegmentsOf(count) {
+		if !mem.Equal(f.dst.Add(s.Off), f.src.Add(s.Off), s.Len) {
+			t.Fatalf("segment %+v did not round-trip", s)
+		}
+	}
+}
+
+func TestPackRangeMatchesFullPack(t *testing.T) {
+	v, _ := Vector(8, 3, 7, Int32)
+	v.MustCommit()
+	const count = 5
+	total := count * v.Size()
+	f := newPackFixture(v.Span(count) + total + 64)
+	full := mem.NewHostSpace("full", total)
+	v.Pack(full.Base(), f.src, count)
+
+	// Reassemble the packed stream from arbitrary chunk sizes.
+	for _, chunk := range []int{1, 3, 16, 64, total} {
+		got := mem.NewHostSpace("got", total)
+		for off := 0; off < total; off += chunk {
+			n := chunk
+			if off+n > total {
+				n = total - off
+			}
+			v.PackRange(got.Base().Add(off), f.src, count, off, n)
+		}
+		if !mem.Equal(got.Base(), full.Base(), total) {
+			t.Errorf("chunk=%d: PackRange stream differs from full Pack", chunk)
+		}
+	}
+}
+
+func TestUnpackRangeMatchesFullUnpack(t *testing.T) {
+	v, _ := Vector(6, 2, 4, Int32)
+	v.MustCommit()
+	const count = 4
+	total := count * v.Size()
+	span := v.Span(count)
+	packed := mem.NewHostSpace("p", total)
+	mem.Fill(packed.Base(), total, func(i int) byte { return byte(i ^ 0x3c) })
+
+	want := mem.NewHostSpace("want", span+64)
+	v.Unpack(want.Base(), packed.Base(), count)
+
+	got := mem.NewHostSpace("got", span+64)
+	for _, chunk := range []int{5, 32} {
+		for i := range got.Base().Bytes(span + 64) {
+			got.Base().Bytes(span + 64)[i] = 0
+		}
+		for off := 0; off < total; off += chunk {
+			n := chunk
+			if off+n > total {
+				n = total - off
+			}
+			v.UnpackRange(got.Base(), packed.Base().Add(off), count, off, n)
+		}
+		if !mem.Equal(got.Base(), want.Base(), span) {
+			t.Errorf("chunk=%d: UnpackRange result differs from full Unpack", chunk)
+		}
+	}
+}
+
+func TestPackRangeValidation(t *testing.T) {
+	v, _ := Vector(2, 1, 2, Int32)
+	v.MustCommit()
+	h := mem.NewHostSpace("h", 256)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range PackRange did not panic")
+		}
+	}()
+	v.PackRange(h.Base(), h.Base().Add(64), 1, 4, 8) // 4+8 > size 8
+}
+
+func TestPackRangeZeroLength(t *testing.T) {
+	v, _ := Vector(2, 1, 2, Int32)
+	v.MustCommit()
+	h := mem.NewHostSpace("h", 256)
+	v.PackRange(h.Base(), h.Base().Add(64), 1, 0, 0) // no-op
+}
+
+func TestUniform2DVector(t *testing.T) {
+	v, _ := Vector(16, 1, 8, Float32)
+	v.MustCommit()
+	shape, ok := v.Uniform2D(1)
+	if !ok {
+		t.Fatal("vector not recognized as uniform 2D")
+	}
+	want := Shape2D{Width: 4, Pitch: 32, Rows: 16}
+	if shape != want {
+		t.Errorf("shape = %+v, want %+v", shape, want)
+	}
+}
+
+func TestUniform2DMultiCount(t *testing.T) {
+	// count=4 vector elements whose extent keeps the global stride uniform.
+	// vector(4,1,2) of int32: segments every 8 bytes, extent 4+3*8=28...
+	// use hvector to pin the extent so rows stay uniform across elements.
+	hv, _ := Hvector(4, 4, 8, Byte)
+	hv.MustCommit()
+	rt, _ := Resized(hv, 0, 32)
+	rt.MustCommit()
+	shape, ok := rt.Uniform2D(3)
+	if !ok {
+		t.Fatal("resized hvector not uniform across elements")
+	}
+	want := Shape2D{Width: 4, Pitch: 8, Rows: 12}
+	if shape != want {
+		t.Errorf("shape = %+v, want %+v", shape, want)
+	}
+}
+
+func TestUniform2DContiguous(t *testing.T) {
+	ct, _ := Contiguous(64, Byte)
+	ct.MustCommit()
+	shape, ok := ct.Uniform2D(2)
+	if !ok || shape.Rows != 1 || shape.Width != 128 {
+		t.Errorf("shape = %+v ok=%v", shape, ok)
+	}
+}
+
+func TestUniform2DRejectsIrregular(t *testing.T) {
+	ix, _ := Indexed([]int{1, 2}, []int{0, 2}, Int32)
+	ix.MustCommit()
+	if _, ok := ix.Uniform2D(1); ok {
+		t.Error("irregular indexed type reported uniform")
+	}
+	gaps, _ := Hindexed([]int{1, 1, 1}, []int{0, 8, 24}, Int32)
+	gaps.MustCommit()
+	if _, ok := gaps.Uniform2D(1); ok {
+		t.Error("non-uniform stride reported uniform")
+	}
+}
+
+func TestUniform2DRejectsOverlappingPitch(t *testing.T) {
+	// Segments closer together than their width cannot be a 2D copy.
+	// (Overlap is rejected at commit, so craft pitch < width via count>1
+	// with extent smaller than size... which Resized permits.)
+	hv, _ := Hvector(2, 8, 16, Byte)
+	hv.MustCommit()
+	rt, _ := Resized(hv, 0, 4) // elements overlap heavily
+	rt.MustCommit()
+	if _, ok := rt.Uniform2D(2); ok {
+		t.Error("overlapping layout reported uniform")
+	}
+}
+
+// randomType builds a random committed type over small parameters,
+// avoiding overlap by construction (strictly increasing displacements).
+func randomType(rng *rand.Rand) *Datatype {
+	switch rng.Intn(4) {
+	case 0:
+		t, _ := Contiguous(1+rng.Intn(8), Int32)
+		return t.MustCommit()
+	case 1:
+		blocklen := 1 + rng.Intn(4)
+		stride := blocklen + rng.Intn(4)
+		t, _ := Vector(1+rng.Intn(8), blocklen, stride, Int32)
+		return t.MustCommit()
+	case 2:
+		n := 1 + rng.Intn(5)
+		blocklens := make([]int, n)
+		displs := make([]int, n)
+		next := 0
+		for i := 0; i < n; i++ {
+			blocklens[i] = 1 + rng.Intn(3)
+			displs[i] = next + rng.Intn(3)
+			next = displs[i] + blocklens[i]
+		}
+		t, _ := Indexed(blocklens, displs, Int32)
+		return t.MustCommit()
+	default:
+		inner, _ := Vector(1+rng.Intn(3), 1, 2, Int32)
+		inner.MustCommit()
+		t, _ := Hvector(1+rng.Intn(3), 1, inner.Span(1)+int(rng.Intn(16))*4, inner)
+		return t.MustCommit()
+	}
+}
+
+// Property: pack followed by unpack restores every touched byte, for random
+// types, counts and contents.
+func TestPropPackUnpackIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng)
+		count := 1 + rng.Intn(4)
+		span := dt.Span(count)
+		total := count * dt.Size()
+		h := mem.NewHostSpace("h", 2*span+total+128)
+		src := h.Base()
+		packed := h.Base().Add(span + 32)
+		dst := h.Base().Add(span + 32 + total + 32)
+		mem.Fill(src, span, func(i int) byte { return byte(rng.Intn(256)) })
+		dt.Pack(packed, src, count)
+		dt.Unpack(dst, packed, count)
+		for _, s := range dt.SegmentsOf(count) {
+			if !mem.Equal(dst.Add(s.Off), src.Add(s.Off), s.Len) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the IOV of a committed type covers exactly Size bytes with no
+// overlap, and Size ≤ Span(1).
+func TestPropIOVInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng)
+		sum := 0
+		for _, s := range dt.IOV() {
+			if s.Len <= 0 {
+				return false
+			}
+			sum += s.Len
+		}
+		if sum != dt.Size() {
+			return false
+		}
+		if dt.Size() > dt.Span(1) {
+			return false
+		}
+		// No pairwise overlap.
+		iov := dt.IOV()
+		for i := range iov {
+			for j := 0; j < i; j++ {
+				a, b := iov[i], iov[j]
+				if a.Off < b.Off+b.Len && b.Off < a.Off+a.Len {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PackRange over any partition of the packed stream equals the
+// full Pack (the pipeline chunking correctness property).
+func TestPropPackRangePartition(t *testing.T) {
+	f := func(seed int64, cuts []uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := randomType(rng)
+		count := 1 + rng.Intn(3)
+		total := count * dt.Size()
+		if total == 0 {
+			return true
+		}
+		span := dt.Span(count)
+		h := mem.NewHostSpace("h", span+2*total+64)
+		src := h.Base()
+		mem.Fill(src, span, func(i int) byte { return byte(rng.Intn(256)) })
+		full := h.Base().Add(span + 16)
+		dt.Pack(full, src, count)
+		got := h.Base().Add(span + 16 + total + 16)
+		// Build a partition of [0,total) from the fuzz input.
+		offsets := []int{0, total}
+		for _, c := range cuts {
+			offsets = append(offsets, int(c)%total)
+		}
+		sortInts(offsets)
+		for i := 1; i < len(offsets); i++ {
+			off, n := offsets[i-1], offsets[i]-offsets[i-1]
+			dt.PackRange(got.Add(off), src, count, off, n)
+		}
+		return mem.Equal(got, full, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Property: for types with a Uniform2D shape, packing via the shape (a 2D
+// copy) gives identical bytes to the type-map Pack — the correctness
+// guarantee behind offloading pack to cudaMemcpy2D.
+func TestPropUniform2DEquivalentToPack(t *testing.T) {
+	f := func(countRaw, blocklenRaw, strideRaw, nRaw uint8) bool {
+		rows := 1 + int(countRaw%32)
+		blocklen := 1 + int(blocklenRaw%4)
+		stride := blocklen + 1 + int(strideRaw%4)
+		count := 1 + int(nRaw%3)
+		v, err := Vector(rows, blocklen, stride, Int32)
+		if err != nil {
+			return false
+		}
+		v.MustCommit()
+		shape, ok := v.Uniform2D(count)
+		if count > 1 {
+			// Extent ends at the last block, so multi-count vectors are
+			// uniform only if stride pattern continues; just skip those
+			// the analyzer rejects (rejection is the safe direction).
+			if !ok {
+				return true
+			}
+		} else if !ok {
+			return false
+		}
+		span := v.Span(count)
+		total := count * v.Size()
+		h := mem.NewHostSpace("h", span+2*total+32)
+		src := h.Base()
+		mem.Fill(src, span, func(i int) byte { return byte(i*11 + 1) })
+		viaPack := h.Base().Add(span + 8)
+		v.Pack(viaPack, src, count)
+		via2D := h.Base().Add(span + 8 + total + 8)
+		mem.Copy2D(via2D, shape.Width, src, shape.Pitch, shape.Width, shape.Rows)
+		return mem.Equal(via2D, viaPack, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

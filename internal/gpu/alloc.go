@@ -1,0 +1,13 @@
+package gpu
+
+import "mv2sim/internal/alloc"
+
+// Alignment is the allocation granularity of device memory. CUDA guarantees
+// at least 256-byte alignment from cudaMalloc; we match it so that pitch
+// and coalescing behaviour of real code carries over.
+const Alignment = 256
+
+// newAllocator creates the device-memory allocator.
+func newAllocator(size int) *alloc.Allocator {
+	return alloc.New(size, Alignment)
+}

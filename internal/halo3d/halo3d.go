@@ -1,0 +1,261 @@
+// Package halo3d implements a 3D 7-point stencil with halo exchange over
+// a 3D process decomposition — the "more applications" extension the
+// paper's future work names. It exercises the datatype/GPU path beyond
+// Stencil2D's vectors: every face of the local brick is described by an
+// MPI subarray datatype over the device-resident field.
+//
+//   - Z faces are contiguous planes (the fast path, no packing at all);
+//   - Y faces are uniform 2D shapes (rows of X elements at plane pitch)
+//     that the transport offloads to the device 2D copy engine;
+//   - X faces have single-element rows whose spacing jumps at every plane
+//     boundary of the halo-padded brick — not a uniform 2D shape, so the
+//     transport's generic pack/unpack kernels carry them. One application,
+//     all three GPU datatype paths.
+//
+// A 7-point stencil needs no diagonal neighbours, so the three face
+// exchanges are independent. The field is float64 and every run can be
+// validated bit-for-bit against a sequential reference.
+package halo3d
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/sim"
+	"mv2sim/internal/trace"
+)
+
+// Params configures a run.
+type Params struct {
+	// PZ, PY, PX is the 3D process grid.
+	PZ, PY, PX int
+	// NZ, NY, NX is the local interior brick per process.
+	NZ, NY, NX int
+	Iters      int
+	// KernelNsPerCell models the device stencil kernel cost.
+	KernelNsPerCell float64
+	Validate        bool
+	Cluster         cluster.Config
+}
+
+// Result reports a run's timing.
+type Result struct {
+	MedianIter sim.Time
+	IterTimes  []sim.Time
+	Validated  bool
+}
+
+// 7-point weights (convex).
+const (
+	w3Center = 0.4
+	w3Axis   = 0.1
+)
+
+// brick is one rank's local state.
+type brick struct {
+	p          Params
+	node       *cluster.Node
+	cart       *mpi.CartComm
+	cz, cy, cx int // grid coordinates
+	// Extents including halo.
+	sz, sy, sx int
+	in, out    mem.Ptr
+
+	faceLoZ, faceHiZ *datatype.Datatype // send types (interior boundary planes)
+	haloLoZ, haloHiZ *datatype.Datatype // recv types (halo planes)
+	faceLoY, faceHiY *datatype.Datatype
+	haloLoY, haloHiY *datatype.Datatype
+	faceLoX, faceHiX *datatype.Datatype
+	haloLoX, haloHiX *datatype.Datatype
+
+	kstream *cuda.Stream
+}
+
+// idx returns the element index of (z,y,x) counted with halo.
+func (b *brick) idx(z, y, x int) int { return (z*b.sy+y)*b.sx + x }
+
+// sub builds a committed subarray type over the halo-extended brick.
+func (b *brick) sub(subsizes, starts [3]int) *datatype.Datatype {
+	t, err := datatype.Subarray(
+		[]int{b.sz, b.sy, b.sx},
+		subsizes[:], starts[:],
+		datatype.RowMajor, datatype.Float64)
+	if err != nil {
+		panic(err)
+	}
+	return t.MustCommit()
+}
+
+func newBrick(p Params, node *cluster.Node, cart *mpi.CartComm) *brick {
+	coords := cart.Coords(cart.Rank())
+	b := &brick{
+		p: p, node: node, cart: cart,
+		cz: coords[0], cy: coords[1], cx: coords[2],
+		sz: p.NZ + 2, sy: p.NY + 2, sx: p.NX + 2,
+	}
+	bytes := b.sz * b.sy * b.sx * 8
+	b.in = node.Ctx.MustMalloc(bytes)
+	b.out = node.Ctx.MustMalloc(bytes)
+
+	nz, ny, nx := p.NZ, p.NY, p.NX
+	// Z faces: whole interior XY planes.
+	b.faceLoZ = b.sub([3]int{1, ny, nx}, [3]int{1, 1, 1})
+	b.faceHiZ = b.sub([3]int{1, ny, nx}, [3]int{nz, 1, 1})
+	b.haloLoZ = b.sub([3]int{1, ny, nx}, [3]int{0, 1, 1})
+	b.haloHiZ = b.sub([3]int{1, ny, nx}, [3]int{nz + 1, 1, 1})
+	// Y faces: XZ planes.
+	b.faceLoY = b.sub([3]int{nz, 1, nx}, [3]int{1, 1, 1})
+	b.faceHiY = b.sub([3]int{nz, 1, nx}, [3]int{1, ny, 1})
+	b.haloLoY = b.sub([3]int{nz, 1, nx}, [3]int{1, 0, 1})
+	b.haloHiY = b.sub([3]int{nz, 1, nx}, [3]int{1, ny + 1, 1})
+	// X faces: YZ planes (single-element rows).
+	b.faceLoX = b.sub([3]int{nz, ny, 1}, [3]int{1, 1, 1})
+	b.faceHiX = b.sub([3]int{nz, ny, 1}, [3]int{1, 1, nx})
+	b.haloLoX = b.sub([3]int{nz, ny, 1}, [3]int{1, 1, 0})
+	b.haloHiX = b.sub([3]int{nz, ny, 1}, [3]int{1, 1, nx + 1})
+	return b
+}
+
+// initValue is the deterministic initial condition at global coordinates.
+func initValue(gz, gy, gx int) float64 {
+	return float64((gz*5+gy*11+gx*17)%97) / 97.0
+}
+
+func (b *brick) initField() {
+	total := b.sz * b.sy * b.sx * 8
+	buf := b.in.Bytes(total)
+	for i := range buf {
+		buf[i] = 0
+	}
+	out := b.out.Bytes(total)
+	for i := range out {
+		out[i] = 0
+	}
+	for z := 1; z <= b.p.NZ; z++ {
+		for y := 1; y <= b.p.NY; y++ {
+			for x := 1; x <= b.p.NX; x++ {
+				v := initValue(b.cz*b.p.NZ+z-1, b.cy*b.p.NY+y-1, b.cx*b.p.NX+x-1)
+				binary.LittleEndian.PutUint64(buf[b.idx(z, y, x)*8:], math.Float64bits(v))
+			}
+		}
+	}
+}
+
+// exchange swaps all six faces with the Cartesian neighbours, device
+// buffers and subarray datatypes straight into MPI — the paper's
+// programming model in three dimensions. ProcNull at domain boundaries
+// makes the code uniform.
+func (b *brick) exchange() {
+	r := b.node.Rank
+	type dir struct {
+		dim        int
+		face, halo *datatype.Datatype // send low face, recv low halo
+		face2      *datatype.Datatype // send high face
+		halo2      *datatype.Datatype // recv high halo
+	}
+	dirs := []dir{
+		{0, b.faceLoZ, b.haloLoZ, b.faceHiZ, b.haloHiZ},
+		{1, b.faceLoY, b.haloLoY, b.faceHiY, b.haloHiY},
+		{2, b.faceLoX, b.haloLoX, b.faceHiX, b.haloHiX},
+	}
+	for _, d := range dirs {
+		lo, hi := b.cart.Shift(d.dim, 1) // lo: sends to us from below; hi: our +1 neighbour
+		reqs := []*mpi.Request{
+			b.cart.Irecv(b.in, 1, d.halo, lo, 10+d.dim),
+			b.cart.Irecv(b.in, 1, d.halo2, hi, 20+d.dim),
+		}
+		b.cart.Send(b.in, 1, d.face, lo, 20+d.dim)  // our low face is their high halo
+		b.cart.Send(b.in, 1, d.face2, hi, 10+d.dim) // our high face is their low halo
+		r.Waitall(reqs...)
+	}
+}
+
+// applyStencil runs the 7-point update in.in -> b.out on raw slices.
+func (b *brick) applyStencil() {
+	total := b.sz * b.sy * b.sx * 8
+	in := b.in.Bytes(total)
+	out := b.out.Bytes(total)
+	ld := func(i int) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(in[i*8:])) }
+	planeE := b.sy * b.sx
+	for z := 1; z <= b.p.NZ; z++ {
+		for y := 1; y <= b.p.NY; y++ {
+			base := (z*b.sy + y) * b.sx
+			for x := 1; x <= b.p.NX; x++ {
+				i := base + x
+				v := w3Center*ld(i) + w3Axis*(ld(i-1)+ld(i+1)+ld(i-b.sx)+ld(i+b.sx)+ld(i-planeE)+ld(i+planeE))
+				binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+			}
+		}
+	}
+}
+
+// Run executes the 3D halo benchmark.
+func Run(p Params) (*Result, error) {
+	if p.PZ <= 0 || p.PY <= 0 || p.PX <= 0 || p.NZ <= 0 || p.NY <= 0 || p.NX <= 0 {
+		return nil, fmt.Errorf("halo3d: bad geometry %dx%dx%d grid, %dx%dx%d local", p.PZ, p.PY, p.PX, p.NZ, p.NY, p.NX)
+	}
+	if p.Iters == 0 {
+		p.Iters = 2
+	}
+	if p.KernelNsPerCell == 0 {
+		p.KernelNsPerCell = 1.0
+	}
+	nodes := p.PZ * p.PY * p.PX
+	ccfg := p.Cluster
+	ccfg.Nodes = nodes
+	if ccfg.GPUMemBytes == 0 {
+		per := (p.NZ + 2) * (p.NY + 2) * (p.NX + 2) * 8
+		ccfg.GPUMemBytes = 2*per + (32 << 20)
+	}
+	cl := cluster.New(ccfg)
+
+	bricks := make([]*brick, nodes)
+	iterStart := make([]sim.Time, p.Iters)
+	iterEnd := make([]sim.Time, p.Iters)
+	err := cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		cart := r.Comm().CartCreate([]int{p.PZ, p.PY, p.PX}, []bool{false, false, false})
+		b := newBrick(p, n, cart)
+		bricks[r.Rank()] = b
+		b.initField()
+		r.Barrier()
+		for it := 0; it < p.Iters; it++ {
+			r.Barrier()
+			if r.Now() > iterStart[it] {
+				iterStart[it] = r.Now()
+			}
+			b.exchange()
+			if b.kstream == nil {
+				b.kstream = n.Ctx.NewStream()
+			}
+			done := n.Ctx.LaunchKernel(r.Proc(), b.kstream, p.NZ*p.NY*p.NX, p.KernelNsPerCell, b.applyStencil)
+			r.Proc().Wait(done)
+			b.in, b.out = b.out, b.in
+			if r.Now() > iterEnd[it] {
+				iterEnd[it] = r.Now()
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for i := 0; i < p.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, iterEnd[i]-iterStart[i])
+	}
+	res.MedianIter = trace.Median(res.IterTimes)
+	if p.Validate {
+		if err := validate(p, bricks); err != nil {
+			return nil, err
+		}
+		res.Validated = true
+	}
+	return res, nil
+}

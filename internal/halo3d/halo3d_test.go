@@ -1,0 +1,79 @@
+package halo3d
+
+import (
+	"testing"
+
+	"mv2sim/internal/datatype"
+)
+
+func TestCorrectnessAcrossDecompositions(t *testing.T) {
+	grids := []struct{ pz, py, px int }{
+		{1, 1, 1}, // no communication
+		{2, 1, 1}, // Z faces only (contiguous)
+		{1, 2, 1}, // Y faces only (uniform 2D)
+		{1, 1, 2}, // X faces only (pack kernel)
+		{2, 2, 2}, // everything at once
+	}
+	for _, g := range grids {
+		res, err := Run(Params{
+			PZ: g.pz, PY: g.py, PX: g.px,
+			NZ: 6, NY: 7, NX: 5,
+			Iters: 3, Validate: true,
+		})
+		if err != nil {
+			t.Fatalf("%dx%dx%d: %v", g.pz, g.py, g.px, err)
+		}
+		if !res.Validated {
+			t.Fatalf("%dx%dx%d: not validated", g.pz, g.py, g.px)
+		}
+		if res.MedianIter <= 0 {
+			t.Errorf("%dx%dx%d: non-positive iteration time", g.pz, g.py, g.px)
+		}
+	}
+}
+
+func TestLargeFacesUseRendezvous(t *testing.T) {
+	// Faces big enough to exceed the eager limit exercise the full chunked
+	// pipeline through subarray types.
+	res, err := Run(Params{
+		PZ: 1, PY: 1, PX: 2,
+		NZ: 48, NY: 48, NX: 16,
+		Iters: 2, Validate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Validated {
+		t.Fatal("not validated")
+	}
+}
+
+func TestFaceTypeShapes(t *testing.T) {
+	// Verify the shape analysis assumptions documented in the package
+	// comment: Z contiguous, Y uniform 2D, X non-uniform.
+	mk := func(sub, start [3]int) *datatype.Datatype {
+		dt, err := datatype.Subarray([]int{8, 9, 10}, sub[:], start[:], datatype.RowMajor, datatype.Float64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dt.MustCommit()
+	}
+	zface := mk([3]int{1, 7, 8}, [3]int{1, 1, 1})
+	if sh, ok := zface.Uniform2D(1); !ok || sh.Rows != 7 {
+		t.Errorf("Z face shape = %+v ok=%v, want 7 contiguous rows", sh, ok)
+	}
+	yface := mk([3]int{6, 1, 8}, [3]int{1, 1, 1})
+	if sh, ok := yface.Uniform2D(1); !ok || sh.Rows != 6 || sh.Pitch != 9*10*8 {
+		t.Errorf("Y face shape = %+v ok=%v", sh, ok)
+	}
+	xface := mk([3]int{6, 7, 1}, [3]int{1, 1, 1})
+	if _, ok := xface.Uniform2D(1); ok {
+		t.Error("X face unexpectedly uniform (plane-boundary jumps should break it)")
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if _, err := Run(Params{PZ: 0, PY: 1, PX: 1, NZ: 4, NY: 4, NX: 4}); err == nil {
+		t.Error("zero grid accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package hostmem manages the pinned (registered) host staging memory
+// MVAPICH2 uses for GPU communication: a pool of fixed-size "vbuf" chunks,
+// pre-registered with the HCA so that RDMA operations can target them
+// directly, handed out to in-flight pipeline stages and recycled on
+// completion.
+//
+// The pool is a hard resource: when every vbuf is in flight, requesters
+// block until one is returned. That back-pressure bounds pipeline depth,
+// which is exactly the behaviour the vbuf-pool ablation benchmark
+// measures.
+package hostmem
+
+import (
+	"fmt"
+
+	"mv2sim/internal/ib"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// Vbuf is one registered staging chunk.
+type Vbuf struct {
+	// Ptr addresses the chunk's bytes in host memory.
+	Ptr mem.Ptr
+	// Region is the chunk's RDMA registration with the owning node's HCA.
+	Region ib.Region
+	// Index is the chunk's position in the pool, for diagnostics.
+	Index int
+
+	pool *Pool
+	free bool
+}
+
+// Pool is a fixed set of vbufs carved from one pinned host allocation.
+type Pool struct {
+	e         *sim.Engine
+	name      string
+	chunkSize int
+	bufs      []*Vbuf
+	freeList  []*Vbuf
+	waiters   []*sim.Event
+
+	gets, puts uint64
+	minFree    int
+}
+
+// NewPool carves count chunks of chunkSize bytes out of host space at base
+// and registers each with hca. The range base..base+count*chunkSize must
+// be valid host memory.
+func NewPool(e *sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, count int) *Pool {
+	if chunkSize <= 0 || count <= 0 {
+		panic("hostmem: pool dimensions must be positive")
+	}
+	if base.IsDevice() {
+		panic("hostmem: vbuf pool must live in host memory")
+	}
+	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count}
+	for i := 0; i < count; i++ {
+		ptr := base.Add(i * chunkSize)
+		v := &Vbuf{Ptr: ptr, Region: hca.Register(ptr, chunkSize), Index: i, pool: p, free: true}
+		p.bufs = append(p.bufs, v)
+		p.freeList = append(p.freeList, v)
+	}
+	return p
+}
+
+// ChunkSize returns the size of each vbuf in bytes.
+func (p *Pool) ChunkSize() int { return p.chunkSize }
+
+// Count returns the total number of vbufs.
+func (p *Pool) Count() int { return len(p.bufs) }
+
+// Free returns the number of currently available vbufs.
+func (p *Pool) Free() int { return len(p.freeList) }
+
+// MinFree returns the low-water mark of available vbufs over the run,
+// i.e. how deep the pipeline actually dug into the pool.
+func (p *Pool) MinFree() int { return p.minFree }
+
+// Get blocks until a vbuf is available and returns it.
+func (p *Pool) Get(proc *sim.Proc) *Vbuf {
+	for len(p.freeList) == 0 {
+		ev := p.e.NewEvent(p.name + ".vbuf")
+		p.waiters = append(p.waiters, ev)
+		proc.Wait(ev)
+	}
+	return p.take()
+}
+
+// TryGet returns a vbuf if one is immediately available.
+func (p *Pool) TryGet() (*Vbuf, bool) {
+	if len(p.freeList) == 0 {
+		return nil, false
+	}
+	return p.take(), true
+}
+
+func (p *Pool) take() *Vbuf {
+	v := p.freeList[len(p.freeList)-1]
+	p.freeList = p.freeList[:len(p.freeList)-1]
+	v.free = false
+	p.gets++
+	if len(p.freeList) < p.minFree {
+		p.minFree = len(p.freeList)
+	}
+	return v
+}
+
+// Put returns a vbuf to the pool, waking one blocked Get if any. Returning
+// a vbuf twice or returning a foreign vbuf panics: both are protocol bugs
+// in the pipeline.
+func (p *Pool) Put(v *Vbuf) {
+	if v.pool != p {
+		panic(fmt.Sprintf("hostmem: vbuf %d returned to wrong pool %s", v.Index, p.name))
+	}
+	if v.free {
+		panic(fmt.Sprintf("hostmem: double return of vbuf %d to %s", v.Index, p.name))
+	}
+	v.free = true
+	p.freeList = append(p.freeList, v)
+	p.puts++
+	if len(p.waiters) > 0 {
+		head := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		head.Trigger()
+	}
+}
+
+// Stats returns a one-line summary.
+func (p *Pool) Stats() string {
+	return fmt.Sprintf("%s: %d x %dB, gets=%d puts=%d minFree=%d",
+		p.name, len(p.bufs), p.chunkSize, p.gets, p.puts, p.minFree)
+}

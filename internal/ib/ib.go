@@ -1,0 +1,293 @@
+// Package ib simulates an InfiniBand RDMA fabric at the level MVAPICH2's
+// rendezvous protocol needs: reliable, ordered messaging between host
+// channel adapters (HCAs), memory registration with rkeys, two-sided sends
+// delivered to a receive handler, and one-sided RDMA writes that deposit
+// bytes directly into registered remote host memory with no receiver
+// involvement.
+//
+// The cost model follows a Mellanox QDR ConnectX-2 (the paper's testbed):
+// ~3.2 GB/s effective unidirectional bandwidth, ~1.3 µs short-message
+// latency, sub-microsecond posting overhead. Each HCA serializes egress on
+// its send link and ingress on its receive link; transfers between
+// different node pairs proceed concurrently, matching a non-blocking
+// fat-tree at this scale (8 nodes).
+//
+// Ordering: operations posted from one HCA are wire-serialized in post
+// order and delivered in order, so a send posted after an RDMA write
+// arrives after the write's bytes have landed — the invariant the paper's
+// "RDMA write finish message" relies on.
+package ib
+
+import (
+	"fmt"
+
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// Model holds the fabric cost constants.
+type Model struct {
+	// Bandwidth is the effective unidirectional link bandwidth in bytes/s.
+	Bandwidth float64
+	// Latency is the end-to-end wire+switch latency of the first byte.
+	Latency sim.Time
+	// PostOverhead is the host-side cost of posting one work request.
+	PostOverhead sim.Time
+	// AllowDeviceRegistration lets HCAs pin GPU device memory for RDMA —
+	// GPUDirect RDMA, which did not exist on the paper's 2011 testbed but
+	// arrived in its successors (MVAPICH2-GDR). Off by default.
+	AllowDeviceRegistration bool
+}
+
+// DefaultModel returns the QDR calibration used throughout the repository.
+func DefaultModel() Model {
+	return Model{
+		Bandwidth:    3.2e9,
+		Latency:      1300 * sim.Nanosecond,
+		PostOverhead: 300 * sim.Nanosecond,
+	}
+}
+
+// Message is an opaque protocol header carried by a two-sided send.
+// The MPI layer defines the concrete types.
+type Message interface{}
+
+// Handler receives two-sided messages on an HCA. It runs in engine
+// context at delivery-completion time and must not block; payload is the
+// sender's snapshot of the inline data (nil for header-only messages) and
+// must not be retained beyond the call without copying.
+type Handler func(from int, msg Message, payload []byte)
+
+// Fabric is the switch connecting all HCAs.
+type Fabric struct {
+	e     *sim.Engine
+	model Model
+	hcas  map[int]*HCA
+}
+
+// NewFabric creates an empty fabric.
+func NewFabric(e *sim.Engine, model Model) *Fabric {
+	if model.Bandwidth <= 0 {
+		allow := model.AllowDeviceRegistration
+		model = DefaultModel()
+		model.AllowDeviceRegistration = allow
+	}
+	return &Fabric{e: e, model: model, hcas: map[int]*HCA{}}
+}
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() Model { return f.model }
+
+// NewHCA attaches an adapter for the given node ID. Node IDs must be
+// unique.
+func (f *Fabric) NewHCA(node int) *HCA {
+	if _, dup := f.hcas[node]; dup {
+		panic(fmt.Sprintf("ib: duplicate HCA for node %d", node))
+	}
+	h := &HCA{
+		f:        f,
+		node:     node,
+		sendLink: f.e.NewResource(fmt.Sprintf("hca%d.tx", node), 1),
+		recvLink: f.e.NewResource(fmt.Sprintf("hca%d.rx", node), 1),
+		regions:  map[uint32]Region{},
+		nextRkey: 1,
+	}
+	f.hcas[node] = h
+	return h
+}
+
+// HCA returns the adapter for a node, or nil.
+func (f *Fabric) HCA(node int) *HCA { return f.hcas[node] }
+
+// Region is a registered memory region addressable by remote RDMA.
+type Region struct {
+	Rkey uint32
+	ptr  mem.Ptr
+	len  int
+}
+
+// Len returns the registered length.
+func (r Region) Len() int { return r.len }
+
+// Stats accumulates per-HCA counters.
+type Stats struct {
+	SendsPosted int
+	RDMAWrites  int
+	RDMAReads   int
+	BytesTx     int64
+	BytesRx     int64
+}
+
+// HCA is one node's adapter.
+type HCA struct {
+	f        *Fabric
+	node     int
+	sendLink *sim.Resource
+	recvLink *sim.Resource
+	handler  Handler
+	regions  map[uint32]Region
+	nextRkey uint32
+	stats    Stats
+	seq      int
+}
+
+// Node returns the node ID this HCA serves.
+func (h *HCA) Node() int { return h.node }
+
+// Stats returns a copy of the counters.
+func (h *HCA) Stats() Stats { return h.stats }
+
+// SetHandler installs the upcall for two-sided message delivery.
+func (h *HCA) SetHandler(fn Handler) { h.handler = fn }
+
+// Register pins a memory range for remote access and returns its region.
+// Registering device memory panics unless the fabric model enables
+// AllowDeviceRegistration: the simulated 2011-era HCA cannot DMA into GPU
+// memory (no GPUDirect RDMA), which is precisely why the paper stages
+// through host vbufs. The GPUDirect mode exists to quantify what its
+// successors gained.
+func (h *HCA) Register(p mem.Ptr, n int) Region {
+	if p.IsDevice() && !h.f.model.AllowDeviceRegistration {
+		panic("ib: cannot register device memory (no GPUDirect RDMA on this fabric)")
+	}
+	p.Bytes(n) // bounds-check the range now
+	r := Region{Rkey: h.nextRkey, ptr: p, len: n}
+	h.nextRkey++
+	h.regions[r.Rkey] = r
+	return r
+}
+
+// Deregister removes a region. RDMA writes targeting it afterwards panic.
+func (h *HCA) Deregister(r Region) {
+	if _, ok := h.regions[r.Rkey]; !ok {
+		panic(fmt.Sprintf("ib: deregister of unknown rkey %d", r.Rkey))
+	}
+	delete(h.regions, r.Rkey)
+}
+
+// wireTime is the link occupancy of an n-byte transfer.
+func (h *HCA) wireTime(n int) sim.Time {
+	return h.f.model.PostOverhead + sim.DurationOf(n, h.f.model.Bandwidth)
+}
+
+// transmit implements the shared egress/ingress path: snapshot is the
+// payload already captured at post time; deliver runs in engine context at
+// the remote side once the bytes have fully arrived.
+func (h *HCA) transmit(dst int, nbytes int, deliver func(rx *HCA)) *sim.Event {
+	rx := h.f.hcas[dst]
+	if rx == nil {
+		panic(fmt.Sprintf("ib: no HCA for destination node %d", dst))
+	}
+	if rx == h {
+		panic("ib: loopback transfer; same-node communication does not use the fabric")
+	}
+	localDone := h.f.e.NewEvent(fmt.Sprintf("hca%d.tx.done", h.node))
+	h.seq++
+	h.f.e.Spawn(fmt.Sprintf("hca%d->%d.%d", h.node, dst, h.seq), func(p *sim.Proc) {
+		h.sendLink.Acquire(p)
+		p.Sleep(h.wireTime(nbytes))
+		h.sendLink.Release()
+		localDone.Trigger() // last byte has left the sender
+		h.stats.BytesTx += int64(nbytes)
+		p.Sleep(h.f.model.Latency)
+		rx.recvLink.Acquire(p)
+		// Ingress serialization: the receive link is occupied while the
+		// payload streams in. Short control messages cost only their
+		// header-size time.
+		p.Sleep(sim.DurationOf(nbytes, h.f.model.Bandwidth) / 8)
+		rx.recvLink.Release()
+		rx.stats.BytesRx += int64(nbytes)
+		deliver(rx)
+	})
+	return localDone
+}
+
+// headerBytes approximates the wire size of a header-only message.
+const headerBytes = 64
+
+// PostSend transmits a two-sided message carrying msg and an optional
+// payload snapshot taken from payload at post time. The returned event
+// fires at local completion (send buffer reusable). The remote handler is
+// invoked when the message fully arrives.
+func (h *HCA) PostSend(dst int, msg Message, payload []byte) *sim.Event {
+	var snap []byte
+	if len(payload) > 0 {
+		snap = append([]byte(nil), payload...)
+	}
+	h.stats.SendsPosted++
+	return h.transmit(dst, headerBytes+len(snap), func(rx *HCA) {
+		if rx.handler == nil {
+			panic(fmt.Sprintf("ib: message for node %d dropped: no handler", rx.node))
+		}
+		rx.handler(h.node, msg, snap)
+	})
+}
+
+// RDMAWrite transfers n bytes from local memory src into the remote region
+// identified by rkey at byte offset roff, with no receiver-side
+// notification (a silent one-sided put). The source bytes are snapshotted
+// at post time, modeling the HCA's DMA read; the returned event fires at
+// local completion. The bytes become visible in remote memory at delivery
+// time, strictly before any send posted afterwards on this HCA is
+// delivered.
+func (h *HCA) RDMAWrite(dst int, src mem.Ptr, n int, rkey uint32, roff int) *sim.Event {
+	snap := append([]byte(nil), src.Bytes(n)...)
+	h.stats.RDMAWrites++
+	return h.transmit(dst, n, func(rx *HCA) {
+		reg, ok := rx.regions[rkey]
+		if !ok {
+			panic(fmt.Sprintf("ib: RDMA write to unknown rkey %d on node %d", rkey, rx.node))
+		}
+		if roff < 0 || roff+len(snap) > reg.len {
+			panic(fmt.Sprintf("ib: RDMA write [%d,%d) outside region of %d bytes", roff, roff+len(snap), reg.len))
+		}
+		copy(reg.ptr.Add(roff).Bytes(len(snap)), snap)
+	})
+}
+
+// RDMARead fetches n bytes from the remote region identified by rkey at
+// byte offset roff on node `from` into local memory dst (a one-sided get).
+// The returned event fires when the data has fully landed locally. The
+// remote bytes are snapshotted when the responder begins streaming, after
+// the request's wire trip; the responder's send link is occupied for the
+// payload, mirroring real RC read responses.
+func (h *HCA) RDMARead(dst mem.Ptr, from int, rkey uint32, roff, n int) *sim.Event {
+	tx := h.f.hcas[from]
+	if tx == nil {
+		panic(fmt.Sprintf("ib: no HCA for read target node %d", from))
+	}
+	if tx == h {
+		panic("ib: loopback read; same-node communication does not use the fabric")
+	}
+	done := h.f.e.NewEvent(fmt.Sprintf("hca%d.read.done", h.node))
+	h.seq++
+	h.stats.RDMAReads++
+	h.f.e.Spawn(fmt.Sprintf("hca%d<-%d.%d", h.node, from, h.seq), func(p *sim.Proc) {
+		// Request: a header-sized message out on our send link.
+		h.sendLink.Acquire(p)
+		p.Sleep(h.wireTime(headerBytes))
+		h.sendLink.Release()
+		p.Sleep(h.f.model.Latency)
+		// Response: the target streams the payload from its link.
+		reg, ok := tx.regions[rkey]
+		if !ok {
+			panic(fmt.Sprintf("ib: RDMA read of unknown rkey %d on node %d", rkey, tx.node))
+		}
+		if roff < 0 || roff+n > reg.len {
+			panic(fmt.Sprintf("ib: RDMA read [%d,%d) outside region of %d bytes", roff, roff+n, reg.len))
+		}
+		tx.sendLink.Acquire(p)
+		snap := append([]byte(nil), reg.ptr.Add(roff).Bytes(n)...)
+		p.Sleep(tx.wireTime(n))
+		tx.sendLink.Release()
+		tx.stats.BytesTx += int64(n)
+		p.Sleep(h.f.model.Latency)
+		h.recvLink.Acquire(p)
+		p.Sleep(sim.DurationOf(n, h.f.model.Bandwidth) / 8)
+		h.recvLink.Release()
+		h.stats.BytesRx += int64(n)
+		copy(dst.Bytes(n), snap)
+		done.Trigger()
+	})
+	return done
+}

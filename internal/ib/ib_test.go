@@ -1,0 +1,389 @@
+package ib
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+type net struct {
+	e    *sim.Engine
+	f    *Fabric
+	hcas []*HCA
+	host []*mem.Space
+}
+
+func newNet(n int) *net {
+	e := sim.New()
+	f := NewFabric(e, Model{})
+	nw := &net{e: e, f: f}
+	for i := 0; i < n; i++ {
+		nw.hcas = append(nw.hcas, f.NewHCA(i))
+		nw.host = append(nw.host, mem.NewHostSpace(fmt.Sprintf("host%d", i), 1<<20))
+	}
+	return nw
+}
+
+func TestPostSendDelivery(t *testing.T) {
+	nw := newNet(2)
+	type hello struct{ N int }
+	var gotFrom, gotN int
+	var gotPayload []byte
+	var deliveredAt sim.Time
+	nw.hcas[1].SetHandler(func(from int, msg Message, payload []byte) {
+		gotFrom = from
+		gotN = msg.(hello).N
+		gotPayload = append([]byte(nil), payload...)
+		deliveredAt = nw.e.Now()
+	})
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		ev := nw.hcas[0].PostSend(1, hello{42}, []byte("abc"))
+		p.Wait(ev)
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotFrom != 0 || gotN != 42 || string(gotPayload) != "abc" {
+		t.Errorf("delivery = from %d msg %d payload %q", gotFrom, gotN, gotPayload)
+	}
+	m := nw.f.Model()
+	if deliveredAt < m.Latency {
+		t.Errorf("delivered at %v, before wire latency %v", deliveredAt, m.Latency)
+	}
+}
+
+func TestPayloadSnapshotAtPostTime(t *testing.T) {
+	nw := newNet(2)
+	buf := []byte{1, 2, 3, 4}
+	var got []byte
+	nw.hcas[1].SetHandler(func(from int, msg Message, payload []byte) {
+		got = append([]byte(nil), payload...)
+	})
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		nw.hcas[0].PostSend(1, nil, buf)
+		buf[0] = 99 // mutate after post; receiver must see the snapshot
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Errorf("payload = %v, snapshot semantics violated", got)
+	}
+}
+
+func TestRDMAWriteDepositsBytes(t *testing.T) {
+	nw := newNet(2)
+	nw.hcas[1].SetHandler(func(int, Message, []byte) {})
+	dst := nw.host[1].Base().Add(128)
+	reg := nw.hcas[1].Register(dst, 4096)
+	src := nw.host[0].Base()
+	mem.Fill(src, 4096, func(i int) byte { return byte(i * 13) })
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		ev := nw.hcas[0].RDMAWrite(1, src, 1024, reg.Rkey, 256)
+		p.Wait(ev)
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !mem.Equal(dst.Add(256), src, 1024) {
+		t.Error("RDMA write did not deposit bytes at the right offset")
+	}
+	st0, st1 := nw.hcas[0].Stats(), nw.hcas[1].Stats()
+	if st0.RDMAWrites != 1 || st0.BytesTx == 0 || st1.BytesRx == 0 {
+		t.Errorf("stats: tx=%+v rx=%+v", st0, st1)
+	}
+}
+
+func TestRDMAThenSendOrdering(t *testing.T) {
+	// A send posted after an RDMA write must observe the written bytes on
+	// the remote side — the FIN-message invariant of the paper's pipeline.
+	nw := newNet(2)
+	dst := nw.host[1].Base()
+	reg := nw.hcas[1].Register(dst, 1<<16)
+	src := nw.host[0].Base()
+	mem.Fill(src, 1<<16, func(i int) byte { return 0x7E })
+	sawData := false
+	nw.hcas[1].SetHandler(func(from int, msg Message, payload []byte) {
+		sawData = dst.Bytes(1 << 16)[65535] == 0x7E
+	})
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		nw.hcas[0].RDMAWrite(1, src, 1<<16, reg.Rkey, 0)
+		nw.hcas[0].PostSend(1, "fin", nil)
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawData {
+		t.Error("FIN delivered before RDMA data landed")
+	}
+}
+
+func TestSendsFromOneHCASerialize(t *testing.T) {
+	nw := newNet(3)
+	const n = 1 << 20
+	for _, h := range nw.hcas[1:] {
+		h.SetHandler(func(int, Message, []byte) {})
+	}
+	var done1, done2 sim.Time
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		e1 := nw.hcas[0].PostSend(1, nil, make([]byte, n))
+		e2 := nw.hcas[0].PostSend(2, nil, make([]byte, n))
+		p.WaitAll(e1, e2)
+		done1, done2 = e1.FiredAt(), e2.FiredAt()
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wire := sim.DurationOf(n, nw.f.Model().Bandwidth)
+	if done2 < done1+wire {
+		t.Errorf("egress did not serialize: %v then %v (wire %v)", done1, done2, wire)
+	}
+}
+
+func TestDisjointPairsOverlap(t *testing.T) {
+	nw := newNet(4)
+	const n = 1 << 20
+	for _, h := range nw.hcas {
+		h.SetHandler(func(int, Message, []byte) {})
+	}
+	var end sim.Time
+	nw.e.Spawn("main", func(p *sim.Proc) {
+		e1 := nw.hcas[0].PostSend(1, nil, make([]byte, n))
+		e2 := nw.hcas[2].PostSend(3, nil, make([]byte, n))
+		p.WaitAll(e1, e2)
+		end = p.Now()
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	one := sim.DurationOf(n, nw.f.Model().Bandwidth)
+	if end > one+one/2 {
+		t.Errorf("disjoint pairs serialized: end=%v, single wire=%v", end, one)
+	}
+}
+
+func TestRegisterDeviceMemoryPanics(t *testing.T) {
+	nw := newNet(1)
+	dev := mem.NewDeviceSpace("gpu", 0, 4096)
+	defer func() {
+		if recover() == nil {
+			t.Error("registering device memory did not panic")
+		}
+	}()
+	nw.hcas[0].Register(dev.Base(), 64)
+}
+
+func TestRDMAToUnknownRkeyPanics(t *testing.T) {
+	nw := newNet(2)
+	src := nw.host[0].Base()
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		nw.hcas[0].RDMAWrite(1, src, 16, 999, 0)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("RDMA to unknown rkey did not panic")
+		}
+	}()
+	_ = nw.e.Run()
+}
+
+func TestRDMAOutOfRegionPanics(t *testing.T) {
+	nw := newNet(2)
+	reg := nw.hcas[1].Register(nw.host[1].Base(), 128)
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		nw.hcas[0].RDMAWrite(1, nw.host[0].Base(), 100, reg.Rkey, 64)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("RDMA past region end did not panic")
+		}
+	}()
+	_ = nw.e.Run()
+}
+
+func TestDeregister(t *testing.T) {
+	nw := newNet(1)
+	reg := nw.hcas[0].Register(nw.host[0].Base(), 128)
+	nw.hcas[0].Deregister(reg)
+	defer func() {
+		if recover() == nil {
+			t.Error("double deregister did not panic")
+		}
+	}()
+	nw.hcas[0].Deregister(reg)
+}
+
+func TestLoopbackPanics(t *testing.T) {
+	nw := newNet(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("loopback send did not panic")
+		}
+	}()
+	nw.hcas[0].PostSend(0, nil, nil)
+}
+
+func TestDuplicateHCAPanics(t *testing.T) {
+	nw := newNet(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate HCA did not panic")
+		}
+	}()
+	nw.f.NewHCA(0)
+}
+
+func TestMissingHandlerPanics(t *testing.T) {
+	nw := newNet(2) // no handler installed on node 1
+	nw.e.Spawn("sender", func(p *sim.Proc) {
+		nw.hcas[0].PostSend(1, "x", nil)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("delivery without handler did not panic")
+		}
+	}()
+	_ = nw.e.Run()
+}
+
+// Property: messages between one ordered pair are delivered in post order
+// regardless of size mix.
+func TestPropPairwiseOrdering(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 40 {
+			return true
+		}
+		nw := newNet(2)
+		var got []int
+		nw.hcas[1].SetHandler(func(from int, msg Message, payload []byte) {
+			got = append(got, msg.(int))
+		})
+		nw.e.Spawn("sender", func(p *sim.Proc) {
+			for i, s := range sizes {
+				nw.hcas[0].PostSend(1, i, make([]byte, int(s)))
+			}
+		})
+		if err := nw.e.Run(); err != nil {
+			return false
+		}
+		if len(got) != len(sizes) {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any sequence of RDMA writes to disjoint offsets deposits
+// exactly the posted bytes (no loss, no bleed between chunks) — the
+// chunked-pipeline correctness base case.
+func TestPropChunkedRDMAIntegrity(t *testing.T) {
+	f := func(chunksRaw []uint8) bool {
+		nchunks := 1 + len(chunksRaw)%16
+		const chunk = 512
+		nw := newNet(2)
+		nw.hcas[1].SetHandler(func(int, Message, []byte) {})
+		dst := nw.host[1].Base()
+		reg := nw.hcas[1].Register(dst, nchunks*chunk)
+		src := nw.host[0].Base()
+		mem.Fill(src, nchunks*chunk, func(i int) byte { return byte(i*37 + 5) })
+		nw.e.Spawn("sender", func(p *sim.Proc) {
+			// Post chunks in reverse order; each targets its own slot.
+			for i := nchunks - 1; i >= 0; i-- {
+				nw.hcas[0].RDMAWrite(1, src.Add(i*chunk), chunk, reg.Rkey, i*chunk)
+			}
+		})
+		if err := nw.e.Run(); err != nil {
+			return false
+		}
+		return mem.Equal(dst, src, nchunks*chunk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireTimeScalesWithSize(t *testing.T) {
+	nw := newNet(2)
+	nw.hcas[1].SetHandler(func(int, Message, []byte) {})
+	var small, large sim.Time
+	nw.e.Spawn("s", func(p *sim.Proc) {
+		t0 := p.Now()
+		p.Wait(nw.hcas[0].PostSend(1, nil, make([]byte, 64)))
+		small = p.Now() - t0
+		t0 = p.Now()
+		p.Wait(nw.hcas[0].PostSend(1, nil, make([]byte, 1<<20)))
+		large = p.Now() - t0
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if large < 100*small {
+		t.Errorf("1MB local completion %v not ≫ 64B %v", large, small)
+	}
+}
+
+func TestRDMAReadFetchesBytes(t *testing.T) {
+	nw := newNet(2)
+	src := nw.host[1].Base().Add(64)
+	mem.Fill(src, 4096, func(i int) byte { return byte(i*5 + 1) })
+	reg := nw.hcas[1].Register(src, 4096)
+	dst := nw.host[0].Base()
+	nw.e.Spawn("reader", func(p *sim.Proc) {
+		ev := nw.hcas[0].RDMARead(dst, 1, reg.Rkey, 128, 1024)
+		p.Wait(ev)
+		if !mem.Equal(dst, src.Add(128), 1024) {
+			t.Error("read returned wrong bytes")
+		}
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nw.hcas[0].Stats().RDMAReads != 1 {
+		t.Error("read not counted")
+	}
+}
+
+func TestRDMAReadCostsTwoTrips(t *testing.T) {
+	// A read pays request latency + response stream; it must take longer
+	// than a same-size write's local completion but in the same ballpark
+	// as the write's delivery.
+	nw := newNet(2)
+	reg := nw.hcas[1].Register(nw.host[1].Base(), 1<<20)
+	var readTime sim.Time
+	nw.e.Spawn("reader", func(p *sim.Proc) {
+		t0 := p.Now()
+		p.Wait(nw.hcas[0].RDMARead(nw.host[0].Base(), 1, reg.Rkey, 0, 1<<20))
+		readTime = p.Now() - t0
+	})
+	if err := nw.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wire := sim.DurationOf(1<<20, nw.f.Model().Bandwidth)
+	if readTime < wire || readTime > 2*wire {
+		t.Errorf("read time %v outside [1,2]x wire %v", readTime, wire)
+	}
+}
+
+func TestRDMAReadUnknownRkeyPanics(t *testing.T) {
+	nw := newNet(2)
+	nw.e.Spawn("reader", func(p *sim.Proc) {
+		nw.hcas[0].RDMARead(nw.host[0].Base(), 1, 777, 0, 16)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("read of unknown rkey did not panic")
+		}
+	}()
+	_ = nw.e.Run()
+}

@@ -1,0 +1,100 @@
+package mpi
+
+import "fmt"
+
+// ProcNull is MPI_PROC_NULL: communication with it completes immediately
+// and moves no data. Shift returns it at non-periodic grid boundaries, so
+// stencil codes need no edge special-casing.
+const ProcNull = -2
+
+// CartComm is a communicator with Cartesian process topology
+// (MPI_Cart_create), the natural structure for the paper's Stencil2D
+// process grids.
+type CartComm struct {
+	*Comm
+	dims    []int
+	periods []bool
+}
+
+// CartCreate builds a Cartesian topology over this communicator's members
+// in rank order (row-major, like MPI with reorder=false). The product of
+// dims must equal the communicator size.
+func (c *Comm) CartCreate(dims []int, periods []bool) *CartComm {
+	if len(dims) == 0 || len(dims) != len(periods) {
+		panic("mpi: CartCreate dims/periods mismatch")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic("mpi: CartCreate with non-positive dimension")
+		}
+		n *= d
+	}
+	if n != c.Size() {
+		panic(fmt.Sprintf("mpi: Cartesian grid %v has %d cells, communicator has %d ranks", dims, n, c.Size()))
+	}
+	return &CartComm{
+		Comm:    c,
+		dims:    append([]int(nil), dims...),
+		periods: append([]bool(nil), periods...),
+	}
+}
+
+// Dims returns the grid dimensions.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the Cartesian coordinates of a communicator rank
+// (MPI_Cart_coords).
+func (cc *CartComm) Coords(rank int) []int {
+	if rank < 0 || rank >= cc.Size() {
+		panic(fmt.Sprintf("mpi: Coords of rank %d outside grid", rank))
+	}
+	coords := make([]int, len(cc.dims))
+	for d := len(cc.dims) - 1; d >= 0; d-- {
+		coords[d] = rank % cc.dims[d]
+		rank /= cc.dims[d]
+	}
+	return coords
+}
+
+// CartRank returns the communicator rank at the given coordinates
+// (MPI_Cart_rank). Coordinates out of range on a periodic dimension wrap;
+// on a non-periodic dimension they panic.
+func (cc *CartComm) CartRank(coords []int) int {
+	if len(coords) != len(cc.dims) {
+		panic("mpi: CartRank coordinate arity mismatch")
+	}
+	rank := 0
+	for d, x := range coords {
+		if x < 0 || x >= cc.dims[d] {
+			if !cc.periods[d] {
+				panic(fmt.Sprintf("mpi: coordinate %d out of range on non-periodic dim %d", x, d))
+			}
+			x = ((x % cc.dims[d]) + cc.dims[d]) % cc.dims[d]
+		}
+		rank = rank*cc.dims[d] + x
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks for a shift of disp along
+// dim (MPI_Cart_shift): src is the rank that would send to this process,
+// dst is the rank this process would send to. At a non-periodic boundary
+// the corresponding value is ProcNull.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(cc.dims) {
+		panic(fmt.Sprintf("mpi: Shift on dimension %d of %d-d grid", dim, len(cc.dims)))
+	}
+	me := cc.Coords(cc.Rank())
+	neighbor := func(d int) int {
+		c := append([]int(nil), me...)
+		c[dim] += d
+		if c[dim] < 0 || c[dim] >= cc.dims[dim] {
+			if !cc.periods[dim] {
+				return ProcNull
+			}
+		}
+		return cc.CartRank(c)
+	}
+	return neighbor(-disp), neighbor(disp)
+}

@@ -1,0 +1,78 @@
+package mpi
+
+import (
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+)
+
+// PRequest is a persistent communication request (MPI_Send_init /
+// MPI_Recv_init): the communication parameters are bound once, and each
+// Start fires one operation with them. Stencil codes use persistent
+// requests to avoid re-validating arguments every iteration.
+type PRequest struct {
+	r     *Rank
+	kind  ReqKind
+	buf   mem.Ptr
+	dt    *datatype.Datatype
+	count int
+	peer  int
+	tag   int
+	cur   *Request // the active operation, nil when inactive
+}
+
+// SendInit creates an inactive persistent send (MPI_Send_init).
+func (r *Rank) SendInit(buf mem.Ptr, count int, dt *datatype.Datatype, dest, tag int) *PRequest {
+	checkType(dt, count)
+	return &PRequest{r: r, kind: SendReq, buf: buf, dt: dt, count: count, peer: dest, tag: tag}
+}
+
+// RecvInit creates an inactive persistent receive (MPI_Recv_init).
+func (r *Rank) RecvInit(buf mem.Ptr, count int, dt *datatype.Datatype, source, tag int) *PRequest {
+	checkType(dt, count)
+	return &PRequest{r: r, kind: RecvReq, buf: buf, dt: dt, count: count, peer: source, tag: tag}
+}
+
+// Start activates the request (MPI_Start). Starting an already-active
+// request panics, as in MPI.
+func (pq *PRequest) Start() {
+	if pq.cur != nil && !pq.cur.Done() {
+		panic("mpi: Start on an active persistent request")
+	}
+	if pq.kind == SendReq {
+		pq.cur = pq.r.Isend(pq.buf, pq.count, pq.dt, pq.peer, pq.tag)
+	} else {
+		pq.cur = pq.r.Irecv(pq.buf, pq.count, pq.dt, pq.peer, pq.tag)
+	}
+}
+
+// Startall activates a set of persistent requests (MPI_Startall).
+func Startall(pqs ...*PRequest) {
+	for _, pq := range pqs {
+		pq.Start()
+	}
+}
+
+// Wait blocks until the active operation completes and deactivates the
+// request, returning the receive status (zero Status for sends).
+func (pq *PRequest) Wait() Status {
+	if pq.cur == nil {
+		panic("mpi: Wait on an inactive persistent request")
+	}
+	st := pq.r.Wait(pq.cur)
+	return st
+}
+
+// Test reports whether the active operation has completed.
+func (pq *PRequest) Test() (bool, Status) {
+	if pq.cur == nil {
+		panic("mpi: Test on an inactive persistent request")
+	}
+	return pq.r.Test(pq.cur)
+}
+
+// Waitall waits for a set of persistent requests.
+func (r *Rank) WaitallPersistent(pqs ...*PRequest) {
+	for _, pq := range pqs {
+		pq.Wait()
+	}
+}

@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// ReqKind discriminates send and receive requests.
+type ReqKind uint8
+
+const (
+	SendReq ReqKind = iota
+	RecvReq
+)
+
+// Status reports the outcome of a completed receive (MPI_Status).
+type Status struct {
+	Source int
+	Tag    int
+	// Bytes is the packed size of the received message.
+	Bytes int
+}
+
+// Request is a non-blocking communication handle (MPI_Request).
+type Request struct {
+	r     *Rank
+	kind  ReqKind
+	buf   mem.Ptr
+	dt    *datatype.Datatype
+	count int
+	peer  int // destination (send) or source filter (recv; may be AnySource)
+	tag   int // tag (recv side may be AnyTag)
+	ctx   int
+	size  int // packed bytes: send size, or recv capacity until matched
+
+	done   *sim.Event
+	status Status
+
+	// rendezvous state
+	id          int             // sendID (sender) or recvID (receiver)
+	peerID      int             // the other side's request ID
+	totalChunks int             // set by the first CTS (sender) or at match (receiver)
+	chunkBytes  int             // pipeline granularity for this transfer
+	slots       map[int]Slot    // sender: chunk -> landing slot
+	slotEv      *sim.Event      // sender: refreshed "new CTS batch arrived"
+	finQ        *sim.Queue[int] // receiver: arrived chunk indices
+	matchedSize int             // receiver: actual incoming packed bytes
+
+	// get-protocol state
+	srcRkey uint32 // receiver: sender's advertised region
+	onDone  func() // sender: cleanup + completion when DONE arrives
+}
+
+// Accessors used by GPU transports.
+
+// Rank returns the owning rank.
+func (q *Request) Rank() *Rank { return q.r }
+
+// Kind returns whether this is a send or a receive.
+func (q *Request) Kind() ReqKind { return q.kind }
+
+// Buf returns the user buffer.
+func (q *Request) Buf() mem.Ptr { return q.buf }
+
+// Datatype returns the element type.
+func (q *Request) Datatype() *datatype.Datatype { return q.dt }
+
+// Count returns the element count.
+func (q *Request) Count() int { return q.count }
+
+// Peer returns the destination (send) or matched source (recv).
+func (q *Request) Peer() int { return q.peer }
+
+// Tag returns the message tag.
+func (q *Request) Tag() int { return q.tag }
+
+// Size returns the packed byte size of the transfer. For receives it is
+// the actual incoming size once matched.
+func (q *Request) Size() int {
+	if q.kind == RecvReq && q.matchedSize > 0 {
+		return q.matchedSize
+	}
+	return q.size
+}
+
+// Done reports whether the request has completed.
+func (q *Request) Done() bool { return q.done.Fired() }
+
+// newRequest assigns an ID and registers the request for protocol lookup.
+func (r *Rank) newRequest(kind ReqKind, buf mem.Ptr, dt *datatype.Datatype, count, peer, tag, ctx int) *Request {
+	dtSize := count * dt.Size()
+	r.nextID++
+	q := &Request{
+		r: r, kind: kind, buf: buf, dt: dt, count: count,
+		peer: peer, tag: tag, ctx: ctx, size: dtSize,
+		id:   r.nextID,
+		done: r.w.e.NewEvent(fmt.Sprintf("rank%d.req%d", r.rank, r.nextID)),
+	}
+	r.reqs[q.id] = q
+	return q
+}
+
+// nullRequest returns an already-completed request for communication with
+// ProcNull: no data moves, and the status reports ProcNull/AnyTag/0 bytes
+// as the MPI standard specifies.
+func (r *Rank) nullRequest(kind ReqKind) *Request {
+	q := &Request{
+		r: r, kind: kind, peer: ProcNull, tag: AnyTag,
+		dt:     datatype.Byte,
+		done:   r.w.e.NewEvent("procnull"),
+		status: Status{Source: ProcNull, Tag: AnyTag, Bytes: 0},
+	}
+	q.done.Trigger()
+	return q
+}
+
+// complete finalizes the request.
+func (q *Request) complete() {
+	delete(q.r.reqs, q.id)
+	q.done.Trigger()
+}
+
+// CompleteSend is called by transports when the sender side has finished.
+func (q *Request) CompleteSend() {
+	if q.kind != SendReq {
+		panic("mpi: CompleteSend on a receive request")
+	}
+	q.complete()
+}
+
+// CompleteRecv is called by transports when the data is fully in the user
+// buffer. It fills in the status from the matched message.
+func (q *Request) CompleteRecv() {
+	if q.kind != RecvReq {
+		panic("mpi: CompleteRecv on a send request")
+	}
+	q.complete()
+}
+
+// Wait blocks until the request completes and returns its status
+// (MPI_Wait).
+func (r *Rank) Wait(q *Request) Status {
+	r.callOverhead()
+	r.Proc().Wait(q.done)
+	return q.status
+}
+
+// Waitall blocks until every request completes (MPI_Waitall).
+func (r *Rank) Waitall(qs ...*Request) {
+	r.callOverhead()
+	for _, q := range qs {
+		r.Proc().Wait(q.done)
+	}
+}
+
+// Waitany blocks until at least one of the requests completes and returns
+// its index and status (MPI_Waitany). Panics on an empty list.
+func (r *Rank) Waitany(qs ...*Request) (int, Status) {
+	r.callOverhead()
+	if len(qs) == 0 {
+		panic("mpi: Waitany with no requests")
+	}
+	events := make([]*sim.Event, len(qs))
+	for i, q := range qs {
+		events[i] = q.done
+	}
+	idx := r.Proc().WaitAny(events...)
+	return idx, qs[idx].status
+}
+
+// Test reports whether the request has completed without blocking
+// (MPI_Test).
+func (r *Rank) Test(q *Request) (bool, Status) {
+	r.callOverhead()
+	if q.done.Fired() {
+		return true, q.status
+	}
+	return false, Status{}
+}

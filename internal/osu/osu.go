@@ -1,0 +1,385 @@
+// Package osu implements the OSU-micro-benchmark-style measurements the
+// paper's evaluation uses:
+//
+//   - the non-contiguous pack-scheme comparison of Figure 2 (D2H nc2nc,
+//     D2H nc2c, D2D2H nc2c2c), run against a single simulated device;
+//   - the vector-latency comparison of Figure 5 across the three designs
+//     of Figure 4 (blocking Cpy2D+Send, the hand-written
+//     Cpy2DAsync+CpyAsync+Isend pipeline, and MV2-GPU-NC);
+//   - the block-size sweep of section IV-B.
+//
+// All benchmarks run a fresh simulated cluster per measurement so results
+// are independent and deterministic.
+package osu
+
+import (
+	"fmt"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/report"
+	"mv2sim/internal/sim"
+	"mv2sim/internal/trace"
+)
+
+// PackScheme is one of the staging strategies of Figure 1/Figure 2.
+type PackScheme int
+
+const (
+	// PackD2HNC2NC copies the strided device data to an equally strided
+	// host buffer with one cudaMemcpy2D (Figure 1(a)).
+	PackD2HNC2NC PackScheme = iota
+	// PackD2HNC2C gathers the strided device data into a contiguous host
+	// buffer with one cudaMemcpy2D (Figure 1(b)).
+	PackD2HNC2C
+	// PackD2D2HNC2C2C packs on the device first, then moves the packed
+	// buffer across PCIe (Figure 1(c)) — the scheme the paper adopts.
+	PackD2D2HNC2C2C
+)
+
+// String returns the label used in Figure 2.
+func (s PackScheme) String() string {
+	switch s {
+	case PackD2HNC2NC:
+		return "D2H nc2nc"
+	case PackD2HNC2C:
+		return "D2H nc2c"
+	case PackD2D2HNC2C2C:
+		return "D2D2H nc2c2c"
+	default:
+		return fmt.Sprintf("PackScheme(%d)", s)
+	}
+}
+
+// PackSchemes lists all schemes in figure order.
+var PackSchemes = []PackScheme{PackD2HNC2C, PackD2HNC2NC, PackD2D2HNC2C2C}
+
+// PackConfig parameterizes the pack benchmark.
+type PackConfig struct {
+	ElemBytes  int // bytes per vector element (paper: 4, a float)
+	PitchBytes int // distance between consecutive elements in the matrix
+	Iters      int // timing iterations; the median is reported
+	Model      gpu.CostModel
+}
+
+func (c PackConfig) withDefaults() PackConfig {
+	if c.ElemBytes == 0 {
+		c.ElemBytes = 4
+	}
+	if c.PitchBytes == 0 {
+		c.PitchBytes = 64
+	}
+	if c.Iters == 0 {
+		c.Iters = 5
+	}
+	return c
+}
+
+// PackLatency measures the time to move one msgBytes vector from device to
+// host under the given scheme (Figure 2's y-axis).
+func PackLatency(scheme PackScheme, msgBytes int, cfg PackConfig) sim.Time {
+	cfg = cfg.withDefaults()
+	rows := msgBytes / cfg.ElemBytes
+	if rows == 0 {
+		rows = 1
+	}
+	e := sim.New()
+	dev := gpu.New(e, 0, gpu.Config{MemBytes: 2*rows*cfg.PitchBytes + (1 << 20), Model: cfg.Model})
+	ctx := cuda.NewCtx(e, dev)
+	host := mem.NewHostSpace("host", rows*cfg.PitchBytes+msgBytes)
+	src := dev.MustMalloc(rows * cfg.PitchBytes)
+
+	var samples []sim.Time
+	e.Spawn("bench", func(p *sim.Proc) {
+		for it := 0; it < cfg.Iters; it++ {
+			t0 := p.Now()
+			switch scheme {
+			case PackD2HNC2NC:
+				ctx.Memcpy2D(p, host.Base(), cfg.PitchBytes, src, cfg.PitchBytes, cfg.ElemBytes, rows)
+			case PackD2HNC2C:
+				ctx.Memcpy2D(p, host.Base(), cfg.ElemBytes, src, cfg.PitchBytes, cfg.ElemBytes, rows)
+			case PackD2D2HNC2C2C:
+				tbuf := ctx.MustMalloc(msgBytes)
+				s := ctx.NewStream()
+				packed := ctx.Memcpy2DAsync(p, tbuf, cfg.ElemBytes, src, cfg.PitchBytes, cfg.ElemBytes, rows, s)
+				p.Wait(packed)
+				p.Wait(ctx.MemcpyAsync(p, host.Base(), tbuf, msgBytes, s))
+				if err := ctx.Free(tbuf); err != nil {
+					panic(err)
+				}
+			}
+			samples = append(samples, p.Now()-t0)
+		}
+	})
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+	e.Shutdown()
+	return trace.Median(samples)
+}
+
+// RunFigure2 produces the pack-scheme latency figure over the given sizes.
+func RunFigure2(title string, sizes []int, cfg PackConfig) *report.Figure {
+	fig := report.NewFigure(title)
+	for _, scheme := range PackSchemes {
+		s := fig.NewSeries(scheme.String())
+		for _, size := range sizes {
+			s.Add(size, PackLatency(scheme, size, cfg))
+		}
+	}
+	return fig
+}
+
+// Design is one of the three application designs of Figure 4.
+type Design int
+
+const (
+	// DesignCpy2DSend is Figure 4(a): blocking cudaMemcpy2D staging plus
+	// blocking MPI from host buffers.
+	DesignCpy2DSend Design = iota
+	// DesignManualPipeline is Figure 4(b): a hand-written chunked pipeline
+	// of async 2D packs, async D2H copies, and non-blocking MPI.
+	DesignManualPipeline
+	// DesignMV2GPUNC is Figure 4(c): device buffers handed directly to
+	// MPI with a committed vector datatype.
+	DesignMV2GPUNC
+)
+
+// String returns the label used in Figure 5.
+func (d Design) String() string {
+	switch d {
+	case DesignCpy2DSend:
+		return "Cpy2D+Send"
+	case DesignManualPipeline:
+		return "Cpy2DAsync+CpyAsync+Isend"
+	case DesignMV2GPUNC:
+		return "MV2-GPU-NC"
+	default:
+		return fmt.Sprintf("Design(%d)", d)
+	}
+}
+
+// Designs lists all designs in figure order.
+var Designs = []Design{DesignCpy2DSend, DesignManualPipeline, DesignMV2GPUNC}
+
+// VectorConfig parameterizes the vector-latency benchmark.
+type VectorConfig struct {
+	ElemBytes  int // paper: 4 bytes (float)
+	PitchBytes int // matrix row pitch the vector strides over
+	Iters      int
+	Cluster    cluster.Config
+}
+
+func (c VectorConfig) withDefaults(msgBytes int) VectorConfig {
+	if c.ElemBytes == 0 {
+		c.ElemBytes = 4
+	}
+	if c.PitchBytes == 0 {
+		c.PitchBytes = 64
+	}
+	if c.Iters == 0 {
+		c.Iters = 3
+	}
+	if c.Cluster.Nodes == 0 {
+		c.Cluster.Nodes = 2
+	}
+	if c.Cluster.GPUMemBytes == 0 {
+		span := msgBytes / c.ElemBytes * c.PitchBytes
+		c.Cluster.GPUMemBytes = 2*span + 2*msgBytes + (8 << 20)
+	}
+	return c
+}
+
+// VectorLatency measures the one-way latency of transferring one msgBytes
+// vector from rank 0's GPU to rank 1's GPU under the given design: the
+// virtual time from the sender entering its transfer code until the data
+// is fully unpacked in the receiver's device buffer. The median over
+// cfg.Iters iterations is returned.
+func VectorLatency(design Design, msgBytes int, cfg VectorConfig) sim.Time {
+	cfg = cfg.withDefaults(msgBytes)
+	rows := msgBytes / cfg.ElemBytes
+	if rows == 0 {
+		rows = 1
+	}
+	elem, pitch := cfg.ElemBytes, cfg.PitchBytes
+	span := rows * pitch
+
+	vec, err := datatype.Vector(rows, elem, pitch, datatype.Byte)
+	if err != nil {
+		panic(err)
+	}
+	vec.MustCommit()
+
+	cl := cluster.New(cfg.Cluster)
+	var t0 sim.Time
+	var samples []sim.Time
+	runErr := cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(span)
+		hostStage := r.AllocHost(msgBytes)
+		blockSize := r.World().Config().BlockSize
+
+		for it := 0; it < cfg.Iters; it++ {
+			r.Barrier()
+			switch design {
+			case DesignCpy2DSend:
+				if r.Rank() == 0 {
+					t0 = r.Now()
+					// Gather to host with one blocking 2D copy, then send.
+					n.Ctx.Memcpy2D(r.Proc(), hostStage, elem, buf, pitch, elem, rows)
+					r.Send(hostStage, msgBytes, datatype.Byte, 1, it)
+				} else {
+					r.Recv(hostStage, msgBytes, datatype.Byte, 0, it)
+					n.Ctx.Memcpy2D(r.Proc(), buf, pitch, hostStage, elem, elem, rows)
+					samples = append(samples, r.Now()-t0)
+				}
+			case DesignManualPipeline:
+				manualPipeline(n, buf, hostStage, msgBytes, rows, elem, pitch, blockSize, it, &t0, &samples)
+			case DesignMV2GPUNC:
+				if r.Rank() == 0 {
+					t0 = r.Now()
+					r.Send(buf, 1, vec, 1, it)
+				} else {
+					r.Recv(buf, 1, vec, 0, it)
+					samples = append(samples, r.Now()-t0)
+				}
+			}
+		}
+	})
+	if runErr != nil {
+		panic(runErr)
+	}
+	return trace.Median(samples)
+}
+
+// manualPipeline is the Figure 4(b) code pattern: the application itself
+// offloads packing to the GPU with async 2D copies and overlaps chunked
+// D2H staging with non-blocking MPI — good performance, low productivity.
+func manualPipeline(n *cluster.Node, buf, hostStage mem.Ptr, msgBytes, rows, elem, pitch, blockSize, tag int, t0 *sim.Time, samples *[]sim.Time) {
+	r := n.Rank
+	p := r.Proc()
+	rowsPerChunk := max(1, blockSize/elem)
+	nchunks := (rows + rowsPerChunk - 1) / rowsPerChunk
+	chunkRows := func(c int) int { return min(rowsPerChunk, rows-c*rowsPerChunk) }
+
+	if r.Rank() == 0 {
+		*t0 = r.Now()
+		tbuf := n.Ctx.MustMalloc(msgBytes)
+		packS, d2hS := n.Ctx.NewStream(), n.Ctx.NewStream()
+		packEv := make([]*sim.Event, nchunks)
+		for c := 0; c < nchunks; c++ {
+			ro := c * rowsPerChunk
+			packEv[c] = n.Ctx.Memcpy2DAsync(p, tbuf.Add(ro*elem), elem, buf.Add(ro*pitch), pitch, elem, chunkRows(c), packS)
+		}
+		reqs := make([]*mpi.Request, nchunks)
+		d2hEv := make([]*sim.Event, nchunks)
+		issued, sent := 0, 0
+		// Interleave: issue D2H as packs complete, Isend as D2H completes —
+		// the cudaStreamQuery polling loop of Figure 4(b), event-driven.
+		for sent < nchunks {
+			if issued < nchunks {
+				p.Wait(packEv[issued])
+				off := issued * rowsPerChunk * elem
+				nb := chunkRows(issued) * elem
+				d2hEv[issued] = n.Ctx.MemcpyAsync(p, hostStage.Add(off), tbuf.Add(off), nb, d2hS)
+				issued++
+			}
+			for sent < issued && d2hEv[sent].Fired() {
+				off := sent * rowsPerChunk * elem
+				nb := chunkRows(sent) * elem
+				reqs[sent] = r.Isend(hostStage.Add(off), nb, datatype.Byte, 1, tag*1000+sent)
+				sent++
+			}
+			if issued == nchunks && sent < nchunks {
+				p.Wait(d2hEv[sent])
+			}
+		}
+		r.Waitall(reqs...)
+		if err := n.Ctx.Free(tbuf); err != nil {
+			panic(err)
+		}
+	} else {
+		tbuf := n.Ctx.MustMalloc(msgBytes)
+		h2dS, unpackS := n.Ctx.NewStream(), n.Ctx.NewStream()
+		reqs := make([]*mpi.Request, nchunks)
+		for c := 0; c < nchunks; c++ {
+			off := c * rowsPerChunk * elem
+			nb := chunkRows(c) * elem
+			reqs[c] = r.Irecv(hostStage.Add(off), nb, datatype.Byte, 0, tag*1000+c)
+		}
+		var unpackEvs []*sim.Event
+		for c := 0; c < nchunks; c++ {
+			r.Wait(reqs[c])
+			off := c * rowsPerChunk * elem
+			nb := chunkRows(c) * elem
+			h2d := n.Ctx.MemcpyAsync(p, tbuf.Add(off), hostStage.Add(off), nb, h2dS)
+			p.Wait(h2d)
+			ro := c * rowsPerChunk
+			unpackEvs = append(unpackEvs,
+				n.Ctx.Memcpy2DAsync(p, buf.Add(ro*pitch), pitch, tbuf.Add(ro*elem), elem, elem, chunkRows(c), unpackS))
+		}
+		p.WaitAll(unpackEvs...)
+		*samples = append(*samples, r.Now()-*t0)
+		if err := n.Ctx.Free(tbuf); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// RunFigure5 produces the vector-latency figure over the given sizes.
+func RunFigure5(title string, sizes []int, cfg VectorConfig) *report.Figure {
+	fig := report.NewFigure(title)
+	for _, d := range Designs {
+		s := fig.NewSeries(d.String())
+		for _, size := range sizes {
+			s.Add(size, VectorLatency(d, size, cfg))
+		}
+	}
+	return fig
+}
+
+// BlockSizeSweep measures MV2-GPU-NC latency for one message size across
+// pipeline block sizes (the §IV-B tuning experiment that found 64 KB
+// optimal).
+func BlockSizeSweep(msgBytes int, blockSizes []int, cfg VectorConfig) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Pipeline block-size sweep, %s vector message", report.ByteSize(msgBytes)),
+		"block size", "latency (us)")
+	for _, bs := range blockSizes {
+		c := cfg
+		c.Cluster.MPI.BlockSize = bs
+		lat := VectorLatency(DesignMV2GPUNC, msgBytes, c)
+		t.Add(report.ByteSize(bs), fmt.Sprintf("%.1f", lat.Micros()))
+	}
+	return t
+}
+
+// WidthSweep measures pack latency versus element width at a fixed packed
+// size — the dimension the paper fixes at 4 bytes ("a constant chunk size
+// of 4 bytes"). Wider elements mean fewer PCIe row transactions, so the
+// direct D2H schemes improve steeply with width while the offloaded
+// scheme barely moves; the offload advantage is largest exactly where the
+// paper measures.
+func WidthSweep(msgBytes int, widths []int, cfg PackConfig) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Pack latency vs element width, %s message (us)", report.ByteSize(msgBytes)),
+		"width", "D2H nc2nc", "D2D2H nc2c2c", "offload speedup")
+	for _, w := range widths {
+		c := cfg
+		c.ElemBytes = w
+		if c.PitchBytes < 4*w {
+			c.PitchBytes = 4 * w
+		}
+		direct := PackLatency(PackD2HNC2NC, msgBytes, c)
+		offload := PackLatency(PackD2D2HNC2C2C, msgBytes, c)
+		t.Add(fmt.Sprintf("%dB", w),
+			fmt.Sprintf("%.1f", direct.Micros()),
+			fmt.Sprintf("%.1f", offload.Micros()),
+			fmt.Sprintf("%.1fx", float64(direct)/float64(offload)))
+	}
+	return t
+}

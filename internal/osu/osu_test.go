@@ -1,0 +1,242 @@
+package osu
+
+import (
+	"strings"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+// Figure 2 / section I-A anchor: for a 4 KB vector the paper measures
+// ~200 µs (nc2nc), ~281 µs (nc2c) and ~35 µs (nc2c2c) on a Tesla C2050.
+func TestMotivationAnchors4KB(t *testing.T) {
+	cfg := PackConfig{}
+	nc2nc := PackLatency(PackD2HNC2NC, 4096, cfg)
+	nc2c := PackLatency(PackD2HNC2C, 4096, cfg)
+	nc2c2c := PackLatency(PackD2D2HNC2C2C, 4096, cfg)
+
+	within := func(name string, got sim.Time, lo, hi float64) {
+		if us := got.Micros(); us < lo || us > hi {
+			t.Errorf("%s @4KB = %.1fus, want [%.0f,%.0f] (paper anchor)", name, us, lo, hi)
+		}
+	}
+	within("D2H nc2nc", nc2nc, 150, 260)
+	within("D2H nc2c", nc2c, 220, 340)
+	within("D2D2H nc2c2c", nc2c2c, 15, 60)
+	if !(nc2c2c < nc2nc && nc2nc < nc2c) {
+		t.Errorf("ordering: nc2c2c=%v nc2nc=%v nc2c=%v", nc2c2c, nc2nc, nc2c)
+	}
+}
+
+// Figure 2(b): at 4 MB the offloaded scheme is a few percent of nc2nc.
+func TestPackLargeRatio(t *testing.T) {
+	cfg := PackConfig{Iters: 1}
+	nc2nc := PackLatency(PackD2HNC2NC, 4<<20, cfg)
+	nc2c2c := PackLatency(PackD2D2HNC2C2C, 4<<20, cfg)
+	if ratio := float64(nc2c2c) / float64(nc2nc); ratio > 0.12 {
+		t.Errorf("nc2c2c/nc2nc @4MB = %.3f, want < 0.12 (paper: 0.048)", ratio)
+	}
+}
+
+// Figure 2(a): below ~64 B the direct copy wins (offload overhead
+// dominates); beyond a few hundred bytes the offload wins.
+func TestPackCrossover(t *testing.T) {
+	cfg := PackConfig{}
+	if d, o := PackLatency(PackD2HNC2NC, 16, cfg), PackLatency(PackD2D2HNC2C2C, 16, cfg); d > o {
+		t.Errorf("@16B: direct %v should beat offload %v", d, o)
+	}
+	if d, o := PackLatency(PackD2HNC2NC, 1024, cfg), PackLatency(PackD2D2HNC2C2C, 1024, cfg); o > d {
+		t.Errorf("@1KB: offload %v should beat direct %v", o, d)
+	}
+}
+
+// Figure 5(b): at 4 MB, MV2-GPU-NC achieves ~88% improvement over the
+// blocking Cpy2D+Send design, and roughly matches the hand-written
+// pipeline.
+func TestFigure5LargeMessage(t *testing.T) {
+	cfg := VectorConfig{Iters: 1}
+	const msg = 4 << 20
+	blocking := VectorLatency(DesignCpy2DSend, msg, cfg)
+	manual := VectorLatency(DesignManualPipeline, msg, cfg)
+	nc := VectorLatency(DesignMV2GPUNC, msg, cfg)
+
+	impr := 1 - float64(nc)/float64(blocking)
+	if impr < 0.70 {
+		t.Errorf("MV2-GPU-NC improvement @4MB = %.0f%%, want ≥70%% (paper: 88%%)", 100*impr)
+	}
+	// The library path and the manual pipeline should be close (paper:
+	// "similar performance"); allow 35% either way.
+	ratio := float64(nc) / float64(manual)
+	if ratio < 0.65 || ratio > 1.35 {
+		t.Errorf("MV2-GPU-NC/manual @4MB = %.2f, want ~1.0", ratio)
+	}
+}
+
+// Figure 5(a): small messages still favour (or at least do not punish)
+// the library path relative to blocking staging.
+func TestFigure5SmallMessage(t *testing.T) {
+	cfg := VectorConfig{}
+	blocking := VectorLatency(DesignCpy2DSend, 4096, cfg)
+	nc := VectorLatency(DesignMV2GPUNC, 4096, cfg)
+	if nc > blocking {
+		t.Errorf("@4KB MV2-GPU-NC %v slower than Cpy2D+Send %v", nc, blocking)
+	}
+}
+
+// Latency must be monotone in message size for every design.
+func TestLatencyMonotone(t *testing.T) {
+	cfg := VectorConfig{Iters: 1}
+	for _, d := range Designs {
+		prev := sim.Time(0)
+		for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+			lat := VectorLatency(d, size, cfg)
+			if lat <= prev {
+				t.Errorf("%v: latency(%d) = %v not > latency(prev) = %v", d, size, lat, prev)
+			}
+			prev = lat
+		}
+	}
+}
+
+// §IV-B: the block-size curve is U-shaped around 64 KB — too-small blocks
+// pay per-chunk overhead, too-large blocks lose overlap.
+func TestBlockSizeSweepShape(t *testing.T) {
+	cfg := VectorConfig{Iters: 1}
+	const msg = 4 << 20
+	lat := func(bs int) sim.Time {
+		c := cfg
+		c.Cluster.MPI.BlockSize = bs
+		return VectorLatency(DesignMV2GPUNC, msg, c)
+	}
+	tiny := lat(4 << 10)
+	mid := lat(64 << 10)
+	huge := lat(4 << 20) // single chunk: no pipelining at all
+	if mid >= tiny {
+		t.Errorf("64KB blocks (%v) not faster than 4KB blocks (%v)", mid, tiny)
+	}
+	if mid >= huge {
+		t.Errorf("64KB blocks (%v) not faster than whole-message block (%v)", mid, huge)
+	}
+}
+
+func TestRunFigureRendering(t *testing.T) {
+	fig := RunFigure2("Fig2a", []int{16, 256}, PackConfig{Iters: 1})
+	out := fig.String()
+	for _, want := range []string{"Fig2a", "D2H nc2nc", "D2D2H nc2c2c", "256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+	if len(fig.Series) != 3 {
+		t.Errorf("series = %d", len(fig.Series))
+	}
+}
+
+func TestSchemeAndDesignStrings(t *testing.T) {
+	for _, s := range PackSchemes {
+		if strings.Contains(s.String(), "(") {
+			t.Errorf("missing name for scheme %d", s)
+		}
+	}
+	for _, d := range Designs {
+		if strings.Contains(d.String(), "(") {
+			t.Errorf("missing name for design %d", d)
+		}
+	}
+}
+
+func TestBlockSizeSweepTable(t *testing.T) {
+	tbl := BlockSizeSweep(256<<10, []int{32 << 10, 64 << 10}, VectorConfig{Iters: 1})
+	if len(tbl.Rows) != 2 || !strings.Contains(tbl.String(), "64K") {
+		t.Errorf("table:\n%s", tbl.String())
+	}
+}
+
+func TestBandwidthIncreasesWithSize(t *testing.T) {
+	cfg := VectorConfig{}
+	small := Bandwidth(16<<10, 8, cfg)
+	large := Bandwidth(1<<20, 8, cfg)
+	if small <= 0 || large <= 0 {
+		t.Fatalf("bandwidths: %v, %v", small, large)
+	}
+	if large <= small {
+		t.Errorf("bandwidth not increasing: %0.f MB/s @16KB vs %0.f MB/s @1MB", small, large)
+	}
+	// The pack engine bounds vector throughput well below the wire rate.
+	if large > 3200 {
+		t.Errorf("vector bandwidth %0.f MB/s exceeds the QDR wire", large)
+	}
+}
+
+func TestBidirBandwidthExceedsUnidirectional(t *testing.T) {
+	cfg := VectorConfig{}
+	uni := Bandwidth(256<<10, 8, cfg)
+	bidir := BidirBandwidth(256<<10, 8, cfg)
+	if bidir <= uni {
+		t.Errorf("bidirectional %0.f MB/s not above unidirectional %0.f MB/s", bidir, uni)
+	}
+}
+
+func TestBandwidthTableRendering(t *testing.T) {
+	tbl := RunBandwidthTable([]int{64 << 10}, 4, VectorConfig{})
+	if len(tbl.Rows) != 1 || !strings.Contains(tbl.String(), "64K") {
+		t.Errorf("table:\n%s", tbl.String())
+	}
+}
+
+// Disjoint pairs on the 8-node fabric do not contend: four simultaneous
+// transfers finish in (about) the time of one.
+func TestMultiPairScaling(t *testing.T) {
+	cfg := VectorConfig{}
+	one := MultiPairLatency(256<<10, 1, cfg)
+	four := MultiPairLatency(256<<10, 4, cfg)
+	if four > one*11/10 {
+		t.Errorf("4 disjoint pairs took %v, single pair %v; fabric contention where none should exist", four, one)
+	}
+}
+
+// The headline conclusion must be robust to calibration error: scaling
+// any single cost constant by 1/4x..4x never flips the winner, and the
+// improvement stays substantial.
+func TestSensitivityRobustness(t *testing.T) {
+	factors := []float64{0.25, 1, 4}
+	for _, p := range []SensitivityParam{SensPCIeRow, SensDevRow, SensWire, SensPCIeBW} {
+		for _, pt := range SensitivitySweep(p, factors, 1<<20) {
+			if pt.Improvement < 0.5 {
+				t.Errorf("%v x%.2g: improvement %.0f%% below 50%% — conclusion not robust",
+					pt.Param, pt.Factor, 100*pt.Improvement)
+			}
+		}
+	}
+}
+
+func TestSensitivityTableRendering(t *testing.T) {
+	tbl := SensitivityTable([]float64{0.5, 1}, 256<<10)
+	out := tbl.String()
+	for _, want := range []string{"PCIe per-row", "IB bandwidth", "x0.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Element width controls the number of PCIe row transactions: the offload
+// advantage must shrink monotonically as elements get wider (fewer rows).
+func TestWidthSweepShape(t *testing.T) {
+	cfg := PackConfig{Iters: 1}
+	speedup := func(w int) float64 {
+		c := cfg
+		c.ElemBytes = w
+		c.PitchBytes = 4 * w
+		d := PackLatency(PackD2HNC2NC, 256<<10, c)
+		o := PackLatency(PackD2D2HNC2C2C, 256<<10, c)
+		return float64(d) / float64(o)
+	}
+	narrow, wide := speedup(4), speedup(256)
+	if narrow <= wide {
+		t.Errorf("offload speedup %0.1fx at 4B not above %0.1fx at 256B", narrow, wide)
+	}
+	if narrow < 5 {
+		t.Errorf("offload speedup at 4B = %0.1fx, expected large", narrow)
+	}
+}

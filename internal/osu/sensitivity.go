@@ -1,0 +1,116 @@
+package osu
+
+import (
+	"fmt"
+
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/report"
+)
+
+// Sensitivity analysis: the simulator's absolute numbers depend on
+// calibrated constants, so the scientific question is whether the paper's
+// conclusions survive when those constants are wrong. SensitivitySweep
+// re-derives the headline result — MV2-GPU-NC's improvement over the
+// blocking Cpy2D+Send design — while scaling one cost-model parameter
+// through a range of perturbation factors.
+
+// SensitivityParam selects which constant is perturbed.
+type SensitivityParam int
+
+const (
+	// SensPCIeRow scales the per-row cost of strided PCIe copies (the
+	// constant behind Figure 2's D2H curves).
+	SensPCIeRow SensitivityParam = iota
+	// SensDevRow scales the per-row cost of device-internal strided
+	// copies (the offload's own cost).
+	SensDevRow
+	// SensWire scales the InfiniBand bandwidth.
+	SensWire
+	// SensPCIeBW scales the contiguous PCIe bandwidth.
+	SensPCIeBW
+)
+
+func (p SensitivityParam) String() string {
+	switch p {
+	case SensPCIeRow:
+		return "PCIe per-row cost"
+	case SensDevRow:
+		return "device per-row cost"
+	case SensWire:
+		return "IB bandwidth"
+	case SensPCIeBW:
+		return "PCIe bandwidth"
+	default:
+		return fmt.Sprintf("SensitivityParam(%d)", p)
+	}
+}
+
+// SensitivityPoint is one measurement of the sweep.
+type SensitivityPoint struct {
+	Param       SensitivityParam
+	Factor      float64
+	Improvement float64 // (blocking - nc) / blocking
+}
+
+// perturb returns the default GPU cost model with one parameter scaled.
+func perturb(param SensitivityParam, factor float64) (gpu.CostModel, float64) {
+	m := gpu.DefaultModel()
+	ibBW := 0.0 // 0 = default
+	switch param {
+	case SensPCIeRow:
+		m.PCIeRowNC2NC = scaleTime(m.PCIeRowNC2NC, factor)
+		m.PCIeRowNC2C = scaleTime(m.PCIeRowNC2C, factor)
+	case SensDevRow:
+		m.DevRow = scaleTime(m.DevRow, factor)
+	case SensWire:
+		ibBW = 3.2e9 * factor
+	case SensPCIeBW:
+		m.PCIeBandwidth *= factor
+	}
+	return m, ibBW
+}
+
+func scaleTime[T ~int64](t T, f float64) T { return T(float64(t) * f) }
+
+// SensitivitySweep measures the MV2-GPU-NC improvement over Cpy2D+Send for
+// one message size across perturbation factors of one parameter.
+func SensitivitySweep(param SensitivityParam, factors []float64, msgBytes int) []SensitivityPoint {
+	var out []SensitivityPoint
+	for _, f := range factors {
+		model, ibBW := perturb(param, f)
+		cfg := VectorConfig{Iters: 1}
+		cfg.Cluster.GPUModel = model
+		if ibBW > 0 {
+			cfg.Cluster.IBModel.Bandwidth = ibBW
+		}
+		blocking := VectorLatency(DesignCpy2DSend, msgBytes, cfg)
+		nc := VectorLatency(DesignMV2GPUNC, msgBytes, cfg)
+		out = append(out, SensitivityPoint{
+			Param:       param,
+			Factor:      f,
+			Improvement: 1 - float64(nc)/float64(blocking),
+		})
+	}
+	return out
+}
+
+// SensitivityTable runs the sweep for every parameter and renders the
+// improvement matrix.
+func SensitivityTable(factors []float64, msgBytes int) *report.Table {
+	headers := []string{"parameter"}
+	for _, f := range factors {
+		headers = append(headers, fmt.Sprintf("x%.2g", f))
+	}
+	t := report.NewTable(
+		fmt.Sprintf("MV2-GPU-NC improvement over Cpy2D+Send (%s vector) under cost-model perturbation",
+			report.ByteSize(msgBytes)),
+		headers...)
+	for _, p := range []SensitivityParam{SensPCIeRow, SensDevRow, SensWire, SensPCIeBW} {
+		row := []string{p.String()}
+		for _, pt := range SensitivitySweep(p, factors, msgBytes) {
+			row = append(row, fmt.Sprintf("%.0f%%", 100*pt.Improvement))
+		}
+		t.Add(row...)
+	}
+	return t
+}

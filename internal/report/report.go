@@ -1,0 +1,182 @@
+// Package report renders the benchmark harness output: aligned ASCII
+// tables shaped like the paper's tables, latency series shaped like its
+// figures, and CSV export for external plotting.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"mv2sim/internal/sim"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; the cell count must match the header count.
+func (t *Table) Add(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(format string, args ...interface{}) {
+	t.Add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (headers first).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	write := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	write(t.Headers)
+	for _, row := range t.Rows {
+		write(row)
+	}
+	return sb.String()
+}
+
+// Series is one curve of a latency figure: a name and (size, latency)
+// points.
+type Series struct {
+	Name   string
+	Sizes  []int
+	Values []sim.Time
+}
+
+// Add appends one point.
+func (s *Series) Add(size int, v sim.Time) {
+	s.Sizes = append(s.Sizes, size)
+	s.Values = append(s.Values, v)
+}
+
+// Figure is a set of series over the same size axis, rendered as a table
+// with one column per series (the textual equivalent of the paper's
+// latency plots).
+type Figure struct {
+	Title  string
+	Series []*Series
+}
+
+// NewFigure creates a figure.
+func NewFigure(title string) *Figure { return &Figure{Title: title} }
+
+// NewSeries adds and returns a named series.
+func (f *Figure) NewSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as an aligned table of microseconds.
+func (f *Figure) String() string {
+	if len(f.Series) == 0 {
+		return f.Title + "\n(empty)\n"
+	}
+	t := NewTable(f.Title, append([]string{"size"}, names(f.Series)...)...)
+	for i, size := range f.Series[0].Sizes {
+		row := []string{ByteSize(size)}
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.1f us", s.Values[i].Micros()))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}
+
+func names(ss []*Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByteSize formats a byte count the way the paper's axes do (16, 1K, 4M).
+func ByteSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Improvement formats the paper's improvement metric: (def-opt)/def.
+func Improvement(def, opt sim.Time) string {
+	if def == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(def-opt)/float64(def))
+}
+
+// Seconds formats a virtual duration in seconds with paper-style precision.
+func Seconds(t sim.Time) string { return fmt.Sprintf("%.6f", t.Seconds()) }

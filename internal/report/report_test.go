@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table I", "Metric", "Def", "NC")
+	tb.Add("MPI_Irecv", "4", "4")
+	tb.Add("cudaMemcpy2D", "4", "0")
+	out := tb.String()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "cudaMemcpy2D") {
+		t.Errorf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCellCountMismatchPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row did not panic")
+		}
+	}()
+	tb.Add("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("x,y", `quo"te`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"quo""te"`) {
+		t.Errorf("csv = %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("csv header = %q", csv)
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("t", "size", "lat")
+	tb.Addf("%d|%0.1f", 4096, 12.5)
+	if tb.Rows[0][0] != "4096" || tb.Rows[0][1] != "12.5" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Fig 5(a)")
+	s1 := f.NewSeries("Cpy2D+Send")
+	s2 := f.NewSeries("MV2-GPU-NC")
+	for _, size := range []int{16, 1024, 4096} {
+		s1.Add(size, sim.Time(size)*sim.Microsecond)
+		s2.Add(size, sim.Time(size/2)*sim.Microsecond)
+	}
+	out := f.String()
+	for _, want := range []string{"Fig 5(a)", "Cpy2D+Send", "MV2-GPU-NC", "4K", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(NewFigure("e").String(), "empty") {
+		t.Error("empty figure rendering")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int]string{
+		16:      "16",
+		1 << 10: "1K",
+		4 << 10: "4K",
+		1 << 20: "1M",
+		4 << 20: "4M",
+		1000:    "1000",
+	}
+	for n, want := range cases {
+		if got := ByteSize(n); got != want {
+			t.Errorf("ByteSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100*sim.Microsecond, 58*sim.Microsecond); got != "42%" {
+		t.Errorf("Improvement = %q", got)
+	}
+	if got := Improvement(0, 5); got != "n/a" {
+		t.Errorf("Improvement(0,.) = %q", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(1500 * sim.Millisecond); got != "1.500000" {
+		t.Errorf("Seconds = %q", got)
+	}
+}

@@ -1,0 +1,84 @@
+package shoc
+
+import "mv2sim/internal/mpi"
+
+// exchangeDefInstrumented is the measurement build of exchangeDef used to
+// regenerate Figure 6: the same staging and communication pattern, with
+// each direction handled sequentially so its CUDA staging time and MPI
+// time can be attributed separately. Keys follow the paper's figure:
+// {north,south,west,east}_{mpi,cuda}.
+//
+// It intentionally duplicates exchangeDef rather than adding timing hooks
+// to it: exchangeDef is also the artifact measured by the Table I code
+// complexity comparison and must stay untouched by instrumentation.
+func (f *field) exchangeDefInstrumented() {
+	r := f.node.Rank
+	ctx := f.node.Ctx
+	p := r.Proc()
+	elem := f.p.Prec.Elem()
+	rowB := f.cols * f.elemB
+	colB := (f.rows + 2) * f.elemB
+	pitchB := f.pitchE * f.elemB
+	sendN, sendS := f.hostRow, f.hostRow.Add(rowB)
+	recvN, recvS := f.hostRow.Add(2*rowB), f.hostRow.Add(3*rowB)
+	sendW, sendE := f.hostCol, f.hostCol.Add(colB)
+	recvW, recvE := f.hostCol.Add(2*colB), f.hostCol.Add(3*colB)
+
+	// Phase 1: north/south rows.
+	var nReq, sReq *mpi.Request
+	if f.g.north >= 0 {
+		nReq = r.Irecv(recvN, f.cols, elem, f.g.north, tagNS)
+	}
+	if f.g.south >= 0 {
+		sReq = r.Irecv(recvS, f.cols, elem, f.g.south, tagNS)
+	}
+	if f.g.north >= 0 {
+		f.bd.Timed("north_cuda", r, func() { ctx.Memcpy(p, sendN, f.in.Add(f.off(1, 1)), rowB) })
+		f.bd.Timed("north_mpi", r, func() { r.Send(sendN, f.cols, elem, f.g.north, tagNS) })
+	}
+	if f.g.south >= 0 {
+		f.bd.Timed("south_cuda", r, func() { ctx.Memcpy(p, sendS, f.in.Add(f.off(f.rows, 1)), rowB) })
+		f.bd.Timed("south_mpi", r, func() { r.Send(sendS, f.cols, elem, f.g.south, tagNS) })
+	}
+	if nReq != nil {
+		f.bd.Timed("north_mpi", r, func() { r.Wait(nReq) })
+		f.bd.Timed("north_cuda", r, func() { ctx.Memcpy(p, f.in.Add(f.off(0, 1)), recvN, rowB) })
+	}
+	if sReq != nil {
+		f.bd.Timed("south_mpi", r, func() { r.Wait(sReq) })
+		f.bd.Timed("south_cuda", r, func() { ctx.Memcpy(p, f.in.Add(f.off(f.rows+1, 1)), recvS, rowB) })
+	}
+
+	// Phase 2: east/west columns.
+	var wReq, eReq *mpi.Request
+	if f.g.west >= 0 {
+		wReq = r.Irecv(recvW, f.rows+2, elem, f.g.west, tagEW)
+	}
+	if f.g.east >= 0 {
+		eReq = r.Irecv(recvE, f.rows+2, elem, f.g.east, tagEW)
+	}
+	if f.g.west >= 0 {
+		f.bd.Timed("west_cuda", r, func() {
+			ctx.Memcpy2D(p, sendW, f.elemB, f.in.Add(f.off(0, 1)), pitchB, f.elemB, f.rows+2)
+		})
+		f.bd.Timed("west_mpi", r, func() { r.Send(sendW, f.rows+2, elem, f.g.west, tagEW) })
+	}
+	if f.g.east >= 0 {
+		f.bd.Timed("east_cuda", r, func() {
+			ctx.Memcpy2D(p, sendE, f.elemB, f.in.Add(f.off(0, f.cols)), pitchB, f.elemB, f.rows+2)
+		})
+		f.bd.Timed("east_mpi", r, func() { r.Send(sendE, f.rows+2, elem, f.g.east, tagEW) })
+	}
+	if wReq != nil {
+		f.bd.Timed("west_mpi", r, func() { r.Wait(wReq) })
+		f.bd.Timed("west_cuda", r, func() {
+			ctx.Memcpy2D(p, f.in.Add(f.off(0, 0)), pitchB, recvW, f.elemB, f.elemB, f.rows+2)
+		})
+	}
+	if eReq != nil {
+		f.bd.Timed("east_mpi", r, func() { r.Wait(eReq) })
+		f.bd.Timed("east_cuda", r, func() {
+			ctx.Memcpy2D(p, f.in.Add(f.off(0, f.cols+1)), pitchB, recvE, f.elemB, f.elemB, f.rows+2)
+		})
+	}
+}

@@ -1,0 +1,61 @@
+package shoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table I of the paper: the Def variant uses 4 Irecv, 4 Send, 2 Waitall,
+// 4 cudaMemcpy and 4 cudaMemcpy2D in its main loop; the MV2-GPU-NC variant
+// uses the same MPI calls and zero CUDA staging calls.
+func TestTable1CallCounts(t *testing.T) {
+	def := AnalyzeComplexity(Def)
+	if def.Irecv != 4 || def.Send != 4 || def.Waitall != 2 {
+		t.Errorf("Def MPI counts = %+v, want 4/4/2 (paper Table I)", def)
+	}
+	if def.Memcpy != 4 || def.Memcpy2D != 4 {
+		t.Errorf("Def CUDA counts = %+v, want 4/4 (paper Table I)", def)
+	}
+	nc := AnalyzeComplexity(NC)
+	if nc.Irecv != 4 || nc.Send != 4 || nc.Waitall != 2 {
+		t.Errorf("NC MPI counts = %+v, want 4/4/2 (paper Table I)", nc)
+	}
+	if nc.Memcpy != 0 || nc.Memcpy2D != 0 {
+		t.Errorf("NC CUDA counts = %+v, want 0/0 (paper Table I)", nc)
+	}
+}
+
+// The paper reports a 36% reduction in main-loop lines of code; require a
+// substantial reduction here too.
+func TestTable1LinesOfCodeReduction(t *testing.T) {
+	def := AnalyzeComplexity(Def)
+	nc := AnalyzeComplexity(NC)
+	if def.LinesOfCode == 0 || nc.LinesOfCode == 0 {
+		t.Fatalf("source scan failed: def=%d nc=%d", def.LinesOfCode, nc.LinesOfCode)
+	}
+	reduction := 1 - float64(nc.LinesOfCode)/float64(def.LinesOfCode)
+	if reduction < 0.25 {
+		t.Errorf("LoC reduction = %.0f%% (def %d, nc %d), want ≥25%% (paper: 36%%)",
+			100*reduction, def.LinesOfCode, nc.LinesOfCode)
+	}
+}
+
+func TestComplexityTableRendering(t *testing.T) {
+	out := ComplexityTable().String()
+	for _, want := range []string{"Table I", "MPI_Irecv", "cudaMemcpy2D", "Lines of code"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFunctionBodyExtraction(t *testing.T) {
+	src := "func (f *field) foo() {\n\ta := 1\n\tif a > 0 {\n\t\tb()\n\t}\n}\nfunc (f *field) bar() {}\n"
+	body := functionBody(src, "foo")
+	if !strings.Contains(body, "a := 1") || strings.Contains(body, "bar") {
+		t.Errorf("body = %q", body)
+	}
+	if functionBody(src, "missing") != "" {
+		t.Error("missing function returned non-empty body")
+	}
+}

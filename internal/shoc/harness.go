@@ -1,0 +1,119 @@
+package shoc
+
+import (
+	"fmt"
+
+	"mv2sim/internal/report"
+	"mv2sim/internal/trace"
+)
+
+// GridConfig is one row of the paper's Tables II/III: a process grid and
+// the per-process matrix dimensions.
+type GridConfig struct {
+	Label      string
+	GridRows   int
+	GridCols   int
+	Rows, Cols int // per process
+}
+
+// PaperGrids returns the paper's four configurations, scaled down by
+// `scale` in each matrix dimension (scale=1 is the exact paper geometry:
+// 64K×1K, 1K×64K and 8K×8K per process).
+//
+// Scaling note: halo traffic scales with the boundary (1/scale) while the
+// kernel scales with the area (1/scale²). To preserve the paper's
+// communication/compute ratio — and therefore its improvement percentages
+// — harness runs at scale s must multiply KernelNsPerCell by s, which
+// ScaledParams does.
+func PaperGrids(scale int) []GridConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	s := func(n int) int {
+		if n/scale < 4 {
+			return 4
+		}
+		return n / scale
+	}
+	return []GridConfig{
+		{Label: "1x8 (64Kx1K)", GridRows: 1, GridCols: 8, Rows: s(64 << 10), Cols: s(1 << 10)},
+		{Label: "8x1 (1Kx64K)", GridRows: 8, GridCols: 1, Rows: s(1 << 10), Cols: s(64 << 10)},
+		{Label: "2x4 (8Kx8K)", GridRows: 2, GridCols: 4, Rows: s(8 << 10), Cols: s(8 << 10)},
+		{Label: "4x2 (8Kx8K)", GridRows: 4, GridCols: 2, Rows: s(8 << 10), Cols: s(8 << 10)},
+	}
+}
+
+// ScaledParams builds run parameters for one grid at the given scale,
+// applying the ratio-preserving kernel-cost correction.
+func ScaledParams(g GridConfig, prec Precision, variant Variant, scale, iters int) Params {
+	if scale < 1 {
+		scale = 1
+	}
+	return Params{
+		GridRows: g.GridRows, GridCols: g.GridCols,
+		Rows: g.Rows, Cols: g.Cols,
+		Prec:  prec,
+		Iters: iters,
+		// No warmup: the simulator is deterministic, so every iteration
+		// takes identical virtual time (verified by TestIterationTimes).
+		Warmup:          0,
+		Variant:         variant,
+		KernelNsPerCell: DefaultKernelNsPerCell(prec) * float64(scale),
+	}
+}
+
+// RunTable executes the paper's Table II (single precision) or Table III
+// (double precision): median iteration time of both Stencil2D variants on
+// all four grids, with the improvement column.
+func RunTable(prec Precision, scale, iters int) (*report.Table, error) {
+	title := "Table II: Stencil2D median iteration time, single precision (sec)"
+	if prec == F64 {
+		title = "Table III: Stencil2D median iteration time, double precision (sec)"
+	}
+	if scale > 1 {
+		title += fmt.Sprintf(" [geometry 1/%d, ratio-preserving]", scale)
+	}
+	t := report.NewTable(title,
+		"Process Grid (Matrix/Process)", "Stencil2D-Def", "Stencil2D-MV2-GPU-NC", "Improvement")
+	for _, g := range PaperGrids(scale) {
+		def, err := Run(ScaledParams(g, prec, Def, scale, iters))
+		if err != nil {
+			return nil, fmt.Errorf("%s Def: %w", g.Label, err)
+		}
+		nc, err := Run(ScaledParams(g, prec, NC, scale, iters))
+		if err != nil {
+			return nil, fmt.Errorf("%s NC: %w", g.Label, err)
+		}
+		t.Add(g.Label,
+			report.Seconds(def.MedianIter),
+			report.Seconds(nc.MedianIter),
+			report.Improvement(def.MedianIter, nc.MedianIter))
+	}
+	return t, nil
+}
+
+// RunBreakdown executes the Figure 6 experiment: Stencil2D-Def on the 2x4
+// grid, single precision, and returns the dimension-wise communication
+// breakdown at the paper's rank 1 (neighbours: south, west, east),
+// accumulated over all timed iterations.
+func RunBreakdown(scale, iters int) (*trace.Breakdown, error) {
+	grids := PaperGrids(scale)
+	g := grids[2] // 2x4
+	p := ScaledParams(g, F32, Def, scale, iters)
+	p.Breakdown = true
+	res, err := Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return res.Breakdowns[1], nil
+}
+
+// BreakdownTable renders a breakdown in the figure's key order.
+func BreakdownTable(bd *trace.Breakdown) *report.Table {
+	t := report.NewTable("Figure 6: dimension-wise communication breakdown, Stencil2D-Def 2x4, rank 1",
+		"component", "time (us)")
+	for _, key := range []string{"south_mpi", "west_mpi", "east_mpi", "south_cuda", "west_cuda", "east_cuda"} {
+		t.Add(key, fmt.Sprintf("%.1f", bd.Get(key).Micros()))
+	}
+	return t
+}

@@ -1,0 +1,444 @@
+// Package shoc reimplements the SHOC benchmark suite's Stencil2D
+// application (Danalis et al., GPGPU'10), the workload the paper's
+// application-level evaluation is built on: a two-dimensional nine-point
+// stencil over a block-decomposed matrix with halo exchange between
+// neighbouring ranks every iteration.
+//
+// Two variants of the halo exchange are provided, mirroring the paper's
+// section V-B:
+//
+//   - Stencil2D-Def (exchange_def.go): the original SHOC communication
+//     pattern — cudaMemcpy/cudaMemcpy2D staging through host buffers plus
+//     MPI on host memory (Figure 4(a) with MPI_Irecv);
+//   - Stencil2D-MV2-GPU-NC (exchange_nc.go): device buffers and committed
+//     MPI datatypes handed straight to MPI (Figure 4(c)).
+//
+// The stencil kernel itself executes as real arithmetic on the simulated
+// device memory, so both variants are verified against a sequential
+// reference computation; its virtual-time cost follows the device model.
+package shoc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime/debug"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+	"mv2sim/internal/trace"
+)
+
+// Precision selects the element type, matching SHOC's -single/-double.
+type Precision uint8
+
+const (
+	F32 Precision = iota
+	F64
+)
+
+// Bytes returns the element size.
+func (p Precision) Bytes() int {
+	if p == F64 {
+		return 8
+	}
+	return 4
+}
+
+// Elem returns the matching MPI datatype.
+func (p Precision) Elem() *datatype.Datatype {
+	if p == F64 {
+		return datatype.Float64
+	}
+	return datatype.Float32
+}
+
+func (p Precision) String() string {
+	if p == F64 {
+		return "double"
+	}
+	return "single"
+}
+
+// Variant selects the halo-exchange implementation.
+type Variant uint8
+
+const (
+	// Def is the original SHOC exchange: host staging + host MPI.
+	Def Variant = iota
+	// NC is the MV2-GPU-NC exchange: device buffers straight into MPI.
+	NC
+)
+
+func (v Variant) String() string {
+	if v == NC {
+		return "Stencil2D-MV2-GPU-NC"
+	}
+	return "Stencil2D-Def"
+}
+
+// Stencil weights: a convex nine-point kernel (centre + 4 cardinal + 4
+// diagonal), the SHOC Stencil2D shape.
+const (
+	wCenter   = 0.25
+	wCardinal = 0.125
+	wDiagonal = 0.0625
+)
+
+// Params configures one Stencil2D run.
+type Params struct {
+	GridRows, GridCols int // process grid (paper: 1x8, 8x1, 2x4, 4x2)
+	Rows, Cols         int // local interior matrix per process
+	Prec               Precision
+	Iters              int // timed iterations (median reported)
+	Warmup             int
+	Variant            Variant
+
+	// KernelNsPerCell is the modeled device time per cell update. Zero
+	// selects the calibrated default for the precision (see DESIGN.md:
+	// chosen so the communication/compute ratio at paper-scale geometry
+	// reproduces the paper's improvement ordering).
+	KernelNsPerCell float64
+
+	// Validate compares the final field against a sequential reference
+	// (use only at test-friendly sizes).
+	Validate bool
+
+	// Breakdown enables the Figure 6 instrumentation: dimension-wise
+	// communication time at every rank, accumulated over all iterations.
+	Breakdown bool
+
+	// Cluster overrides testbed sizing; Nodes is forced to GridRows*GridCols.
+	Cluster cluster.Config
+}
+
+// DefaultKernelNsPerCell returns the calibrated kernel cost.
+func DefaultKernelNsPerCell(p Precision) float64 {
+	if p == F64 {
+		return 1.0
+	}
+	return 0.6
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Params     Params
+	IterTimes  []sim.Time // per timed iteration (global: max across ranks)
+	MedianIter sim.Time
+	Breakdowns []*trace.Breakdown // per rank; nil unless Params.Breakdown
+	Validated  bool
+}
+
+// rankGeom is one rank's position and neighbours in the process grid.
+type rankGeom struct {
+	pr, pc                   int // grid coordinates
+	north, south, east, west int // neighbour ranks or -1
+}
+
+func geom(rank, gr, gc int) rankGeom {
+	g := rankGeom{pr: rank / gc, pc: rank % gc, north: -1, south: -1, east: -1, west: -1}
+	if g.pr > 0 {
+		g.north = rank - gc
+	}
+	if g.pr < gr-1 {
+		g.south = rank + gc
+	}
+	if g.pc > 0 {
+		g.west = rank - 1
+	}
+	if g.pc < gc-1 {
+		g.east = rank + 1
+	}
+	return g
+}
+
+// field is one rank's local state: double-buffered device matrices with a
+// one-cell halo, plus the exchange resources of the active variant.
+type field struct {
+	p      Params
+	g      rankGeom
+	node   *cluster.Node
+	rows   int // interior rows
+	cols   int // interior cols
+	pitchE int // elements per row including halo
+	elemB  int
+	in     mem.Ptr // device buffer (rows+2) x (cols+2)
+	out    mem.Ptr
+
+	// NC-variant datatypes.
+	rowType *datatype.Datatype // one contiguous interior row
+	colType *datatype.Datatype // one full-height column (rows+2 elements)
+
+	// Def-variant host staging.
+	hostRow mem.Ptr // 2 send + 2 recv interior rows
+	hostCol mem.Ptr // 2 send + 2 recv full-height columns
+
+	bd      *trace.Breakdown
+	kstream *cuda.Stream
+}
+
+// idx returns the element index of (row, col) counted with halo.
+func (f *field) idx(r, c int) int { return r*f.pitchE + c }
+
+// off returns the byte offset of (row, col).
+func (f *field) off(r, c int) int { return f.idx(r, c) * f.elemB }
+
+func newField(p Params, node *cluster.Node, rank int) *field {
+	f := &field{
+		p:      p,
+		g:      geom(rank, p.GridRows, p.GridCols),
+		node:   node,
+		rows:   p.Rows,
+		cols:   p.Cols,
+		pitchE: p.Cols + 2,
+		elemB:  p.Prec.Bytes(),
+	}
+	bytes := (p.Rows + 2) * f.pitchE * f.elemB
+	f.in = node.Ctx.MustMalloc(bytes)
+	f.out = node.Ctx.MustMalloc(bytes)
+
+	var err error
+	f.rowType, err = datatype.Contiguous(f.cols, p.Prec.Elem())
+	if err != nil {
+		panic(err)
+	}
+	f.rowType.MustCommit()
+	f.colType, err = datatype.Vector(f.rows+2, 1, f.pitchE, p.Prec.Elem())
+	if err != nil {
+		panic(err)
+	}
+	f.colType.MustCommit()
+
+	rowB := f.cols * f.elemB
+	colB := (f.rows + 2) * f.elemB
+	f.hostRow = node.Rank.AllocHost(4 * rowB)
+	f.hostCol = node.Rank.AllocHost(4 * colB)
+	if p.Breakdown {
+		f.bd = trace.NewBreakdown()
+	}
+	return f
+}
+
+// loadF reads element idx as float64; storeF writes v rounded to the
+// field's precision. All arithmetic is done in float64 with one rounding
+// per store, which the sequential reference reproduces bit-for-bit.
+func (f *field) loadF(buf mem.Ptr, idx int) float64 {
+	if f.elemB == 8 {
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf.Add(idx * 8).Bytes(8)))
+	}
+	return float64(math.Float32frombits(binary.LittleEndian.Uint32(buf.Add(idx * 4).Bytes(4))))
+}
+
+func (f *field) storeF(buf mem.Ptr, idx int, v float64) {
+	if f.elemB == 8 {
+		binary.LittleEndian.PutUint64(buf.Add(idx*8).Bytes(8), math.Float64bits(v))
+		return
+	}
+	binary.LittleEndian.PutUint32(buf.Add(idx*4).Bytes(4), math.Float32bits(float32(v)))
+}
+
+// initValue is the deterministic initial condition at global interior
+// coordinates (gi, gj), 0-based over the global interior matrix.
+func initValue(gi, gj int) float64 {
+	return float64((gi*7+gj*13)%100) / 100.0
+}
+
+// initField writes the initial condition into both device buffers (halo
+// cells stay zero; the global boundary is fixed at zero).
+func (f *field) initField() {
+	buf := f.in.Bytes((f.rows + 2) * f.pitchE * f.elemB)
+	for i := range buf {
+		buf[i] = 0
+	}
+	for r := 1; r <= f.rows; r++ {
+		for c := 1; c <= f.cols; c++ {
+			gi := f.g.pr*f.rows + r - 1
+			gj := f.g.pc*f.cols + c - 1
+			v := roundTo(f.p.Prec, initValue(gi, gj))
+			f.storeF(f.in, f.idx(r, c), v)
+			f.storeF(f.out, f.idx(r, c), v)
+		}
+	}
+	// Zero the out-buffer halo too.
+	outB := f.out.Bytes((f.rows + 2) * f.pitchE * f.elemB)
+	for c := 0; c < f.pitchE; c++ {
+		zero(outB, f.off(0, c), f.elemB)
+		zero(outB, f.off(f.rows+1, c), f.elemB)
+	}
+	for r := 0; r < f.rows+2; r++ {
+		zero(outB, f.off(r, 0), f.elemB)
+		zero(outB, f.off(r, f.cols+1), f.elemB)
+	}
+}
+
+func zero(b []byte, off, n int) {
+	for i := 0; i < n; i++ {
+		b[off+i] = 0
+	}
+}
+
+func roundTo(p Precision, v float64) float64 {
+	if p == F32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
+// kernelNs returns the effective kernel cost per cell.
+func (p Params) kernelNs() float64 {
+	if p.KernelNsPerCell > 0 {
+		return p.KernelNsPerCell
+	}
+	return DefaultKernelNsPerCell(p.Prec)
+}
+
+// applyStencil computes one interior update from f.in into f.out. It is
+// the kernel's real effect, executed at kernel-completion time. The inner
+// loops run over raw row slices: at paper-scale geometry (67M cells per
+// rank) per-access pointer arithmetic would dominate the harness's wall
+// time.
+func (f *field) applyStencil() {
+	total := (f.rows + 2) * f.pitchE * f.elemB
+	in := f.in.Bytes(total)
+	out := f.out.Bytes(total)
+	if f.elemB == 4 {
+		f.stencilF32(in, out)
+	} else {
+		f.stencilF64(in, out)
+	}
+}
+
+func (f *field) stencilF32(in, out []byte) {
+	pb := f.pitchE * 4
+	for r := 1; r <= f.rows; r++ {
+		up := in[(r-1)*pb : r*pb]
+		mid := in[r*pb : (r+1)*pb]
+		down := in[(r+1)*pb : (r+2)*pb]
+		dst := out[r*pb : (r+1)*pb]
+		ld := func(row []byte, c int) float64 {
+			return float64(math.Float32frombits(binary.LittleEndian.Uint32(row[c*4:])))
+		}
+		for c := 1; c <= f.cols; c++ {
+			v := wCenter*ld(mid, c) +
+				wCardinal*(ld(up, c)+ld(down, c)+ld(mid, c-1)+ld(mid, c+1)) +
+				wDiagonal*(ld(up, c-1)+ld(up, c+1)+ld(down, c-1)+ld(down, c+1))
+			binary.LittleEndian.PutUint32(dst[c*4:], math.Float32bits(float32(v)))
+		}
+	}
+}
+
+func (f *field) stencilF64(in, out []byte) {
+	pb := f.pitchE * 8
+	for r := 1; r <= f.rows; r++ {
+		up := in[(r-1)*pb : r*pb]
+		mid := in[r*pb : (r+1)*pb]
+		down := in[(r+1)*pb : (r+2)*pb]
+		dst := out[r*pb : (r+1)*pb]
+		ld := func(row []byte, c int) float64 {
+			return math.Float64frombits(binary.LittleEndian.Uint64(row[c*8:]))
+		}
+		for c := 1; c <= f.cols; c++ {
+			v := wCenter*ld(mid, c) +
+				wCardinal*(ld(up, c)+ld(down, c)+ld(mid, c-1)+ld(mid, c+1)) +
+				wDiagonal*(ld(up, c-1)+ld(up, c+1)+ld(down, c-1)+ld(down, c+1))
+			binary.LittleEndian.PutUint64(dst[c*8:], math.Float64bits(v))
+		}
+	}
+}
+
+// runKernel launches the stencil kernel on the device and waits for it.
+func (f *field) runKernel() {
+	r := f.node.Rank
+	if f.kstream == nil {
+		f.kstream = f.node.Ctx.NewStream()
+	}
+	done := f.node.Ctx.LaunchKernel(r.Proc(), f.kstream, f.rows*f.cols, f.p.kernelNs(), f.applyStencil)
+	r.Proc().Wait(done)
+}
+
+// Run executes one Stencil2D configuration and returns its result.
+func Run(p Params) (*Result, error) {
+	if p.GridRows <= 0 || p.GridCols <= 0 || p.Rows <= 0 || p.Cols <= 0 {
+		return nil, fmt.Errorf("shoc: bad geometry %dx%d grid, %dx%d local", p.GridRows, p.GridCols, p.Rows, p.Cols)
+	}
+	if p.Iters == 0 {
+		p.Iters = 3
+	}
+	nodes := p.GridRows * p.GridCols
+	ccfg := p.Cluster
+	ccfg.Nodes = nodes
+	if ccfg.GPUMemBytes == 0 {
+		per := (p.Rows + 2) * (p.Cols + 2) * p.Prec.Bytes()
+		ccfg.GPUMemBytes = 2*per + (p.Rows+2)*p.Prec.Bytes()*8 + (32 << 20)
+	}
+	if ccfg.GPUMemBytes > (128 << 20) {
+		// Paper-scale geometry allocates ~5 GB of simulated device memory
+		// per configuration. Reclaim the previous configuration's arenas
+		// before building the next cluster, or back-to-back table rows
+		// transiently double the footprint and risk the OOM killer.
+		debug.FreeOSMemory()
+	}
+	if ccfg.HostHeapBytes == 0 {
+		ccfg.HostHeapBytes = 8*(p.Rows+p.Cols+4)*p.Prec.Bytes() + (32 << 20)
+	}
+	cl := cluster.New(ccfg)
+
+	res := &Result{Params: p}
+	fields := make([]*field, nodes)
+	iterStart := make([]sim.Time, p.Iters)
+	iterEnd := make([]sim.Time, p.Iters)
+
+	err := cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		f := newField(p, n, r.Rank())
+		fields[r.Rank()] = f
+		f.initField()
+		r.Barrier()
+
+		for it := 0; it < p.Warmup+p.Iters; it++ {
+			timed := it >= p.Warmup
+			ti := it - p.Warmup
+			r.Barrier()
+			if timed && r.Now() > iterStart[ti] {
+				iterStart[ti] = r.Now()
+			}
+			if p.Variant == Def {
+				if f.bd != nil {
+					f.exchangeDefInstrumented()
+				} else {
+					f.exchangeDef()
+				}
+			} else {
+				f.exchangeNC()
+			}
+			f.runKernel()
+			f.in, f.out = f.out, f.in
+			if timed && r.Now() > iterEnd[ti] {
+				iterEnd[ti] = r.Now()
+			}
+		}
+		r.Barrier()
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.Iters; i++ {
+		res.IterTimes = append(res.IterTimes, iterEnd[i]-iterStart[i])
+	}
+	res.MedianIter = trace.Median(res.IterTimes)
+	if p.Breakdown {
+		for _, f := range fields {
+			res.Breakdowns = append(res.Breakdowns, f.bd)
+		}
+	}
+	if p.Validate {
+		if err := validate(p, fields); err != nil {
+			return nil, err
+		}
+		res.Validated = true
+	}
+	return res, nil
+}

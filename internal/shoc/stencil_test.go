@@ -1,0 +1,230 @@
+package shoc
+
+import (
+	"strings"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+// small returns test-friendly parameters.
+func small(variant Variant, prec Precision, gr, gc int) Params {
+	return Params{
+		GridRows: gr, GridCols: gc,
+		Rows: 12, Cols: 10,
+		Prec: prec, Iters: 2, Warmup: 1,
+		Variant: variant, Validate: true,
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	// 2x4 grid, rank 1 is top row, second column: neighbours S, W, E only.
+	g := geom(1, 2, 4)
+	if g.north != -1 || g.south != 5 || g.west != 0 || g.east != 2 {
+		t.Errorf("geom(1,2,4) = %+v", g)
+	}
+	// Corner rank 0.
+	g = geom(0, 2, 4)
+	if g.north != -1 || g.west != -1 || g.south != 4 || g.east != 1 {
+		t.Errorf("geom(0,2,4) = %+v", g)
+	}
+	// 1x8: east/west only.
+	g = geom(3, 1, 8)
+	if g.north != -1 || g.south != -1 || g.west != 2 || g.east != 4 {
+		t.Errorf("geom(3,1,8) = %+v", g)
+	}
+}
+
+func TestPrecisionBasics(t *testing.T) {
+	if F32.Bytes() != 4 || F64.Bytes() != 8 {
+		t.Error("precision sizes")
+	}
+	if F32.String() != "single" || F64.String() != "double" {
+		t.Error("precision names")
+	}
+	if Def.String() == NC.String() {
+		t.Error("variant names")
+	}
+	if F32.Elem().Size() != 4 || F64.Elem().Size() != 8 {
+		t.Error("element datatypes")
+	}
+}
+
+// The central correctness claim: both exchange variants produce the exact
+// same field as the sequential reference, in both precisions, on every
+// paper grid shape (scaled down).
+func TestStencilCorrectness(t *testing.T) {
+	grids := []struct{ gr, gc int }{{1, 4}, {4, 1}, {2, 2}, {2, 4}}
+	for _, variant := range []Variant{Def, NC} {
+		for _, prec := range []Precision{F32, F64} {
+			for _, g := range grids {
+				res, err := Run(small(variant, prec, g.gr, g.gc))
+				if err != nil {
+					t.Fatalf("%v %v %dx%d: %v", variant, prec, g.gr, g.gc, err)
+				}
+				if !res.Validated {
+					t.Fatalf("%v %v %dx%d: not validated", variant, prec, g.gr, g.gc)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantsProduceIdenticalFields(t *testing.T) {
+	// Def and NC validated against the same reference implies they agree
+	// with each other; this asserts it directly through Run.
+	for _, prec := range []Precision{F32, F64} {
+		d, err := Run(small(Def, prec, 2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := Run(small(NC, prec, 2, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.MedianIter <= 0 || n.MedianIter <= 0 {
+			t.Error("non-positive iteration times")
+		}
+	}
+}
+
+func TestSingleRankNoNeighbors(t *testing.T) {
+	// A 1x1 grid has no communication at all; both variants must still
+	// validate (pure kernel).
+	for _, v := range []Variant{Def, NC} {
+		res, err := Run(small(v, F32, 1, 1))
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if !res.Validated {
+			t.Error("not validated")
+		}
+	}
+}
+
+func TestBadGeometryRejected(t *testing.T) {
+	if _, err := Run(Params{GridRows: 0, GridCols: 2, Rows: 4, Cols: 4}); err == nil {
+		t.Error("zero grid accepted")
+	}
+}
+
+// NC must beat Def on every paper grid, with the improvement ordering the
+// paper reports: 1x8 (all non-contiguous) > 2x4 > 4x2 > 8x1 (contiguous
+// only). Run at reduced geometry with the ratio-preserving kernel scaling.
+func TestPaperImprovementOrdering(t *testing.T) {
+	const scale = 32
+	improvements := map[string]float64{}
+	var order []string
+	for _, g := range PaperGrids(scale) {
+		def, err := Run(ScaledParams(g, F32, Def, scale, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc, err := Run(ScaledParams(g, F32, NC, scale, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		impr := 1 - float64(nc.MedianIter)/float64(def.MedianIter)
+		improvements[g.Label] = impr
+		order = append(order, g.Label)
+		if impr <= 0 {
+			t.Errorf("%s: NC (%v) not faster than Def (%v)", g.Label, nc.MedianIter, def.MedianIter)
+		}
+	}
+	i18, i81 := improvements[order[0]], improvements[order[1]]
+	i24, i42 := improvements[order[2]], improvements[order[3]]
+	if !(i18 > i24 && i24 > i42 && i42 > i81) {
+		t.Errorf("improvement ordering broken: 1x8=%.1f%% 2x4=%.1f%% 4x2=%.1f%% 8x1=%.1f%%",
+			100*i18, 100*i24, 100*i42, 100*i81)
+	}
+	// The headline case must be substantial (paper: 42%).
+	if i18 < 0.25 {
+		t.Errorf("1x8 improvement = %.1f%%, want ≥25%%", 100*i18)
+	}
+}
+
+// Figure 6 shape: CUDA staging dominates MPI time for the non-contiguous
+// east/west dimensions in the Def variant.
+func TestBreakdownShape(t *testing.T) {
+	bd, err := RunBreakdown(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"south_mpi", "west_mpi", "east_mpi", "south_cuda", "west_cuda", "east_cuda"} {
+		if bd.Get(key) <= 0 {
+			t.Errorf("breakdown key %s empty", key)
+		}
+	}
+	if bd.Get("north_mpi") != 0 {
+		t.Error("rank 1 on a 2x4 grid has no north neighbour")
+	}
+	if bd.Get("east_cuda") <= bd.Get("east_mpi") {
+		t.Errorf("east: cuda (%v) should dominate mpi (%v)", bd.Get("east_cuda"), bd.Get("east_mpi"))
+	}
+	if bd.Get("west_cuda") <= bd.Get("west_mpi") {
+		t.Errorf("west: cuda (%v) should dominate mpi (%v)", bd.Get("west_cuda"), bd.Get("west_mpi"))
+	}
+	// Non-contiguous east/west staging dwarfs the contiguous south staging.
+	if bd.Get("east_cuda") <= bd.Get("south_cuda") {
+		t.Errorf("east_cuda (%v) should exceed south_cuda (%v)", bd.Get("east_cuda"), bd.Get("south_cuda"))
+	}
+	tbl := BreakdownTable(bd)
+	if !strings.Contains(tbl.String(), "east_cuda") {
+		t.Error("breakdown table rendering")
+	}
+}
+
+func TestRunTableRendering(t *testing.T) {
+	tbl, err := RunTable(F32, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"Table II", "1x8", "8x1", "2x4", "4x2", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tbl.Rows) != 4 {
+		t.Errorf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestPaperGridsScaling(t *testing.T) {
+	full := PaperGrids(1)
+	if full[0].Rows != 64<<10 || full[0].Cols != 1<<10 {
+		t.Errorf("full 1x8 geometry = %dx%d", full[0].Rows, full[0].Cols)
+	}
+	quarter := PaperGrids(4)
+	if quarter[0].Rows != 16<<10 {
+		t.Errorf("scaled rows = %d", quarter[0].Rows)
+	}
+	// Scaling floors at 4 cells.
+	tiny := PaperGrids(1 << 20)
+	if tiny[0].Rows != 4 {
+		t.Errorf("floor = %d", tiny[0].Rows)
+	}
+	p := ScaledParams(full[0], F64, NC, 8, 2)
+	if p.KernelNsPerCell != DefaultKernelNsPerCell(F64)*8 {
+		t.Errorf("kernel scaling = %v", p.KernelNsPerCell)
+	}
+}
+
+func TestIterationTimesPositiveAndStable(t *testing.T) {
+	res, err := Run(small(NC, F32, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterTimes) != 2 {
+		t.Fatalf("iter times = %v", res.IterTimes)
+	}
+	for _, it := range res.IterTimes {
+		if it <= 0 {
+			t.Errorf("non-positive iteration time %v", it)
+		}
+	}
+	if res.MedianIter < res.IterTimes[0] && res.MedianIter < res.IterTimes[1] {
+		t.Error("median outside sample range")
+	}
+	var _ sim.Time = res.MedianIter
+}

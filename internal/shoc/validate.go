@@ -1,0 +1,50 @@
+package shoc
+
+import "fmt"
+
+// validate recomputes the whole global stencil sequentially and compares
+// every rank's final interior bit-for-bit. The kernel performs all
+// arithmetic in float64 with exactly one rounding per store, and the
+// reference does the same, so even the float32 runs must match exactly —
+// any halo-exchange bug shows up as a hard mismatch.
+func validate(p Params, fields []*field) error {
+	gr, gc := p.GridRows*p.Rows, p.GridCols*p.Cols
+	pitch := gc + 2
+	cur := make([]float64, (gr+2)*pitch)
+	next := make([]float64, (gr+2)*pitch)
+	for i := 0; i < gr; i++ {
+		for j := 0; j < gc; j++ {
+			v := roundTo(p.Prec, initValue(i, j))
+			cur[(i+1)*pitch+j+1] = v
+			next[(i+1)*pitch+j+1] = v
+		}
+	}
+	steps := p.Warmup + p.Iters
+	for s := 0; s < steps; s++ {
+		for i := 1; i <= gr; i++ {
+			for j := 1; j <= gc; j++ {
+				k := i*pitch + j
+				v := wCenter*cur[k] +
+					wCardinal*(cur[k-pitch]+cur[k+pitch]+cur[k-1]+cur[k+1]) +
+					wDiagonal*(cur[k-pitch-1]+cur[k-pitch+1]+cur[k+pitch-1]+cur[k+pitch+1])
+				next[k] = roundTo(p.Prec, v)
+			}
+		}
+		cur, next = next, cur
+	}
+	for rank, f := range fields {
+		for r := 1; r <= f.rows; r++ {
+			for c := 1; c <= f.cols; c++ {
+				gi := f.g.pr*f.rows + r // 1-based in the global array
+				gj := f.g.pc*f.cols + c
+				want := cur[gi*pitch+gj]
+				got := f.loadF(f.in, f.idx(r, c))
+				if got != want {
+					return fmt.Errorf("shoc: rank %d cell (%d,%d): got %v, want %v (%s, %s, step %d)",
+						rank, r, c, got, want, p.Variant, p.Prec, steps)
+				}
+			}
+		}
+	}
+	return nil
+}

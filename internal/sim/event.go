@@ -1,0 +1,148 @@
+package sim
+
+import "fmt"
+
+// Event is a one-shot condition that processes can wait on and that any
+// execution context (a process or an engine callback) can trigger.
+//
+// Triggering is idempotent: the first Trigger fires the event, waking all
+// current waiters at the current virtual time and running registered
+// callbacks inline; later Trigger calls are no-ops. Waiting on an already
+// fired event returns immediately without blocking.
+type Event struct {
+	e       *Engine
+	name    string
+	fired   bool
+	firedAt Time
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewEvent creates a named, unfired event.
+func (e *Engine) NewEvent(name string) *Event {
+	return &Event{e: e, name: name}
+}
+
+// Name returns the event name given at creation.
+func (ev *Event) Name() string { return ev.name }
+
+// Fired reports whether the event has been triggered.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// FiredAt returns the virtual time of the trigger. It panics if the event
+// has not fired; check Fired first.
+func (ev *Event) FiredAt() Time {
+	if !ev.fired {
+		panic("sim: FiredAt on unfired event " + ev.name)
+	}
+	return ev.firedAt
+}
+
+// Trigger fires the event. Waiters are resumed at the current instant in
+// the order they began waiting; callbacks run inline, in registration
+// order, before Trigger returns. Triggering an already-fired event is a
+// no-op.
+func (ev *Event) Trigger() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.firedAt = ev.e.now
+	ev.e.trace("event %s: fired", ev.name)
+	for _, p := range ev.waiters {
+		p.scheduleResume(ev.e.now)
+	}
+	ev.waiters = nil
+	cbs := ev.cbs
+	ev.cbs = nil
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// OnTrigger registers fn to run when the event fires. If the event has
+// already fired, fn runs immediately.
+func (ev *Event) OnTrigger(fn func()) {
+	if ev.fired {
+		fn()
+		return
+	}
+	ev.cbs = append(ev.cbs, fn)
+}
+
+// Wait blocks the process until the event fires. It returns immediately if
+// the event has already fired.
+func (p *Proc) Wait(ev *Event) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block("wait " + ev.name)
+}
+
+// WaitAll blocks until every listed event has fired.
+func (p *Proc) WaitAll(evs ...*Event) {
+	for _, ev := range evs {
+		p.Wait(ev)
+	}
+}
+
+// WaitAny blocks until at least one listed event has fired and returns the
+// index of the first fired event in argument order. It panics on an empty
+// list.
+//
+// A process always waits on exactly one wakeup source, so WaitAny waits on
+// a one-shot aggregate event wired to the inputs with OnTrigger. The
+// aggregate's Trigger is idempotent, so later firings of other inputs are
+// harmless. The callbacks registered on inputs that never fire persist for
+// the inputs' lifetime; callers looping over long-lived events should wait
+// on a Queue or Resource instead.
+func (p *Proc) WaitAny(evs ...*Event) int {
+	if len(evs) == 0 {
+		panic("sim: WaitAny with no events")
+	}
+	for i, ev := range evs {
+		if ev.fired {
+			return i
+		}
+	}
+	any := p.e.NewEvent("anyOf")
+	for _, ev := range evs {
+		ev.OnTrigger(any.Trigger)
+	}
+	p.Wait(any)
+	for i, ev := range evs {
+		if ev.fired {
+			return i
+		}
+	}
+	panic("sim: WaitAny woke with no fired event")
+}
+
+// AllOf returns a new event that fires once all inputs have fired. With no
+// inputs the returned event is already fired.
+func (e *Engine) AllOf(name string, evs ...*Event) *Event {
+	out := e.NewEvent(name)
+	n := len(evs)
+	if n == 0 {
+		out.Trigger()
+		return out
+	}
+	remaining := n
+	for _, ev := range evs {
+		ev.OnTrigger(func() {
+			remaining--
+			if remaining == 0 {
+				out.Trigger()
+			}
+		})
+	}
+	return out
+}
+
+func (ev *Event) String() string {
+	if ev.fired {
+		return fmt.Sprintf("event(%s fired@%v)", ev.name, ev.firedAt)
+	}
+	return fmt.Sprintf("event(%s pending, %d waiters)", ev.name, len(ev.waiters))
+}

@@ -1,0 +1,79 @@
+package sim
+
+// Queue is an unbounded FIFO mailbox carrying values of type T between
+// simulation contexts. Put never blocks; Get blocks the calling process
+// until an item is available. Items are delivered in insertion order and
+// waiters are served in arrival order.
+//
+// Queues are the message-passing primitive between simulated components,
+// e.g. a NIC delivering packets to an MPI progress handler, or a stream
+// worker consuming queued copy operations.
+type Queue[T any] struct {
+	e       *Engine
+	name    string
+	items   []T
+	waiters []*Event
+
+	puts, gets uint64
+	maxLen     int
+}
+
+// NewQueue creates an empty queue. The type parameter is chosen by the
+// caller: sim.NewQueue[*packet](e, "nic0.rx").
+func NewQueue[T any](e *Engine, name string) *Queue[T] {
+	return &Queue[T]{e: e, name: name}
+}
+
+// Name returns the queue name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes the oldest waiter, if any. It may be called from
+// any context.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.items) > q.maxLen {
+		q.maxLen = len(q.items)
+	}
+	if len(q.waiters) > 0 {
+		head := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		head.Trigger()
+	}
+}
+
+// Get removes and returns the head item, blocking while the queue is empty.
+//
+// Wakeups are one-per-Put, and each woken waiter either consumes an item or
+// (if a non-waiting Get at the same instant took it first) re-registers and
+// blocks again, so no wakeup is ever lost.
+func (q *Queue[T]) Get(p *Proc) T {
+	for len(q.items) == 0 {
+		ev := q.e.NewEvent(q.name + ".get")
+		q.waiters = append(q.waiters, ev)
+		p.Wait(ev)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero // release reference for GC
+	q.items = q.items[1:]
+	q.gets++
+	return v
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.gets++
+	return v, true
+}

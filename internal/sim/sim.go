@@ -1,0 +1,372 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock by executing scheduled items in
+// non-decreasing time order. Two kinds of items exist: callbacks, which run
+// to completion inside the engine's goroutine, and process resumptions,
+// which hand control to a cooperative process.
+//
+// Processes are ordinary goroutines wrapped by Proc. Exactly one process
+// (or the engine itself) executes at any instant; control is transferred
+// explicitly when a process blocks in Sleep, Wait, or a resource/queue
+// operation. This cooperative single-executor discipline makes the whole
+// simulation race-free and fully deterministic: the same program produces
+// the same event trace on every run.
+//
+// All simulated components in this repository (GPU DMA engines, the
+// InfiniBand fabric, the MPI progress engine) are built from the three
+// primitives in this package: Proc, Event and Resource.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. It is intentionally distinct from time.Duration so
+// simulated and wall-clock time cannot be confused.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t expressed in milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String renders the time with an auto-selected unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.6gms", t.Millis())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.6gus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// DurationOf converts a byte count and a bandwidth in bytes/second into the
+// virtual time the transfer occupies. Bandwidths of zero or below panic:
+// a cost model with a zero bandwidth is a configuration bug, not a runtime
+// condition to tolerate.
+func DurationOf(bytes int, bytesPerSec float64) Time {
+	if bytesPerSec <= 0 {
+		panic("sim: non-positive bandwidth")
+	}
+	return Time(float64(bytes) / bytesPerSec * float64(Second))
+}
+
+// itemKind discriminates the two schedulable item types.
+type itemKind uint8
+
+const (
+	kindCall itemKind = iota
+	kindResume
+)
+
+// item is one entry in the event heap.
+type item struct {
+	t    Time
+	seq  uint64 // tie-breaker: FIFO among items at the same instant
+	kind itemKind
+	fn   func()
+	proc *Proc
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is the simulation scheduler. The zero value is not usable; create
+// engines with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    itemHeap
+	cur     *Proc         // process currently holding the baton, nil in engine context
+	yield   chan struct{} // signalled by a process when it blocks or finishes
+	nlive   int           // spawned processes that have not finished
+	blocked map[*Proc]string
+	nevents uint64 // dispatched item count, for stats and runaway guards
+
+	shutdown     chan struct{}
+	shutdownDone bool
+
+	tracer func(t Time, msg string)
+}
+
+// New creates an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		yield:    make(chan struct{}),
+		blocked:  map[*Proc]string{},
+		shutdown: make(chan struct{}),
+	}
+}
+
+// Shutdown terminates every process goroutine still blocked in the engine
+// (daemons waiting for work, processes stuck on unfired events). Blocked
+// goroutines otherwise live for the lifetime of the Go program and keep
+// everything they reference — entire simulated memories — reachable, so
+// long-running harnesses that build many engines must call Shutdown when
+// each simulation finishes.
+//
+// Shutdown must only be called while the engine is not executing (i.e.
+// after Run/RunUntil has returned). It is idempotent. The engine must not
+// be used afterwards.
+func (e *Engine) Shutdown() {
+	if !e.shutdownDone {
+		e.shutdownDone = true
+		close(e.shutdown)
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of scheduled items dispatched so far.
+func (e *Engine) Events() uint64 { return e.nevents }
+
+// SetTracer installs a trace sink invoked for process lifecycle events.
+// Pass nil to disable tracing.
+func (e *Engine) SetTracer(fn func(t Time, msg string)) { e.tracer = fn }
+
+func (e *Engine) trace(format string, args ...interface{}) {
+	if e.tracer != nil {
+		e.tracer(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// schedule inserts an item at absolute time t.
+func (e *Engine) schedule(t Time, it *item) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	it.t = t
+	it.seq = e.seq
+	e.seq++
+	heap.Push(&e.heap, it)
+}
+
+// CallAt schedules fn to run in engine context at absolute time t.
+// fn must not block; it may schedule further items, trigger events and
+// spawn processes.
+func (e *Engine) CallAt(t Time, fn func()) {
+	e.schedule(t, &item{kind: kindCall, fn: fn})
+}
+
+// CallAfter schedules fn to run d after the current time.
+func (e *Engine) CallAfter(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.CallAt(e.now+d, fn)
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still blocked on events that can no longer fire.
+type DeadlockError struct {
+	At      Time
+	Blocked []string // "name: reason" for each stuck process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked: %v", d.At, len(d.Blocked), d.Blocked)
+}
+
+// Run dispatches items until the queue is empty. It returns nil when the
+// simulation drained cleanly (every spawned process finished), and a
+// *DeadlockError when processes remain blocked with no pending items.
+func (e *Engine) Run() error {
+	return e.run(-1)
+}
+
+// RunUntil dispatches items with time ≤ limit, leaving later items queued.
+// The clock is advanced to limit even if the queue drains earlier.
+func (e *Engine) RunUntil(limit Time) error {
+	err := e.run(limit)
+	if err == nil && e.now < limit {
+		e.now = limit
+	}
+	return err
+}
+
+func (e *Engine) run(limit Time) error {
+	for len(e.heap) > 0 {
+		if limit >= 0 && e.heap[0].t > limit {
+			return nil
+		}
+		it := heap.Pop(&e.heap).(*item)
+		e.now = it.t
+		e.nevents++
+		switch it.kind {
+		case kindCall:
+			it.fn()
+		case kindResume:
+			e.runProc(it.proc)
+		}
+	}
+	var msgs []string
+	for p, why := range e.blocked {
+		if !p.daemon {
+			msgs = append(msgs, p.name+": "+why)
+		}
+	}
+	if len(msgs) > 0 {
+		sort.Strings(msgs)
+		return &DeadlockError{At: e.now, Blocked: msgs}
+	}
+	return nil
+}
+
+// runProc hands the baton to p and waits for it to yield it back.
+// A panic inside the process is re-raised here, in the Run caller's
+// goroutine, so it is observable and recoverable like any ordinary panic.
+func (e *Engine) runProc(p *Proc) {
+	if p.done {
+		panic("sim: resuming finished process " + p.name)
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.cur = prev
+	if p.panicked != nil {
+		pv := p.panicked
+		p.panicked = nil
+		panic(pv)
+	}
+}
+
+// Proc is a cooperative simulated process. Procs are created with Spawn and
+// must only call blocking operations (Sleep, Wait, Resource.Acquire, ...)
+// from their own goroutine while they hold the baton.
+type Proc struct {
+	e        *Engine
+	name     string
+	resume   chan struct{}
+	done     bool
+	daemon   bool
+	panicked interface{} // panic value captured from the process goroutine
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Spawn creates a process executing fn and schedules it to start at the
+// current time (after already-queued items at this instant).
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnDaemon creates a server process that is allowed to remain blocked
+// forever: it is excluded from deadlock detection, so a simulation whose
+// ordinary processes all finish terminates cleanly even while daemons
+// (e.g. CUDA stream workers, NIC service loops) still wait for work.
+func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	p := e.SpawnAt(e.now, name, fn)
+	p.daemon = true
+	return p
+}
+
+// SpawnAt creates a process starting at absolute time t.
+func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.nlive++
+	go func() {
+		p.awaitResume() // wait for first dispatch
+		e.trace("proc %s: start", p.name)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p.panicked = r
+				}
+			}()
+			fn(p)
+		}()
+		e.trace("proc %s: done", p.name)
+		p.done = true
+		e.nlive--
+		e.yield <- struct{}{}
+	}()
+	e.schedule(t, &item{kind: kindResume, proc: p})
+	return p
+}
+
+// block releases the baton and waits until the engine resumes this process.
+// reason is recorded for deadlock diagnostics.
+func (p *Proc) block(reason string) {
+	p.e.blocked[p] = reason
+	p.e.yield <- struct{}{}
+	p.awaitResume()
+	delete(p.e.blocked, p)
+}
+
+// awaitResume parks the goroutine until the engine hands it the baton —
+// or until Shutdown, in which case the goroutine exits so it stops
+// retaining the simulation's memory.
+func (p *Proc) awaitResume() {
+	select {
+	case <-p.resume:
+	case <-p.e.shutdown:
+		runtime.Goexit()
+	}
+}
+
+// scheduleResume queues a wake-up for p at absolute time t.
+func (p *Proc) scheduleResume(t Time) {
+	p.e.schedule(t, &item{kind: kindResume, proc: p})
+}
+
+// Sleep blocks the process for duration d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.scheduleResume(p.e.now + d)
+	p.block("sleep")
+}
+
+// Yield reschedules the process at the current instant, letting other items
+// queued for the same time run first.
+func (p *Proc) Yield() {
+	p.scheduleResume(p.e.now)
+	p.block("yield")
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+func TestBreakdownAccumulates(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("east_cuda", 5*sim.Microsecond)
+	b.Add("east_mpi", 2*sim.Microsecond)
+	b.Add("east_cuda", 3*sim.Microsecond)
+	if got := b.Get("east_cuda"); got != 8*sim.Microsecond {
+		t.Errorf("east_cuda = %v", got)
+	}
+	if got := b.Keys(); len(got) != 2 || got[0] != "east_cuda" || got[1] != "east_mpi" {
+		t.Errorf("keys = %v", got)
+	}
+	if b.Total() != 10*sim.Microsecond {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestBreakdownTimed(t *testing.T) {
+	e := sim.New()
+	b := NewBreakdown()
+	e.Spawn("p", func(p *sim.Proc) {
+		b.Timed("work", e, func() { p.Sleep(7 * sim.Microsecond) })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Get("work") != 7*sim.Microsecond {
+		t.Errorf("timed = %v", b.Get("work"))
+	}
+}
+
+func TestBreakdownMergeAndSorted(t *testing.T) {
+	a, b := NewBreakdown(), NewBreakdown()
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("y", 10)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 10 {
+		t.Errorf("merge: x=%v y=%v", a.Get("x"), a.Get("y"))
+	}
+	s := a.Sorted()
+	if s[0].Key != "y" || s[1].Key != "x" {
+		t.Errorf("sorted = %v", s)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("south_mpi", 1500*sim.Nanosecond)
+	if !strings.Contains(b.String(), "south_mpi") || !strings.Contains(b.String(), "1.5 us") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []sim.Time
+		want sim.Time
+	}{
+		{nil, 0},
+		{[]sim.Time{5}, 5},
+		{[]sim.Time{3, 1, 2}, 2},
+		{[]sim.Time{4, 1, 3, 2}, 2}, // (2+3)/2 truncated
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Input must not be reordered.
+	in := []sim.Time{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}

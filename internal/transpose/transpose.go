@@ -1,0 +1,158 @@
+// Package transpose implements a distributed matrix transpose across N
+// GPUs — the communication core of 2D FFTs and one of the classic MPI
+// derived-datatype workloads, here running entirely on device-resident
+// data through the MV2-GPU-NC path.
+//
+// The global N×N float32 matrix is row-block distributed. Every rank
+// exchanges one block with every other rank; the trick is that senders
+// describe their block *column by column* with a resized vector datatype,
+// so the packed wire stream is the block already transposed, and the
+// receiver stores plain contiguous rows. No transpose kernel runs
+// anywhere: the datatype engine (offloaded to the GPU by the transport)
+// does all data reshaping.
+package transpose
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// Params configures a run.
+type Params struct {
+	// Ranks is the number of GPUs; must divide N.
+	Ranks int
+	// N is the global matrix dimension.
+	N        int
+	Validate bool
+	Cluster  cluster.Config
+}
+
+// Result reports timing for the full transpose.
+type Result struct {
+	Elapsed   sim.Time // barrier-to-barrier, all ranks
+	Validated bool
+}
+
+// blockColType builds the sender-side datatype for one P×P-block of a
+// matrix with rowPitch elements per row: a single block column (blockRows
+// elements, one per matrix row), resized so consecutive columns start one
+// element apart. Sending `blockCols` of them streams the block transposed.
+func blockColType(blockRows, rowPitchElems int) *datatype.Datatype {
+	col, err := datatype.Vector(blockRows, 1, rowPitchElems, datatype.Float32)
+	if err != nil {
+		panic(err)
+	}
+	col.MustCommit()
+	stepped, err := datatype.Resized(col, 0, 4)
+	if err != nil {
+		panic(err)
+	}
+	return stepped.MustCommit()
+}
+
+// Run executes the distributed transpose and returns its timing.
+func Run(p Params) (*Result, error) {
+	if p.Ranks <= 0 || p.N <= 0 || p.N%p.Ranks != 0 {
+		return nil, fmt.Errorf("transpose: ranks %d must divide N %d", p.Ranks, p.N)
+	}
+	rows := p.N / p.Ranks // rows owned per rank (and block edge length)
+	rowBytes := p.N * 4
+	localBytes := rows * rowBytes
+
+	ccfg := p.Cluster
+	ccfg.Nodes = p.Ranks
+	if ccfg.GPUMemBytes == 0 {
+		ccfg.GPUMemBytes = 2*localBytes + rows*rows*4*p.Ranks + (32 << 20)
+	}
+	cl := cluster.New(ccfg)
+
+	colType := blockColType(rows, p.N)
+	var elapsed sim.Time
+	srcBufs := make([]mem.Ptr, p.Ranks)
+	dstBufs := make([]mem.Ptr, p.Ranks)
+
+	err := cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		me := r.Rank()
+		a := n.Ctx.MustMalloc(localBytes) // my rows of A
+		b := n.Ctx.MustMalloc(localBytes) // my rows of B = A^T
+		srcBufs[me], dstBufs[me] = a, b
+		// A[i][j] = i*1e4 + j (globally unique, exactly representable).
+		for lr := 0; lr < rows; lr++ {
+			gi := me*rows + lr
+			for j := 0; j < p.N; j++ {
+				putF32(a, (lr*p.N+j)*4, float32(gi*10000+j))
+			}
+		}
+		r.Barrier()
+		t0 := r.Now()
+
+		// Pairwise rounds: at step s exchange blocks with (me+s)%P.
+		// Sending block column-types transposes on the wire; receiving is
+		// a contiguous write of `rows` rows of the partner's columns.
+		for s := 0; s < p.Ranks; s++ {
+			to := (me + s) % p.Ranks
+			from := (me - s + p.Ranks) % p.Ranks
+			sendAt := a.Add(to * rows * 4)   // block (my rows, to's columns)
+			recvAt := b.Add(from * rows * 4) // B rows me*, columns from's range
+			if to == me {
+				// Local block: same datatype path through self-send.
+				q := r.Irecv(recvAt, 1, rowBlock(rows, p.N), me, s)
+				r.Send(sendAt, rows, colType, me, s)
+				r.Wait(q)
+				continue
+			}
+			q := r.Irecv(recvAt, 1, rowBlock(rows, p.N), from, s)
+			r.Send(sendAt, rows, colType, to, s)
+			r.Wait(q)
+		}
+		r.Barrier()
+		if r.Rank() == 0 {
+			elapsed = r.Now() - t0
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Elapsed: elapsed}
+	if p.Validate {
+		for rank := 0; rank < p.Ranks; rank++ {
+			for lr := 0; lr < rows; lr++ {
+				gi := rank*rows + lr // global row of B = global column of A
+				for j := 0; j < p.N; j++ {
+					got := getF32(dstBufs[rank], (lr*p.N+j)*4)
+					want := float32(j*10000 + gi) // A[j][gi]
+					if got != want {
+						return nil, fmt.Errorf("transpose: B[%d][%d] = %v, want %v", gi, j, got, want)
+					}
+				}
+			}
+		}
+		res.Validated = true
+	}
+	return res, nil
+}
+
+// rowBlock is the receiver-side type: `rows` rows of `rows` contiguous
+// elements inside a row of pitch n — a plain subblock written row-major.
+func rowBlock(rows, n int) *datatype.Datatype {
+	t, err := datatype.Vector(rows, rows, n, datatype.Float32)
+	if err != nil {
+		panic(err)
+	}
+	return t.MustCommit()
+}
+
+func putF32(p mem.Ptr, off int, v float32) {
+	binary.LittleEndian.PutUint32(p.Add(off).Bytes(4), math.Float32bits(v))
+}
+
+func getF32(p mem.Ptr, off int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(p.Add(off).Bytes(4)))
+}

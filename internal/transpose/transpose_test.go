@@ -1,0 +1,61 @@
+package transpose
+
+import (
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+func TestTransposeCorrectness(t *testing.T) {
+	for _, c := range []struct{ ranks, n int }{
+		{1, 16}, {2, 16}, {4, 32}, {8, 64},
+	} {
+		res, err := Run(Params{Ranks: c.ranks, N: c.n, Validate: true})
+		if err != nil {
+			t.Fatalf("%d ranks, N=%d: %v", c.ranks, c.n, err)
+		}
+		if !res.Validated {
+			t.Fatalf("%d ranks, N=%d: not validated", c.ranks, c.n)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%d ranks, N=%d: non-positive elapsed %v", c.ranks, c.n, res.Elapsed)
+		}
+	}
+}
+
+func TestTransposeLargeBlocksUseRendezvous(t *testing.T) {
+	// 4 ranks, N=512: blocks are 128x128 floats = 64 KB packed, above the
+	// eager limit, so the full pipeline carries transposed streams.
+	res, err := Run(Params{Ranks: 4, N: 512, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Validated {
+		t.Fatal("not validated")
+	}
+}
+
+func TestTransposeScaling(t *testing.T) {
+	// More ranks on a fixed global matrix shrink per-pair blocks but add
+	// rounds; total time must stay within sane bounds either way.
+	var prev sim.Time
+	for _, ranks := range []int{2, 4} {
+		res, err := Run(Params{Ranks: ranks, N: 256, Validate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > 0 && res.Elapsed > prev*4 {
+			t.Errorf("%d ranks: %v vs %v at fewer ranks — superlinear blowup", ranks, res.Elapsed, prev)
+		}
+		prev = res.Elapsed
+	}
+}
+
+func TestTransposeValidation(t *testing.T) {
+	if _, err := Run(Params{Ranks: 3, N: 16}); err == nil {
+		t.Error("non-divisible geometry accepted")
+	}
+	if _, err := Run(Params{Ranks: 0, N: 16}); err == nil {
+		t.Error("zero ranks accepted")
+	}
+}
