@@ -34,9 +34,24 @@ func reportVirt(b *testing.B, t sim.Time) {
 func benchPack(b *testing.B, scheme osu.PackScheme, size int) {
 	var last sim.Time
 	for i := 0; i < b.N; i++ {
-		last = osu.PackLatency(scheme, size, osu.PackConfig{Iters: 1})
+		lat, err := osu.PackLatency(scheme, size, osu.PackConfig{Iters: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = lat
 	}
 	reportVirt(b, last)
+}
+
+// benchVectorLat runs one VectorLatency measurement, failing the bench on
+// error (including the end-of-run device-leak gate).
+func benchVectorLat(b *testing.B, d osu.Design, size int, cfg osu.VectorConfig) sim.Time {
+	b.Helper()
+	lat, err := osu.VectorLatency(d, size, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return lat
 }
 
 func BenchmarkFig2PackSmall(b *testing.B) {
@@ -57,7 +72,7 @@ func BenchmarkFig2PackLarge(b *testing.B) {
 func benchVector(b *testing.B, d osu.Design, size int) {
 	var last sim.Time
 	for i := 0; i < b.N; i++ {
-		last = osu.VectorLatency(d, size, osu.VectorConfig{Iters: 1})
+		last = benchVectorLat(b, d, size, osu.VectorConfig{Iters: 1})
 	}
 	reportVirt(b, last)
 }
@@ -86,7 +101,7 @@ func BenchmarkBlockSizeSweep(b *testing.B) {
 			cfg.Cluster.MPI.BlockSize = bs
 			var last sim.Time
 			for i := 0; i < b.N; i++ {
-				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+				last = benchVectorLat(b, osu.DesignMV2GPUNC, 1<<20, cfg)
 			}
 			reportVirt(b, last)
 		})
@@ -181,7 +196,7 @@ func BenchmarkEagerThreshold(b *testing.B) {
 			cfg.Cluster.MPI.EagerLimit = limit
 			var last sim.Time
 			for i := 0; i < b.N; i++ {
-				last = osu.VectorLatency(osu.DesignMV2GPUNC, 32<<10, cfg)
+				last = benchVectorLat(b, osu.DesignMV2GPUNC, 32<<10, cfg)
 			}
 			reportVirt(b, last)
 		})
@@ -216,7 +231,7 @@ func BenchmarkVbufPool(b *testing.B) {
 			}
 			var last sim.Time
 			for i := 0; i < b.N; i++ {
-				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+				last = benchVectorLat(b, osu.DesignMV2GPUNC, 1<<20, cfg)
 			}
 			reportVirt(b, last)
 		})
@@ -250,7 +265,7 @@ func BenchmarkPackOffloadAblation(b *testing.B) {
 			cfg.Cluster.Core.HostStagedPack = staged
 			var last sim.Time
 			for i := 0; i < b.N; i++ {
-				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+				last = benchVectorLat(b, osu.DesignMV2GPUNC, 1<<20, cfg)
 			}
 			reportVirt(b, last)
 		})
@@ -278,7 +293,7 @@ func BenchmarkGPUDirect(b *testing.B) {
 			cfg.Cluster.GPUDirect = c.gdr
 			var last sim.Time
 			for i := 0; i < b.N; i++ {
-				last = osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, cfg)
+				last = benchVectorLat(b, osu.DesignMV2GPUNC, 1<<20, cfg)
 			}
 			reportVirt(b, last)
 		})

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"mv2sim/internal/osu"
 )
@@ -18,6 +19,10 @@ func main() {
 	flag.Parse()
 
 	blocks := []int{4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20, *msg}
-	fmt.Println(osu.BlockSizeSweep(*msg, blocks, osu.VectorConfig{Iters: *iters}))
+	t, err := osu.BlockSizeSweep(*msg, blocks, osu.VectorConfig{Iters: *iters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
 	fmt.Println("Paper (section IV-B): 64 KB optimal on the evaluated cluster.")
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"mv2sim/internal/osu"
 )
@@ -20,5 +21,9 @@ func main() {
 	flag.Parse()
 
 	sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
-	fmt.Println(osu.RunBandwidthTable(sizes, *window, osu.VectorConfig{}))
+	t, err := osu.RunBandwidthTable(sizes, *window, osu.VectorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
 }

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
@@ -32,10 +33,17 @@ func main() {
 	largeSizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
 
 	if !*large || *small {
-		fmt.Println(osu.RunFigure5("Figure 5(a): vector communication latency, small messages (us)", smallSizes, cfg))
+		fig, err := osu.RunFigure5("Figure 5(a): vector communication latency, small messages (us)", smallSizes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fig)
 	}
 	if !*small || *large {
-		fig := osu.RunFigure5("Figure 5(b): vector communication latency, large messages (us)", largeSizes, cfg)
+		fig, err := osu.RunFigure5("Figure 5(b): vector communication latency, large messages (us)", largeSizes, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println(fig)
 		// The paper's headline: improvement of MV2-GPU-NC over Cpy2D+Send
 		// at 4 MB (paper: 88%).

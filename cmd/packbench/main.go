@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
@@ -49,14 +50,23 @@ func main() {
 	}
 
 	if !*large || *small {
-		show(osu.RunFigure2("Figure 2(a): non-contiguous pack latency, small messages (us)", smallSizes, cfg))
+		show(must(osu.RunFigure2("Figure 2(a): non-contiguous pack latency, small messages (us)", smallSizes, cfg)))
 	}
 	if !*small || *large {
-		show(osu.RunFigure2("Figure 2(b): non-contiguous pack latency, large messages (us)", largeSizes, cfg))
+		show(must(osu.RunFigure2("Figure 2(b): non-contiguous pack latency, large messages (us)", largeSizes, cfg)))
 	}
 	if *widths {
-		fmt.Println(osu.WidthSweep(256<<10, []int{4, 16, 64, 256, 1024}, cfg))
+		fmt.Println(must(osu.WidthSweep(256<<10, []int{4, 16, 64, 256, 1024}, cfg)))
 	}
+}
+
+// must exits nonzero on any benchmark failure, including the device-leak
+// gates inside the osu package.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }
 
 func seriesNames(fig *report.Figure) []string {

@@ -37,24 +37,24 @@ func main() {
 
 	banner("Figure 2: non-contiguous pack schemes")
 	pcfg := osu.PackConfig{Iters: *iters}
-	fmt.Println(osu.RunFigure2("Figure 2(a): small messages (us)",
-		[]int{16, 64, 256, 1 << 10, 4 << 10}, pcfg))
-	fmt.Println(osu.RunFigure2("Figure 2(b): large messages (us)",
-		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, pcfg))
+	fmt.Println(must(osu.RunFigure2("Figure 2(a): small messages (us)",
+		[]int{16, 64, 256, 1 << 10, 4 << 10}, pcfg)))
+	fmt.Println(must(osu.RunFigure2("Figure 2(b): large messages (us)",
+		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, pcfg)))
 	fmt.Println("Paper anchors: at 4 KB nc2nc=200us, nc2c=281us, nc2c2c=35us; at 4 MB nc2c2c = 4.8% of nc2nc.")
 
 	banner("Figure 5: vector communication latency")
 	vcfg := osu.VectorConfig{Iters: *iters}
-	fmt.Println(osu.RunFigure5("Figure 5(a): small messages (us)",
-		[]int{16, 64, 256, 1 << 10, 4 << 10}, vcfg))
-	fmt.Println(osu.RunFigure5("Figure 5(b): large messages (us)",
-		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, vcfg))
+	fmt.Println(must(osu.RunFigure5("Figure 5(a): small messages (us)",
+		[]int{16, 64, 256, 1 << 10, 4 << 10}, vcfg)))
+	fmt.Println(must(osu.RunFigure5("Figure 5(b): large messages (us)",
+		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, vcfg)))
 	fmt.Println("Paper: MV2-GPU-NC up to 88% latency improvement over Cpy2D+Send at 4 MB;")
 	fmt.Println("       MV2-GPU-NC and the manual pipeline perform similarly.")
 
 	banner("Section IV-B: pipeline block-size sweep")
-	fmt.Println(osu.BlockSizeSweep(4<<20,
-		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, vcfg))
+	fmt.Println(must(osu.BlockSizeSweep(4<<20,
+		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, vcfg)))
 	fmt.Println("Paper: 64 KB optimal.")
 
 	banner("Table I: code complexity")
@@ -84,17 +84,17 @@ func main() {
 
 	banner("Extensions beyond the paper's figures")
 	fmt.Println("Library-level pack-location ablation (1 MB vector, pitch 16):")
-	offload := osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, osu.VectorConfig{Iters: 1, PitchBytes: 16})
+	offload := must(osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, osu.VectorConfig{Iters: 1, PitchBytes: 16}))
 	stagedCfg := osu.VectorConfig{Iters: 1, PitchBytes: 16}
 	stagedCfg.Cluster.Core.HostStagedPack = true
-	staged := osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, stagedCfg)
+	staged := must(osu.VectorLatency(osu.DesignMV2GPUNC, 1<<20, stagedCfg))
 	fmt.Printf("  GPU-offloaded pack: %10.1f us\n  host-staged pack:   %10.1f us  (%0.fx slower)\n\n",
 		offload.Micros(), staged.Micros(), float64(staged)/float64(offload))
 
-	fmt.Println(osu.RunBandwidthTable([]int{64 << 10, 1 << 20, 4 << 20}, 16, osu.VectorConfig{}))
+	fmt.Println(must(osu.RunBandwidthTable([]int{64 << 10, 1 << 20, 4 << 20}, 16, osu.VectorConfig{})))
 
-	one := osu.MultiPairLatency(256<<10, 1, osu.VectorConfig{})
-	four := osu.MultiPairLatency(256<<10, 4, osu.VectorConfig{})
+	one := must(osu.MultiPairLatency(256<<10, 1, osu.VectorConfig{}))
+	four := must(osu.MultiPairLatency(256<<10, 4, osu.VectorConfig{}))
 	fmt.Printf("Disjoint-pair fabric scaling (256 KB vector): 1 pair %.1f us, 4 pairs %.1f us\n\n",
 		one.Micros(), four.Micros())
 
@@ -118,10 +118,19 @@ func main() {
 		put.Micros(), get.Micros(), report.Improvement(put, get))
 
 	banner("Sensitivity: conclusions under calibration error")
-	fmt.Println(osu.SensitivityTable([]float64{0.25, 1, 4}, 1<<20))
+	fmt.Println(must(osu.SensitivityTable([]float64{0.25, 1, 4}, 1<<20)))
 
 	fmt.Printf("\nTotal wall time: %s (virtual cluster: 8 nodes, C2050-class GPUs, QDR IB)\n",
 		time.Since(start).Round(time.Millisecond))
+}
+
+// must exits nonzero on any benchmark failure — including the end-of-run
+// device-leak gates inside the osu package.
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
 }
 
 // hostRoundTrip measures a 1 MB contiguous host-to-host transfer under
@@ -134,6 +143,7 @@ func hostRoundTrip(mode mpi.RendezvousMode) sim.Time {
 	err := cl.Run(func(n *cluster.Node) {
 		r := n.Rank
 		buf := r.AllocHost(1 << 20)
+		defer r.FreeHost(buf)
 		if r.Rank() == 0 {
 			t0 := r.Now()
 			r.Send(buf, 1<<20, datatype.Byte, 1, 0)
@@ -171,8 +181,14 @@ func pipelineTrace() string {
 		} else {
 			r.Recv(buf, 1, vec, 0, 0)
 		}
+		if err := n.Ctx.Free(buf); err != nil {
+			panic(err)
+		}
 	})
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
 		log.Fatal(err)
 	}
 	head := trace.String()

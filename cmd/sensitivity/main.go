@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"mv2sim/internal/osu"
 )
@@ -18,7 +19,11 @@ func main() {
 	flag.Parse()
 
 	factors := []float64{0.25, 0.5, 1, 2, 4}
-	fmt.Println(osu.SensitivityTable(factors, *msg))
+	t, err := osu.SensitivityTable(factors, *msg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(t)
 	fmt.Println("The improvement never drops below 50% anywhere in the sweep:")
 	fmt.Println("the paper's conclusion depends on the cost *structure* (per-row PCIe")
 	fmt.Println("transactions vs on-device packing), not on the calibrated constants.")

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
@@ -24,7 +25,10 @@ func main() {
 	fmt.Printf("One-way latency of a %s vector of 4-byte elements, GPU to GPU:\n\n", report.ByteSize(msg))
 	results := map[osu.Design]sim.Time{}
 	for _, d := range osu.Designs {
-		lat := osu.VectorLatency(d, msg, cfg)
+		lat, err := osu.VectorLatency(d, msg, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		results[d] = lat
 		fmt.Printf("  %-28s %12.1f us\n", d.String(), lat.Micros())
 	}

@@ -142,3 +142,24 @@ func (cl *Cluster) Run(fn func(n *Node)) error {
 	cl.Engine.Shutdown()
 	return err
 }
+
+// CheckDeviceLeaks is the end-of-run leak gate: it validates every device
+// allocator's invariants and reports any allocation still live. Benchmarks
+// call it after Run, once all device buffers have been freed — Free is pure
+// allocator bookkeeping, so it works after engine shutdown and costs no
+// virtual time.
+func (cl *Cluster) CheckDeviceLeaks() error {
+	for i, n := range cl.Nodes {
+		if n.Dev == nil {
+			continue
+		}
+		if err := n.Dev.CheckAllocator(); err != nil {
+			return fmt.Errorf("cluster: node %d allocator corrupt: %w", i, err)
+		}
+		if live := n.Dev.LiveAllocs(); live != 0 {
+			return fmt.Errorf("cluster: node %d leaks %d device allocations (%d bytes in use)",
+				i, live, n.Dev.MemInUse())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package core
+
+import "mv2sim/internal/mpi"
+
+// The paper's two sweep knobs, re-exported so transport-level code and
+// benchmarks can name them without reaching into mpi. The chunkconst
+// analyzer rejects raw literals for these tunables anywhere outside the
+// defining const blocks.
+const (
+	// DefaultBlockSize is the pipeline chunk size (MV2_CUDA_BLOCK_SIZE).
+	DefaultBlockSize = mpi.DefaultBlockSize
+	// DefaultEagerLimit is the eager/rendezvous threshold
+	// (MV2_IBA_EAGER_THRESHOLD).
+	DefaultEagerLimit = mpi.DefaultEagerLimit
+)

@@ -257,5 +257,18 @@ func Run(p Params) (*Result, error) {
 		}
 		res.Validated = true
 	}
+	// Release device buffers only after validation has read the simulated
+	// memory; Free is pure allocator bookkeeping and works post-shutdown.
+	for _, b := range bricks {
+		if err := b.node.Ctx.Free(b.in); err != nil {
+			return nil, fmt.Errorf("halo3d: free brick: %w", err)
+		}
+		if err := b.node.Ctx.Free(b.out); err != nil {
+			return nil, fmt.Errorf("halo3d: free brick: %w", err)
+		}
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocFree enforces device-memory ownership discipline in library code.
+//
+// Check 1 (leaks): a mem.Ptr obtained from Device.Malloc/MustMalloc or
+// Ctx.Malloc/MustMalloc in an internal/ package must either be freed in
+// the same function (a call whose name contains "Free" receives it) or
+// visibly transfer ownership: returned, stored into a field/slice/map, or
+// passed to a function that may keep it. Simulator API calls (methods on
+// cuda.Ctx, cuda.Stream, gpu.Device, mpi.Rank and mem.Ptr) borrow their
+// pointer arguments and do not count as ownership transfer. An allocation
+// with no Free and no transfer is a leak: simulated device memory is only
+// reclaimed by the allocator, never by the garbage collector.
+//
+// Check 2 (error propagation): MustMalloc and panic(err) are conveniences
+// for main packages and for simulation-process bodies, where the engine
+// re-raises the panic to the Run caller. In exported library API outside
+// a simulation context the error should propagate as a return value;
+// panicking turns a recoverable out-of-memory or configuration problem
+// into a crash. Functions named Must* are exempt: they are documented
+// panic wrappers.
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "flags leaked device allocations and panic-instead-of-error in library code",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	internal := isInternalLib(pass.Pkg.Path())
+	cmdLike := isCmdOrMain(pass.Pkg.Path(), pass.Pkg.Name())
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || isTestFile(pass.Fset, fn.Pos()) {
+				continue
+			}
+			if internal {
+				checkLeaks(pass, fn)
+			}
+			if !cmdLike {
+				checkErrorPropagation(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Check 1: leaked allocations
+
+// isAllocCall reports whether call allocates device memory.
+func isAllocCall(info *types.Info, call *ast.CallExpr) bool {
+	mi, ok := methodCall(info, call)
+	if !ok || (mi.method != "Malloc" && mi.method != "MustMalloc") {
+		return false
+	}
+	return (mi.pkgPath == gpuPath && mi.typeName == "Device") ||
+		(mi.pkgPath == cudaPath && mi.typeName == "Ctx")
+}
+
+// borrowingReceivers are types whose methods borrow pointer arguments
+// without taking ownership.
+var borrowingReceivers = map[[2]string]bool{
+	{cudaPath, "Ctx"}:    true,
+	{cudaPath, "Stream"}: true,
+	{gpuPath, "Device"}:  true,
+	{mpiPath, "Rank"}:    true,
+	{memPath, "Ptr"}:     true,
+	{memPath, "Space"}:   true,
+}
+
+type allocState struct {
+	obj   types.Object
+	pos   ast.Node
+	freed bool
+	moved bool // ownership visibly transferred (or aliased: give up)
+}
+
+func checkLeaks(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	allocs := map[types.Object]*allocState{}
+
+	// Collect locals whose value comes from a device allocation,
+	// including conditional re-assignment of a pre-declared variable.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok || !isAllocCall(info, call) {
+				continue
+			}
+			obj := objOfIdent(info, id)
+			if obj == nil || allocs[obj] != nil {
+				continue
+			}
+			allocs[obj] = &allocState{obj: obj, pos: call}
+		}
+		return true
+	})
+	if len(allocs) == 0 {
+		return
+	}
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			markMentionedAlloc(info, st, allocs, func(a *allocState) { a.moved = true })
+			return false
+		case *ast.CallExpr:
+			classifyCallUse(info, st, allocs)
+			return true
+		case *ast.AssignStmt:
+			// Copying the pointer into another variable, field, slice or
+			// map transfers (or untrackably aliases) ownership. Pointers
+			// that appear only as arguments of a call on the RHS are
+			// classified by that call (classifyCallUse), not here.
+			for _, rhs := range st.Rhs {
+				if !mentionsAllocDirect(info, rhs, allocs) {
+					continue
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isAllocCall(info, call) {
+					continue // the defining assignment itself
+				}
+				markMentionedAllocDirect(info, rhs, allocs, func(a *allocState) { a.moved = true })
+			}
+			return true
+		case *ast.CompositeLit, *ast.UnaryExpr:
+			if mentionsAllocDirect(info, n, allocs) {
+				markMentionedAllocDirect(info, n, allocs, func(a *allocState) { a.moved = true })
+			}
+			return true
+		}
+		return true
+	})
+
+	for _, a := range allocs {
+		if !a.freed && !a.moved {
+			pass.Reportf(a.pos.Pos(),
+				"device allocation assigned to %s is never freed and never escapes this function (missing Free)",
+				a.obj.Name())
+		}
+	}
+}
+
+// classifyCallUse updates alloc states for pointers appearing directly in
+// a call's arguments: freeing calls mark them freed, borrowing simulator
+// calls leave them alone, anything else is treated as ownership transfer.
+// Mentions inside nested calls are left to the nested call's own
+// classification (`p.Wait(ctx.MemcpyAsync(p, dst, tbuf, ...))` classifies
+// tbuf against MemcpyAsync, not Wait).
+func classifyCallUse(info *types.Info, call *ast.CallExpr, allocs map[types.Object]*allocState) {
+	mentioned := false
+	for _, a := range call.Args {
+		if mentionsAllocDirect(info, a, allocs) {
+			mentioned = true
+		}
+	}
+	if !mentioned {
+		return
+	}
+	mark := func(f func(*allocState)) {
+		for _, a := range call.Args {
+			markMentionedAllocDirect(info, a, allocs, f)
+		}
+	}
+	name := calleeName(call)
+	if strings.Contains(strings.ToLower(name), "free") {
+		mark(func(st *allocState) { st.freed = true })
+		return
+	}
+	if mi, ok := methodCall(info, call); ok {
+		if borrowingReceivers[[2]string{mi.pkgPath, mi.typeName}] {
+			return
+		}
+	}
+	mark(func(st *allocState) { st.moved = true })
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func mentionsAlloc(info *types.Info, node ast.Node, allocs map[types.Object]*allocState) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && allocs[objOfIdent(info, id)] != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsAllocDirect is mentionsAlloc restricted to direct mentions:
+// uses hidden inside a nested call expression are classified against that
+// call instead, and uses inside a function literal are classified by the
+// statements of the literal body as the traversal reaches them.
+func mentionsAllocDirect(info *types.Info, node ast.Node, allocs map[types.Object]*allocState) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.FuncLit:
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && allocs[objOfIdent(info, id)] != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func markMentionedAllocDirect(info *types.Info, node ast.Node, allocs map[types.Object]*allocState, f func(*allocState)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.CallExpr, *ast.FuncLit:
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if st := allocs[objOfIdent(info, id)]; st != nil {
+				f(st)
+			}
+		}
+		return true
+	})
+}
+
+func markMentionedAlloc(info *types.Info, node ast.Node, allocs map[types.Object]*allocState, f func(*allocState)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if st := allocs[objOfIdent(info, id)]; st != nil {
+				f(st)
+			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: MustMalloc / panic(err) where errors should propagate
+
+func checkErrorPropagation(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	if strings.HasPrefix(fn.Name.Name, "Must") {
+		return
+	}
+	exported := fn.Name.IsExported()
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// MustMalloc outside a simulation context.
+		if mi, ok2 := methodCall(info, call); ok2 && mi.method == "MustMalloc" &&
+			((mi.pkgPath == gpuPath && mi.typeName == "Device") || (mi.pkgPath == cudaPath && mi.typeName == "Ctx")) {
+			if !inSimContext(pass, call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"MustMalloc panics on allocation failure; outside a simulation process the error should propagate (use Malloc and return the error)")
+			}
+			return true
+		}
+
+		// panic(err) in exported API outside a simulation context.
+		if id, ok2 := call.Fun.(*ast.Ident); ok2 && id.Name == "panic" && len(call.Args) == 1 {
+			tv, ok3 := info.Types[call.Args[0]]
+			if ok3 && tv.Type != nil && types.Implements(tv.Type, errType) &&
+				exported && !inSimContext(pass, call.Pos()) {
+				pass.Reportf(call.Pos(),
+					"%s panics with an error value; exported library API should return the error (wrap with %%w)", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// inSimContext reports whether pos sits inside a function node (a decl or
+// a nested literal) that receives a *sim.Proc or *cluster.Node: those
+// bodies run inside a simulation process, where panicking is the designed
+// error channel (the engine re-raises it at the Run caller).
+func inSimContext(pass *Pass, pos token.Pos) bool {
+	file := fileOf(pass, pos)
+	if file == nil {
+		return false
+	}
+	for _, n := range enclosing(file, pos) {
+		if funcTypeOf(n) != nil && simContext(pass.TypesInfo, n) {
+			return true
+		}
+	}
+	return false
+}
+
+func fileOf(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos < f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestAllocFree(t *testing.T) {
+	RunGolden(t, Testdata(), AllocFree, "allocfree/internal/liba")
+}
+
+// TestAllocFreeCmdExempt verifies main packages are out of scope: the cmd
+// testdata uses MustMalloc and panic freely and must stay clean.
+func TestAllocFreeCmdExempt(t *testing.T) {
+	RunGolden(t, Testdata(), AllocFree, "allocfree/cmd/app")
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ChunkConst flags raw numeric literals used as pipeline tunables.
+//
+// The pipeline block size (the paper's §IV-B 64 KB result) and the eager
+// limit are named, calibrated tunables: mpi.DefaultBlockSize and
+// mpi.DefaultEagerLimit, re-exported by internal/core. Assigning a raw
+// literal ("64 << 10") to a BlockSize or EagerLimit field scatters the
+// calibration across the tree, so retuning the pipeline silently misses
+// copies. Literals are permitted only inside const declarations — the one
+// place the canonical value is defined.
+var ChunkConst = &Analyzer{
+	Name: "chunkconst",
+	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit tunables",
+	Run:  runChunkConst,
+}
+
+// tunableNames are the field/variable names the analyzer guards.
+var tunableNames = map[string]bool{
+	"BlockSize":  true,
+	"EagerLimit": true,
+}
+
+func runChunkConst(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GenDecl:
+				if st.Tok == token.CONST {
+					// Literals inside const blocks define the canonical
+					// values; walk them without flagging.
+					return false
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := st.Key.(*ast.Ident); ok && tunableNames[key.Name] && isRawNumber(st.Value) {
+					pass.Reportf(st.Value.Pos(),
+						"raw literal used for %s; reference the named tunable (mpi.Default%s / core.Default%s) instead",
+						key.Name, key.Name, key.Name)
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) {
+						break
+					}
+					name := assignedName(lhs)
+					if tunableNames[name] && isRawNumber(st.Rhs[i]) {
+						pass.Reportf(st.Rhs[i].Pos(),
+							"raw literal assigned to %s; reference the named tunable (mpi.Default%s / core.Default%s) instead",
+							name, name, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// assignedName extracts the terminal name of an assignment target.
+func assignedName(lhs ast.Expr) string {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// isRawNumber reports whether e is an integer literal or a constant
+// expression built purely from literals (e.g. 64 << 10, 4*1024).
+func isRawNumber(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Kind == token.INT
+	case *ast.BinaryExpr:
+		return isRawNumber(v.X) && isRawNumber(v.Y)
+	case *ast.ParenExpr:
+		return isRawNumber(v.X)
+	case *ast.UnaryExpr:
+		return isRawNumber(v.X)
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestChunkConst(t *testing.T) {
+	RunGolden(t, Testdata(), ChunkConst, "chunkconst")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestErrFree(t *testing.T) {
+	RunGolden(t, Testdata(), ErrFree, "errfree")
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EventPair flags cuda.Event values that are waited on but never recorded
+// in the enclosing function.
+//
+// A cuda.Event created with Ctx.NewEvent carries no marker until
+// Event.Record enqueues one; Event.Synchronize and Ctx.StreamWaitEvent on
+// an unrecorded event panic at simulation time (in real CUDA the wait
+// silently completes and the ordering the code relies on does not exist).
+// The analyzer tracks events created locally in a function; if such an
+// event reaches Synchronize or StreamWaitEvent and no Record call on the
+// same variable appears anywhere in the function, the wait is reported.
+// Events that escape the function (returned, stored, passed to other
+// calls) are assumed to be recorded elsewhere.
+var EventPair = &Analyzer{
+	Name: "eventpair",
+	Doc:  "flags cuda.Event waits with no Record on any path in the function",
+	Run:  runEventPair,
+}
+
+func runEventPair(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkEventPairs(pass, fn)
+		}
+	}
+	return nil
+}
+
+type eventState struct {
+	obj      types.Object
+	recorded bool
+	escaped  bool
+	waits    []*ast.CallExpr // Synchronize / StreamWaitEvent uses
+}
+
+func checkEventPairs(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	events := map[types.Object]*eventState{}
+
+	// Collect locals created by Ctx.NewEvent.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) != len(as.Lhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := as.Rhs[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			mi, ok := methodCall(info, call)
+			if !ok || mi.pkgPath != cudaPath || mi.typeName != "Ctx" || mi.method != "NewEvent" {
+				continue
+			}
+			if obj := objOfIdent(info, id); obj != nil {
+				events[obj] = &eventState{obj: obj}
+			}
+		}
+		return true
+	})
+	if len(events) == 0 {
+		return
+	}
+
+	// Classify every use of each event object.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				markMentioned(info, ret, events, func(st *eventState) { st.escaped = true })
+			}
+			return true
+		}
+		mi, ok := methodCall(info, call)
+		if ok && mi.pkgPath == cudaPath && mi.typeName == "Event" {
+			if id, ok := mi.recv.(*ast.Ident); ok {
+				if st := events[objOfIdent(info, id)]; st != nil {
+					switch mi.method {
+					case "Record":
+						st.recorded = true
+					case "Synchronize":
+						st.waits = append(st.waits, call)
+					}
+					return true
+				}
+			}
+		}
+		if ok && mi.pkgPath == cudaPath && mi.typeName == "Ctx" && mi.method == "StreamWaitEvent" {
+			for _, a := range call.Args {
+				if id, ok := a.(*ast.Ident); ok {
+					if st := events[objOfIdent(info, id)]; st != nil {
+						st.waits = append(st.waits, call)
+						return true
+					}
+				}
+			}
+		}
+		// Any other call mentioning the event lets it escape (it may be
+		// recorded elsewhere).
+		for _, a := range call.Args {
+			markMentioned(info, a, events, func(st *eventState) { st.escaped = true })
+		}
+		return true
+	})
+
+	for _, st := range events {
+		if st.recorded || st.escaped {
+			continue
+		}
+		for _, w := range st.waits {
+			pass.Reportf(w.Pos(),
+				"event %s is waited on but never recorded in this function (Record must precede Synchronize/StreamWaitEvent)",
+				st.obj.Name())
+		}
+	}
+}
+
+// markMentioned applies f to the state of every tracked event object
+// referenced anywhere under node.
+func markMentioned(info *types.Info, node ast.Node, events map[types.Object]*eventState, f func(*eventState)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if st := events[objOfIdent(info, id)]; st != nil {
+				f(st)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestEventPair(t *testing.T) {
+	RunGolden(t, Testdata(), EventPair, "eventpair")
+}

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestProcBlock(t *testing.T) {
+	RunGolden(t, Testdata(), ProcBlock, "procblock")
+}

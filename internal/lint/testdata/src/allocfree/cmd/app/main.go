@@ -1,0 +1,19 @@
+// Command app is the allocfree clean negative: main packages may use
+// MustMalloc and panic freely, and the leak check only covers internal/
+// library code.
+package main
+
+import (
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/sim"
+)
+
+func main() {
+	e := sim.New()
+	dev := gpu.New(e, 0, gpu.Config{MemBytes: 1 << 20})
+	buf := dev.MustMalloc(512)
+	_ = buf
+	if err := e.Run(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Package liba holds golden cases for the allocfree analyzer: the import
+// path contains /internal/, so both the leak check and the
+// error-propagation check apply.
+package liba
+
+import (
+	"fmt"
+
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// Positive: allocated, used only by borrowing simulator calls, never
+// freed, never escapes.
+func Leaky(p *sim.Proc, ctx *cuda.Ctx, dst mem.Ptr) {
+	buf := ctx.MustMalloc(64) // want `device allocation assigned to buf is never freed`
+	ctx.Memcpy(p, dst, buf, 64)
+}
+
+// Positive: MustMalloc in library code with no simulation process around.
+func Setup(dev *gpu.Device) mem.Ptr {
+	return dev.MustMalloc(128) // want `MustMalloc panics on allocation failure`
+}
+
+// Positive: exported API turning a recoverable error into a crash.
+func Validate(dev *gpu.Device) {
+	if err := dev.CheckAllocator(); err != nil {
+		panic(err) // want `Validate panics with an error value`
+	}
+}
+
+// Negative: freed in the same function, error consumed.
+func Freed(p *sim.Proc, ctx *cuda.Ctx, dst mem.Ptr) {
+	buf := ctx.MustMalloc(64)
+	ctx.Memcpy(p, dst, buf, 64)
+	if err := ctx.Free(buf); err != nil {
+		panic(err)
+	}
+}
+
+// Negative: ownership is returned to the caller.
+func Alloc(dev *gpu.Device) (mem.Ptr, error) {
+	buf, err := dev.Malloc(256)
+	if err != nil {
+		return mem.Ptr{}, fmt.Errorf("alloc: %w", err)
+	}
+	return buf, nil
+}
+
+// Negative: Must-prefixed functions are documented panic wrappers.
+func MustAlloc(dev *gpu.Device) mem.Ptr {
+	return dev.MustMalloc(256) // allowed: the function advertises the panic
+}
+
+// Negative: inside a spawned simulation process, panicking is the
+// designed error channel and MustMalloc is idiomatic.
+func RunBench(e *sim.Engine, dev *gpu.Device) {
+	e.Spawn("bench", func(p *sim.Proc) {
+		buf := dev.MustMalloc(64)
+		if err := dev.Free(buf); err != nil {
+			panic(err)
+		}
+	})
+}

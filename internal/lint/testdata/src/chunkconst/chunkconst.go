@@ -1,0 +1,48 @@
+// Package chunkconst holds golden cases for the chunkconst analyzer. The
+// analyzer matches tunable names, so the cases are self-contained.
+package chunkconst
+
+// Config mirrors the tunable-bearing config structs of the simulator.
+type Config struct {
+	BlockSize  int
+	EagerLimit int
+	Iters      int
+}
+
+// Const declarations are the one place raw values are allowed: they
+// define the canonical tunables.
+const (
+	DefaultBlockSize  = 64 << 10
+	DefaultEagerLimit = 16 << 10
+)
+
+// Positive: raw literals scattered into a composite literal.
+func Bad() Config {
+	return Config{
+		BlockSize:  64 << 10, // want `raw literal used for BlockSize`
+		EagerLimit: 16384,    // want `raw literal used for EagerLimit`
+		Iters:      10,
+	}
+}
+
+// Positive: raw literal assigned to a tunable field.
+func BadAssign(c *Config) {
+	c.BlockSize = 32 << 10 // want `raw literal assigned to BlockSize`
+}
+
+// Negative: referencing the named tunables.
+func Good() Config {
+	return Config{BlockSize: DefaultBlockSize, EagerLimit: DefaultEagerLimit}
+}
+
+// Negative: sweeping a tunable over computed values is how calibration
+// experiments are written.
+func Sweep(sizes []int) []Config {
+	out := make([]Config, 0, len(sizes))
+	for _, bs := range sizes {
+		c := Config{EagerLimit: DefaultEagerLimit}
+		c.BlockSize = bs
+		out = append(out, c)
+	}
+	return out
+}

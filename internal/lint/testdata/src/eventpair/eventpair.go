@@ -1,0 +1,42 @@
+// Package eventpair holds golden cases for the eventpair analyzer.
+package eventpair
+
+import (
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/sim"
+)
+
+// Positive: synchronized but never recorded.
+func unrecorded(p *sim.Proc, ctx *cuda.Ctx) {
+	ev := ctx.NewEvent()
+	ev.Synchronize(p) // want `event ev is waited on but never recorded`
+}
+
+// Positive: a stream wait on an unrecorded event is the same bug.
+func unrecordedStreamWait(p *sim.Proc, ctx *cuda.Ctx, s *cuda.Stream) {
+	ev := ctx.NewEvent()
+	ctx.StreamWaitEvent(p, s, ev) // want `event ev is waited on but never recorded`
+}
+
+// Negative: recorded before the wait.
+func recorded(p *sim.Proc, ctx *cuda.Ctx, s *cuda.Stream) {
+	ev := ctx.NewEvent()
+	ev.Record(p, s)
+	ev.Synchronize(p)
+}
+
+// Negative: the event escapes to a helper that may record it.
+func escapes(p *sim.Proc, ctx *cuda.Ctx, s *cuda.Stream) {
+	ev := ctx.NewEvent()
+	recordLater(p, s, ev)
+	ev.Synchronize(p)
+}
+
+func recordLater(p *sim.Proc, s *cuda.Stream, ev *cuda.Event) {
+	ev.Record(p, s)
+}
+
+// Negative: an unused event is pointless but not a missed ordering.
+func unused(ctx *cuda.Ctx) {
+	_ = ctx.NewEvent()
+}

@@ -1,0 +1,28 @@
+// Package cluster is a golden-test stub of the real internal/cluster.
+package cluster
+
+import (
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/mpi"
+)
+
+// Node is one rank's view of the cluster.
+type Node struct {
+	Rank *mpi.Rank
+	Ctx  *cuda.Ctx
+}
+
+// Cluster is a simulated cluster.
+type Cluster struct{}
+
+// Config parameterizes a cluster.
+type Config struct {
+	Nodes int
+	MPI   mpi.Config
+}
+
+// New creates a cluster.
+func New(cfg Config) *Cluster { return &Cluster{} }
+
+// Run executes fn on every node inside a simulation process.
+func (c *Cluster) Run(fn func(n *Node)) error { return nil }

@@ -1,0 +1,25 @@
+// Package mpi is a golden-test stub of the real internal/mpi.
+package mpi
+
+import (
+	"mv2sim/internal/mem"
+	"mv2sim/internal/sim"
+)
+
+// Config holds MPI tunables.
+type Config struct {
+	EagerLimit int
+	BlockSize  int
+}
+
+// Rank is one MPI process.
+type Rank struct{}
+
+// Proc returns the rank's simulation process.
+func (r *Rank) Proc() *sim.Proc { return nil }
+
+// Send is a blocking send.
+func (r *Rank) Send(buf mem.Ptr, n int, dst, tag int) {}
+
+// Recv is a blocking receive.
+func (r *Rank) Recv(buf mem.Ptr, n int, src, tag int) {}

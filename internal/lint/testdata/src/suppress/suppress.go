@@ -1,0 +1,24 @@
+// Package suppress verifies //lint:ignore directives: every violation in
+// this file carries a directive, so a clean run is expected.
+package suppress
+
+import (
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/mem"
+)
+
+// TearDown drops Free errors deliberately: the device is being destroyed
+// and the allocator state no longer matters.
+func TearDown(dev *gpu.Device, ptrs []mem.Ptr) {
+	for _, p := range ptrs {
+		//lint:ignore errfree device teardown, allocator state is moot
+		dev.Free(p)
+	}
+	dev.CheckAllocator() //lint:ignore errfree teardown check is best-effort
+}
+
+// Preload suppresses two analyzers at once.
+func Preload(dev *gpu.Device) {
+	//lint:ignore allocfree,errfree preloading a static arena for the process lifetime
+	dev.MustMalloc(1 << 20)
+}

@@ -42,6 +42,18 @@ const (
 	ctxColl  = 1
 )
 
+// Named defaults for the two tunables the paper sweeps. All non-test code
+// must reference these (or a Config field) instead of raw literals; the
+// chunkconst analyzer enforces it.
+const (
+	// DefaultEagerLimit is the eager/rendezvous switch point
+	// (MV2_IBA_EAGER_THRESHOLD).
+	DefaultEagerLimit = 16 << 10
+	// DefaultBlockSize is the GPU pipeline chunk size
+	// (MV2_CUDA_BLOCK_SIZE); the paper finds 64 KiB optimal.
+	DefaultBlockSize = 64 << 10
+)
+
 // Config holds library tunables, the knobs MVAPICH2 exposes through its
 // environment variables.
 type Config struct {
@@ -68,8 +80,8 @@ type Config struct {
 // DefaultConfig returns the Westmere-class host calibration.
 func DefaultConfig() Config {
 	return Config{
-		EagerLimit:        16 << 10,
-		BlockSize:         64 << 10,
+		EagerLimit:        DefaultEagerLimit,
+		BlockSize:         DefaultBlockSize,
 		CallOverhead:      200 * sim.Nanosecond,
 		HostCopyBandwidth: 6e9,
 		HostCopyBase:      300 * sim.Nanosecond,

@@ -16,7 +16,7 @@ import (
 // latency-only evaluation in the direction its future work names.
 //
 // Returned value is MB/s (10^6 bytes per second) of packed payload.
-func Bandwidth(msgBytes, window int, cfg VectorConfig) float64 {
+func Bandwidth(msgBytes, window int, cfg VectorConfig) (float64, error) {
 	cfg = cfg.withDefaults(msgBytes)
 	rows := msgBytes / cfg.ElemBytes
 	if rows == 0 {
@@ -30,15 +30,18 @@ func Bandwidth(msgBytes, window int, cfg VectorConfig) float64 {
 	}
 	vec, err := datatype.Vector(rows, cfg.ElemBytes, cfg.PitchBytes, datatype.Byte)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("osu: bandwidth datatype: %w", err)
 	}
-	vec.MustCommit()
+	if err := vec.Commit(); err != nil {
+		return 0, fmt.Errorf("osu: commit bandwidth datatype: %w", err)
+	}
 
 	cl := cluster.New(cfg.Cluster)
 	var elapsed sim.Time
 	runErr := cl.Run(func(n *cluster.Node) {
 		r := n.Rank
 		buf := n.Ctx.MustMalloc(span)
+		defer freeOrPanic(n.Ctx, buf)
 		switch r.Rank() {
 		case 0:
 			t0 := r.Now()
@@ -59,15 +62,18 @@ func Bandwidth(msgBytes, window int, cfg VectorConfig) float64 {
 		}
 	})
 	if runErr != nil {
-		panic(runErr)
+		return 0, fmt.Errorf("osu: bandwidth (%s, window %d): %w", report.ByteSize(msgBytes), window, runErr)
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return 0, err
 	}
 	totalBytes := float64(window) * float64(msgBytes)
-	return totalBytes / elapsed.Seconds() / 1e6
+	return totalBytes / elapsed.Seconds() / 1e6, nil
 }
 
 // BidirBandwidth measures osu_bibw-style aggregate throughput: both ranks
 // stream a window of vector messages at each other simultaneously.
-func BidirBandwidth(msgBytes, window int, cfg VectorConfig) float64 {
+func BidirBandwidth(msgBytes, window int, cfg VectorConfig) (float64, error) {
 	cfg = cfg.withDefaults(msgBytes)
 	rows := msgBytes / cfg.ElemBytes
 	if rows == 0 {
@@ -81,16 +87,20 @@ func BidirBandwidth(msgBytes, window int, cfg VectorConfig) float64 {
 	}
 	vec, err := datatype.Vector(rows, cfg.ElemBytes, cfg.PitchBytes, datatype.Byte)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("osu: bidir bandwidth datatype: %w", err)
 	}
-	vec.MustCommit()
+	if err := vec.Commit(); err != nil {
+		return 0, fmt.Errorf("osu: commit bidir bandwidth datatype: %w", err)
+	}
 
 	cl := cluster.New(cfg.Cluster)
 	var elapsed sim.Time
 	runErr := cl.Run(func(n *cluster.Node) {
 		r := n.Rank
 		tx := n.Ctx.MustMalloc(span)
+		defer freeOrPanic(n.Ctx, tx)
 		rx := n.Ctx.MustMalloc(span)
+		defer freeOrPanic(n.Ctx, rx)
 		peer := 1 - r.Rank()
 		t0 := r.Now()
 		reqs := make([]*mpi.Request, 0, 2*window)
@@ -107,31 +117,42 @@ func BidirBandwidth(msgBytes, window int, cfg VectorConfig) float64 {
 		}
 	})
 	if runErr != nil {
-		panic(runErr)
+		return 0, fmt.Errorf("osu: bidir bandwidth (%s, window %d): %w", report.ByteSize(msgBytes), window, runErr)
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return 0, err
 	}
 	totalBytes := 2 * float64(window) * float64(msgBytes)
-	return totalBytes / elapsed.Seconds() / 1e6
+	return totalBytes / elapsed.Seconds() / 1e6, nil
 }
 
 // RunBandwidthTable sweeps message sizes and reports uni- and
 // bidirectional streaming bandwidth of non-contiguous device vectors.
-func RunBandwidthTable(sizes []int, window int, cfg VectorConfig) *report.Table {
+func RunBandwidthTable(sizes []int, window int, cfg VectorConfig) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Vector streaming bandwidth, window %d (MB/s)", window),
 		"size", "unidirectional", "bidirectional")
 	for _, size := range sizes {
+		uni, err := Bandwidth(size, window, cfg)
+		if err != nil {
+			return nil, err
+		}
+		bidir, err := BidirBandwidth(size, window, cfg)
+		if err != nil {
+			return nil, err
+		}
 		t.Add(report.ByteSize(size),
-			fmt.Sprintf("%.0f", Bandwidth(size, window, cfg)),
-			fmt.Sprintf("%.0f", BidirBandwidth(size, window, cfg)))
+			fmt.Sprintf("%.0f", uni),
+			fmt.Sprintf("%.0f", bidir))
 	}
-	return t
+	return t, nil
 }
 
 // MultiPairLatency runs the vector latency measurement on `pairs` disjoint
 // node pairs simultaneously (ranks 2i -> 2i+1) and returns the slowest
 // pair's transfer time. On a non-blocking fabric like the paper's 8-node
 // QDR cluster, disjoint pairs must not slow each other down.
-func MultiPairLatency(msgBytes, pairs int, cfg VectorConfig) sim.Time {
+func MultiPairLatency(msgBytes, pairs int, cfg VectorConfig) (sim.Time, error) {
 	cfg = cfg.withDefaults(msgBytes)
 	cfg.Cluster.Nodes = 2 * pairs
 	rows := msgBytes / cfg.ElemBytes
@@ -144,15 +165,18 @@ func MultiPairLatency(msgBytes, pairs int, cfg VectorConfig) sim.Time {
 	}
 	vec, err := datatype.Vector(rows, cfg.ElemBytes, cfg.PitchBytes, datatype.Byte)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("osu: multi-pair datatype: %w", err)
 	}
-	vec.MustCommit()
+	if err := vec.Commit(); err != nil {
+		return 0, fmt.Errorf("osu: commit multi-pair datatype: %w", err)
+	}
 
 	cl := cluster.New(cfg.Cluster)
 	var worst sim.Time
 	runErr := cl.Run(func(n *cluster.Node) {
 		r := n.Rank
 		buf := n.Ctx.MustMalloc(span)
+		defer freeOrPanic(n.Ctx, buf)
 		r.Barrier()
 		t0 := r.Now()
 		if r.Rank()%2 == 0 {
@@ -165,7 +189,10 @@ func MultiPairLatency(msgBytes, pairs int, cfg VectorConfig) sim.Time {
 		}
 	})
 	if runErr != nil {
-		panic(runErr)
+		return 0, fmt.Errorf("osu: multi-pair latency (%s, %d pairs): %w", report.ByteSize(msgBytes), pairs, runErr)
 	}
-	return worst
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return 0, err
+	}
+	return worst, nil
 }

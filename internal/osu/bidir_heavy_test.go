@@ -8,7 +8,10 @@ import (
 func TestBidirHeavyNoDeadlock(t *testing.T) {
 	// The exact configuration that deadlocked the shared-pool design:
 	// 16 concurrent 4 MB vector messages in each direction.
-	bw := BidirBandwidth(4<<20, 16, VectorConfig{})
+	bw, err := BidirBandwidth(4<<20, 16, VectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	fmt.Printf("bidir 4MB x16: %.0f MB/s\n", bw)
 	if bw <= 0 {
 		t.Fatal("no progress")

@@ -81,7 +81,7 @@ func (c PackConfig) withDefaults() PackConfig {
 
 // PackLatency measures the time to move one msgBytes vector from device to
 // host under the given scheme (Figure 2's y-axis).
-func PackLatency(scheme PackScheme, msgBytes int, cfg PackConfig) sim.Time {
+func PackLatency(scheme PackScheme, msgBytes int, cfg PackConfig) (sim.Time, error) {
 	cfg = cfg.withDefaults()
 	rows := msgBytes / cfg.ElemBytes
 	if rows == 0 {
@@ -91,7 +91,10 @@ func PackLatency(scheme PackScheme, msgBytes int, cfg PackConfig) sim.Time {
 	dev := gpu.New(e, 0, gpu.Config{MemBytes: 2*rows*cfg.PitchBytes + (1 << 20), Model: cfg.Model})
 	ctx := cuda.NewCtx(e, dev)
 	host := mem.NewHostSpace("host", rows*cfg.PitchBytes+msgBytes)
-	src := dev.MustMalloc(rows * cfg.PitchBytes)
+	src, err := dev.Malloc(rows * cfg.PitchBytes)
+	if err != nil {
+		return 0, fmt.Errorf("osu: pack source alloc: %w", err)
+	}
 
 	var samples []sim.Time
 	e.Spawn("bench", func(p *sim.Proc) {
@@ -116,22 +119,44 @@ func PackLatency(scheme PackScheme, msgBytes int, cfg PackConfig) sim.Time {
 		}
 	})
 	if err := e.Run(); err != nil {
-		panic(err)
+		return 0, fmt.Errorf("osu: pack benchmark (%v, %s): %w", scheme, report.ByteSize(msgBytes), err)
 	}
 	e.Shutdown()
-	return trace.Median(samples)
+	if err := dev.Free(src); err != nil {
+		return 0, fmt.Errorf("osu: free pack source: %w", err)
+	}
+	if err := checkDeviceClean(dev); err != nil {
+		return 0, err
+	}
+	return trace.Median(samples), nil
+}
+
+// checkDeviceClean is the single-device leak gate: allocator invariants
+// must hold and no allocation may outlive the benchmark.
+func checkDeviceClean(dev *gpu.Device) error {
+	if err := dev.CheckAllocator(); err != nil {
+		return fmt.Errorf("osu: device allocator corrupt: %w", err)
+	}
+	if live := dev.LiveAllocs(); live != 0 {
+		return fmt.Errorf("osu: benchmark leaks %d device allocations (%d bytes)", live, dev.MemInUse())
+	}
+	return nil
 }
 
 // RunFigure2 produces the pack-scheme latency figure over the given sizes.
-func RunFigure2(title string, sizes []int, cfg PackConfig) *report.Figure {
+func RunFigure2(title string, sizes []int, cfg PackConfig) (*report.Figure, error) {
 	fig := report.NewFigure(title)
 	for _, scheme := range PackSchemes {
 		s := fig.NewSeries(scheme.String())
 		for _, size := range sizes {
-			s.Add(size, PackLatency(scheme, size, cfg))
+			lat, err := PackLatency(scheme, size, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(size, lat)
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // Design is one of the three application designs of Figure 4.
@@ -199,7 +224,7 @@ func (c VectorConfig) withDefaults(msgBytes int) VectorConfig {
 // virtual time from the sender entering its transfer code until the data
 // is fully unpacked in the receiver's device buffer. The median over
 // cfg.Iters iterations is returned.
-func VectorLatency(design Design, msgBytes int, cfg VectorConfig) sim.Time {
+func VectorLatency(design Design, msgBytes int, cfg VectorConfig) (sim.Time, error) {
 	cfg = cfg.withDefaults(msgBytes)
 	rows := msgBytes / cfg.ElemBytes
 	if rows == 0 {
@@ -210,9 +235,11 @@ func VectorLatency(design Design, msgBytes int, cfg VectorConfig) sim.Time {
 
 	vec, err := datatype.Vector(rows, elem, pitch, datatype.Byte)
 	if err != nil {
-		panic(err)
+		return 0, fmt.Errorf("osu: vector datatype: %w", err)
 	}
-	vec.MustCommit()
+	if err := vec.Commit(); err != nil {
+		return 0, fmt.Errorf("osu: commit vector datatype: %w", err)
+	}
 
 	cl := cluster.New(cfg.Cluster)
 	var t0 sim.Time
@@ -220,7 +247,9 @@ func VectorLatency(design Design, msgBytes int, cfg VectorConfig) sim.Time {
 	runErr := cl.Run(func(n *cluster.Node) {
 		r := n.Rank
 		buf := n.Ctx.MustMalloc(span)
+		defer freeOrPanic(n.Ctx, buf)
 		hostStage := r.AllocHost(msgBytes)
+		defer r.FreeHost(hostStage)
 		blockSize := r.World().Config().BlockSize
 
 		for it := 0; it < cfg.Iters; it++ {
@@ -251,9 +280,21 @@ func VectorLatency(design Design, msgBytes int, cfg VectorConfig) sim.Time {
 		}
 	})
 	if runErr != nil {
-		panic(runErr)
+		return 0, fmt.Errorf("osu: vector latency (%v, %s): %w", design, report.ByteSize(msgBytes), runErr)
 	}
-	return trace.Median(samples)
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return 0, err
+	}
+	return trace.Median(samples), nil
+}
+
+// freeOrPanic releases a device allocation from inside a simulation
+// process, where a bad free is a programming error the engine surfaces at
+// the Run caller.
+func freeOrPanic(ctx *cuda.Ctx, p mem.Ptr) {
+	if err := ctx.Free(p); err != nil {
+		panic(err)
+	}
 }
 
 // manualPipeline is the Figure 4(b) code pattern: the application itself
@@ -331,31 +372,38 @@ func manualPipeline(n *cluster.Node, buf, hostStage mem.Ptr, msgBytes, rows, ele
 }
 
 // RunFigure5 produces the vector-latency figure over the given sizes.
-func RunFigure5(title string, sizes []int, cfg VectorConfig) *report.Figure {
+func RunFigure5(title string, sizes []int, cfg VectorConfig) (*report.Figure, error) {
 	fig := report.NewFigure(title)
 	for _, d := range Designs {
 		s := fig.NewSeries(d.String())
 		for _, size := range sizes {
-			s.Add(size, VectorLatency(d, size, cfg))
+			lat, err := VectorLatency(d, size, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Add(size, lat)
 		}
 	}
-	return fig
+	return fig, nil
 }
 
 // BlockSizeSweep measures MV2-GPU-NC latency for one message size across
 // pipeline block sizes (the §IV-B tuning experiment that found 64 KB
 // optimal).
-func BlockSizeSweep(msgBytes int, blockSizes []int, cfg VectorConfig) *report.Table {
+func BlockSizeSweep(msgBytes int, blockSizes []int, cfg VectorConfig) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Pipeline block-size sweep, %s vector message", report.ByteSize(msgBytes)),
 		"block size", "latency (us)")
 	for _, bs := range blockSizes {
 		c := cfg
 		c.Cluster.MPI.BlockSize = bs
-		lat := VectorLatency(DesignMV2GPUNC, msgBytes, c)
+		lat, err := VectorLatency(DesignMV2GPUNC, msgBytes, c)
+		if err != nil {
+			return nil, err
+		}
 		t.Add(report.ByteSize(bs), fmt.Sprintf("%.1f", lat.Micros()))
 	}
-	return t
+	return t, nil
 }
 
 // WidthSweep measures pack latency versus element width at a fixed packed
@@ -364,7 +412,7 @@ func BlockSizeSweep(msgBytes int, blockSizes []int, cfg VectorConfig) *report.Ta
 // direct D2H schemes improve steeply with width while the offloaded
 // scheme barely moves; the offload advantage is largest exactly where the
 // paper measures.
-func WidthSweep(msgBytes int, widths []int, cfg PackConfig) *report.Table {
+func WidthSweep(msgBytes int, widths []int, cfg PackConfig) (*report.Table, error) {
 	t := report.NewTable(
 		fmt.Sprintf("Pack latency vs element width, %s message (us)", report.ByteSize(msgBytes)),
 		"width", "D2H nc2nc", "D2D2H nc2c2c", "offload speedup")
@@ -374,12 +422,18 @@ func WidthSweep(msgBytes int, widths []int, cfg PackConfig) *report.Table {
 		if c.PitchBytes < 4*w {
 			c.PitchBytes = 4 * w
 		}
-		direct := PackLatency(PackD2HNC2NC, msgBytes, c)
-		offload := PackLatency(PackD2D2HNC2C2C, msgBytes, c)
+		direct, err := PackLatency(PackD2HNC2NC, msgBytes, c)
+		if err != nil {
+			return nil, err
+		}
+		offload, err := PackLatency(PackD2D2HNC2C2C, msgBytes, c)
+		if err != nil {
+			return nil, err
+		}
 		t.Add(fmt.Sprintf("%dB", w),
 			fmt.Sprintf("%.1f", direct.Micros()),
 			fmt.Sprintf("%.1f", offload.Micros()),
 			fmt.Sprintf("%.1fx", float64(direct)/float64(offload)))
 	}
-	return t
+	return t, nil
 }

@@ -7,13 +7,42 @@ import (
 	"mv2sim/internal/sim"
 )
 
+// packLat and friends fail the test on benchmark error (including the
+// end-of-run device-leak gate) so assertions stay one-liners.
+func packLat(t *testing.T, s PackScheme, msg int, cfg PackConfig) sim.Time {
+	t.Helper()
+	lat, err := PackLatency(s, msg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+func vecLat(t *testing.T, d Design, msg int, cfg VectorConfig) sim.Time {
+	t.Helper()
+	lat, err := VectorLatency(d, msg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lat
+}
+
+func bw(t *testing.T, msg, window int, cfg VectorConfig) float64 {
+	t.Helper()
+	v, err := Bandwidth(msg, window, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
 // Figure 2 / section I-A anchor: for a 4 KB vector the paper measures
 // ~200 µs (nc2nc), ~281 µs (nc2c) and ~35 µs (nc2c2c) on a Tesla C2050.
 func TestMotivationAnchors4KB(t *testing.T) {
 	cfg := PackConfig{}
-	nc2nc := PackLatency(PackD2HNC2NC, 4096, cfg)
-	nc2c := PackLatency(PackD2HNC2C, 4096, cfg)
-	nc2c2c := PackLatency(PackD2D2HNC2C2C, 4096, cfg)
+	nc2nc := packLat(t, PackD2HNC2NC, 4096, cfg)
+	nc2c := packLat(t, PackD2HNC2C, 4096, cfg)
+	nc2c2c := packLat(t, PackD2D2HNC2C2C, 4096, cfg)
 
 	within := func(name string, got sim.Time, lo, hi float64) {
 		if us := got.Micros(); us < lo || us > hi {
@@ -31,8 +60,8 @@ func TestMotivationAnchors4KB(t *testing.T) {
 // Figure 2(b): at 4 MB the offloaded scheme is a few percent of nc2nc.
 func TestPackLargeRatio(t *testing.T) {
 	cfg := PackConfig{Iters: 1}
-	nc2nc := PackLatency(PackD2HNC2NC, 4<<20, cfg)
-	nc2c2c := PackLatency(PackD2D2HNC2C2C, 4<<20, cfg)
+	nc2nc := packLat(t, PackD2HNC2NC, 4<<20, cfg)
+	nc2c2c := packLat(t, PackD2D2HNC2C2C, 4<<20, cfg)
 	if ratio := float64(nc2c2c) / float64(nc2nc); ratio > 0.12 {
 		t.Errorf("nc2c2c/nc2nc @4MB = %.3f, want < 0.12 (paper: 0.048)", ratio)
 	}
@@ -42,10 +71,10 @@ func TestPackLargeRatio(t *testing.T) {
 // dominates); beyond a few hundred bytes the offload wins.
 func TestPackCrossover(t *testing.T) {
 	cfg := PackConfig{}
-	if d, o := PackLatency(PackD2HNC2NC, 16, cfg), PackLatency(PackD2D2HNC2C2C, 16, cfg); d > o {
+	if d, o := packLat(t, PackD2HNC2NC, 16, cfg), packLat(t, PackD2D2HNC2C2C, 16, cfg); d > o {
 		t.Errorf("@16B: direct %v should beat offload %v", d, o)
 	}
-	if d, o := PackLatency(PackD2HNC2NC, 1024, cfg), PackLatency(PackD2D2HNC2C2C, 1024, cfg); o > d {
+	if d, o := packLat(t, PackD2HNC2NC, 1024, cfg), packLat(t, PackD2D2HNC2C2C, 1024, cfg); o > d {
 		t.Errorf("@1KB: offload %v should beat direct %v", o, d)
 	}
 }
@@ -56,9 +85,9 @@ func TestPackCrossover(t *testing.T) {
 func TestFigure5LargeMessage(t *testing.T) {
 	cfg := VectorConfig{Iters: 1}
 	const msg = 4 << 20
-	blocking := VectorLatency(DesignCpy2DSend, msg, cfg)
-	manual := VectorLatency(DesignManualPipeline, msg, cfg)
-	nc := VectorLatency(DesignMV2GPUNC, msg, cfg)
+	blocking := vecLat(t, DesignCpy2DSend, msg, cfg)
+	manual := vecLat(t, DesignManualPipeline, msg, cfg)
+	nc := vecLat(t, DesignMV2GPUNC, msg, cfg)
 
 	impr := 1 - float64(nc)/float64(blocking)
 	if impr < 0.70 {
@@ -76,8 +105,8 @@ func TestFigure5LargeMessage(t *testing.T) {
 // the library path relative to blocking staging.
 func TestFigure5SmallMessage(t *testing.T) {
 	cfg := VectorConfig{}
-	blocking := VectorLatency(DesignCpy2DSend, 4096, cfg)
-	nc := VectorLatency(DesignMV2GPUNC, 4096, cfg)
+	blocking := vecLat(t, DesignCpy2DSend, 4096, cfg)
+	nc := vecLat(t, DesignMV2GPUNC, 4096, cfg)
 	if nc > blocking {
 		t.Errorf("@4KB MV2-GPU-NC %v slower than Cpy2D+Send %v", nc, blocking)
 	}
@@ -89,7 +118,7 @@ func TestLatencyMonotone(t *testing.T) {
 	for _, d := range Designs {
 		prev := sim.Time(0)
 		for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
-			lat := VectorLatency(d, size, cfg)
+			lat := vecLat(t, d, size, cfg)
 			if lat <= prev {
 				t.Errorf("%v: latency(%d) = %v not > latency(prev) = %v", d, size, lat, prev)
 			}
@@ -106,7 +135,7 @@ func TestBlockSizeSweepShape(t *testing.T) {
 	lat := func(bs int) sim.Time {
 		c := cfg
 		c.Cluster.MPI.BlockSize = bs
-		return VectorLatency(DesignMV2GPUNC, msg, c)
+		return vecLat(t, DesignMV2GPUNC, msg, c)
 	}
 	tiny := lat(4 << 10)
 	mid := lat(64 << 10)
@@ -120,7 +149,10 @@ func TestBlockSizeSweepShape(t *testing.T) {
 }
 
 func TestRunFigureRendering(t *testing.T) {
-	fig := RunFigure2("Fig2a", []int{16, 256}, PackConfig{Iters: 1})
+	fig, err := RunFigure2("Fig2a", []int{16, 256}, PackConfig{Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := fig.String()
 	for _, want := range []string{"Fig2a", "D2H nc2nc", "D2D2H nc2c2c", "256"} {
 		if !strings.Contains(out, want) {
@@ -146,7 +178,10 @@ func TestSchemeAndDesignStrings(t *testing.T) {
 }
 
 func TestBlockSizeSweepTable(t *testing.T) {
-	tbl := BlockSizeSweep(256<<10, []int{32 << 10, 64 << 10}, VectorConfig{Iters: 1})
+	tbl, err := BlockSizeSweep(256<<10, []int{32 << 10, 64 << 10}, VectorConfig{Iters: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 2 || !strings.Contains(tbl.String(), "64K") {
 		t.Errorf("table:\n%s", tbl.String())
 	}
@@ -154,8 +189,8 @@ func TestBlockSizeSweepTable(t *testing.T) {
 
 func TestBandwidthIncreasesWithSize(t *testing.T) {
 	cfg := VectorConfig{}
-	small := Bandwidth(16<<10, 8, cfg)
-	large := Bandwidth(1<<20, 8, cfg)
+	small := bw(t, 16<<10, 8, cfg)
+	large := bw(t, 1<<20, 8, cfg)
 	if small <= 0 || large <= 0 {
 		t.Fatalf("bandwidths: %v, %v", small, large)
 	}
@@ -170,15 +205,21 @@ func TestBandwidthIncreasesWithSize(t *testing.T) {
 
 func TestBidirBandwidthExceedsUnidirectional(t *testing.T) {
 	cfg := VectorConfig{}
-	uni := Bandwidth(256<<10, 8, cfg)
-	bidir := BidirBandwidth(256<<10, 8, cfg)
+	uni := bw(t, 256<<10, 8, cfg)
+	bidir, err := BidirBandwidth(256<<10, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if bidir <= uni {
 		t.Errorf("bidirectional %0.f MB/s not above unidirectional %0.f MB/s", bidir, uni)
 	}
 }
 
 func TestBandwidthTableRendering(t *testing.T) {
-	tbl := RunBandwidthTable([]int{64 << 10}, 4, VectorConfig{})
+	tbl, err := RunBandwidthTable([]int{64 << 10}, 4, VectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tbl.Rows) != 1 || !strings.Contains(tbl.String(), "64K") {
 		t.Errorf("table:\n%s", tbl.String())
 	}
@@ -188,8 +229,14 @@ func TestBandwidthTableRendering(t *testing.T) {
 // transfers finish in (about) the time of one.
 func TestMultiPairScaling(t *testing.T) {
 	cfg := VectorConfig{}
-	one := MultiPairLatency(256<<10, 1, cfg)
-	four := MultiPairLatency(256<<10, 4, cfg)
+	one, err := MultiPairLatency(256<<10, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := MultiPairLatency(256<<10, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if four > one*11/10 {
 		t.Errorf("4 disjoint pairs took %v, single pair %v; fabric contention where none should exist", four, one)
 	}
@@ -201,7 +248,11 @@ func TestMultiPairScaling(t *testing.T) {
 func TestSensitivityRobustness(t *testing.T) {
 	factors := []float64{0.25, 1, 4}
 	for _, p := range []SensitivityParam{SensPCIeRow, SensDevRow, SensWire, SensPCIeBW} {
-		for _, pt := range SensitivitySweep(p, factors, 1<<20) {
+		pts, err := SensitivitySweep(p, factors, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pt := range pts {
 			if pt.Improvement < 0.5 {
 				t.Errorf("%v x%.2g: improvement %.0f%% below 50%% — conclusion not robust",
 					pt.Param, pt.Factor, 100*pt.Improvement)
@@ -211,7 +262,10 @@ func TestSensitivityRobustness(t *testing.T) {
 }
 
 func TestSensitivityTableRendering(t *testing.T) {
-	tbl := SensitivityTable([]float64{0.5, 1}, 256<<10)
+	tbl, err := SensitivityTable([]float64{0.5, 1}, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := tbl.String()
 	for _, want := range []string{"PCIe per-row", "IB bandwidth", "x0.5"} {
 		if !strings.Contains(out, want) {
@@ -228,8 +282,8 @@ func TestWidthSweepShape(t *testing.T) {
 		c := cfg
 		c.ElemBytes = w
 		c.PitchBytes = 4 * w
-		d := PackLatency(PackD2HNC2NC, 256<<10, c)
-		o := PackLatency(PackD2D2HNC2C2C, 256<<10, c)
+		d := packLat(t, PackD2HNC2NC, 256<<10, c)
+		o := packLat(t, PackD2D2HNC2C2C, 256<<10, c)
 		return float64(d) / float64(o)
 	}
 	narrow, wide := speedup(4), speedup(256)

@@ -74,7 +74,7 @@ func scaleTime[T ~int64](t T, f float64) T { return T(float64(t) * f) }
 
 // SensitivitySweep measures the MV2-GPU-NC improvement over Cpy2D+Send for
 // one message size across perturbation factors of one parameter.
-func SensitivitySweep(param SensitivityParam, factors []float64, msgBytes int) []SensitivityPoint {
+func SensitivitySweep(param SensitivityParam, factors []float64, msgBytes int) ([]SensitivityPoint, error) {
 	var out []SensitivityPoint
 	for _, f := range factors {
 		model, ibBW := perturb(param, f)
@@ -83,20 +83,26 @@ func SensitivitySweep(param SensitivityParam, factors []float64, msgBytes int) [
 		if ibBW > 0 {
 			cfg.Cluster.IBModel.Bandwidth = ibBW
 		}
-		blocking := VectorLatency(DesignCpy2DSend, msgBytes, cfg)
-		nc := VectorLatency(DesignMV2GPUNC, msgBytes, cfg)
+		blocking, err := VectorLatency(DesignCpy2DSend, msgBytes, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("osu: sensitivity sweep (%v x%g): %w", param, f, err)
+		}
+		nc, err := VectorLatency(DesignMV2GPUNC, msgBytes, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("osu: sensitivity sweep (%v x%g): %w", param, f, err)
+		}
 		out = append(out, SensitivityPoint{
 			Param:       param,
 			Factor:      f,
 			Improvement: 1 - float64(nc)/float64(blocking),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // SensitivityTable runs the sweep for every parameter and renders the
 // improvement matrix.
-func SensitivityTable(factors []float64, msgBytes int) *report.Table {
+func SensitivityTable(factors []float64, msgBytes int) (*report.Table, error) {
 	headers := []string{"parameter"}
 	for _, f := range factors {
 		headers = append(headers, fmt.Sprintf("x%.2g", f))
@@ -106,11 +112,15 @@ func SensitivityTable(factors []float64, msgBytes int) *report.Table {
 			report.ByteSize(msgBytes)),
 		headers...)
 	for _, p := range []SensitivityParam{SensPCIeRow, SensDevRow, SensWire, SensPCIeBW} {
+		pts, err := SensitivitySweep(p, factors, msgBytes)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{p.String()}
-		for _, pt := range SensitivitySweep(p, factors, msgBytes) {
+		for _, pt := range pts {
 			row = append(row, fmt.Sprintf("%.0f%%", 100*pt.Improvement))
 		}
 		t.Add(row...)
 	}
-	return t
+	return t, nil
 }

@@ -222,6 +222,17 @@ func newField(p Params, node *cluster.Node, rank int) *field {
 	return f
 }
 
+// freeDevice returns the field's two device buffers to the allocator.
+func (f *field) freeDevice() error {
+	if err := f.node.Ctx.Free(f.in); err != nil {
+		return fmt.Errorf("shoc: free field: %w", err)
+	}
+	if err := f.node.Ctx.Free(f.out); err != nil {
+		return fmt.Errorf("shoc: free field: %w", err)
+	}
+	return nil
+}
+
 // loadF reads element idx as float64; storeF writes v rounded to the
 // field's precision. All arithmetic is done in float64 with one rounding
 // per store, which the sequential reference reproduces bit-for-bit.
@@ -439,6 +450,17 @@ func Run(p Params) (*Result, error) {
 			return nil, err
 		}
 		res.Validated = true
+	}
+	// Release device buffers only now: validation reads the simulated
+	// device memory after the run. Free is pure allocator bookkeeping, so
+	// it works after engine shutdown.
+	for _, f := range fields {
+		if err := f.freeDevice(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

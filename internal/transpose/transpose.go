@@ -136,6 +136,20 @@ func Run(p Params) (*Result, error) {
 		}
 		res.Validated = true
 	}
+	// Free only after validation has read the destination buffers; Free is
+	// allocator bookkeeping and works after engine shutdown.
+	for rank := 0; rank < p.Ranks; rank++ {
+		ctx := cl.Nodes[rank].Ctx
+		if err := ctx.Free(srcBufs[rank]); err != nil {
+			return nil, fmt.Errorf("transpose: free: %w", err)
+		}
+		if err := ctx.Free(dstBufs[rank]); err != nil {
+			return nil, fmt.Errorf("transpose: free: %w", err)
+		}
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 

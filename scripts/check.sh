@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh is the tier-1 verify gate: formatting, build, vet, the custom
+# mv2lint analyzers, and the test suite under the race detector. CI runs
+# exactly this script; run it locally before pushing.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+# Analyzer testdata is excluded: those trees are fixtures, not sources.
+unformatted=$(gofmt -l . | grep -v '/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== mv2lint"
+go run ./cmd/mv2lint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "OK"
