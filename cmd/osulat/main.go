@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"mv2sim/internal/obs"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 	"mv2sim/internal/sim"
@@ -26,6 +28,7 @@ func main() {
 	large := flag.Bool("large", false, "only the large-message panel (Figure 5b)")
 	iters := flag.Int("iters", 3, "iterations per point (median reported)")
 	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
+	traceOut := flag.String("trace", "", "also run one traced 4 MB MV2-GPU-NC transfer and write Chrome trace JSON")
 	flag.Parse()
 
 	cfg := osu.VectorConfig{Iters: *iters, PitchBytes: *pitch}
@@ -59,5 +62,26 @@ func main() {
 		}
 		fmt.Printf("MV2-GPU-NC improvement over Cpy2D+Send at 4 MB: %s (paper: 88%%)\n\n",
 			report.Improvement(blocking, nc))
+	}
+
+	if *traceOut != "" {
+		chrome := obs.NewChromeTracer()
+		tcfg := cfg
+		tcfg.Iters = 1
+		tcfg.Cluster.Tracers = []obs.Tracer{chrome}
+		if _, err := osu.VectorLatency(osu.DesignMV2GPUNC, 4<<20, tcfg); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Chrome trace of one 4 MB MV2-GPU-NC transfer: %s (%d events)\n", *traceOut, chrome.Events())
 	}
 }

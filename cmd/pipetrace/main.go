@@ -9,16 +9,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"mv2sim/internal/cluster"
 	"mv2sim/internal/core"
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 )
 
 func main() {
 	msg := flag.Int("msg", 1<<20, "message size in bytes")
 	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
+	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 	flag.Parse()
 
 	rows := *msg / 4
@@ -29,8 +32,13 @@ func main() {
 	vec.MustCommit()
 
 	trace := &core.PipelineTrace{}
+	var chrome *obs.ChromeTracer
 	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20)}
 	cfg.Core.Trace = trace
+	if *chromeOut != "" {
+		chrome = obs.NewChromeTracer()
+		cfg.Tracers = []obs.Tracer{chrome}
+	}
 	cl := cluster.New(cfg)
 	err = cl.Run(func(n *cluster.Node) {
 		r := n.Rank
@@ -50,5 +58,18 @@ func main() {
 	fmt.Println(trace)
 	if trace.Overlapped() {
 		fmt.Println("Overlap confirmed: packing was still running after the first chunk hit the wire.")
+	}
+	if chrome != nil {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Chrome trace: %s (%d events, %d tracks)\n", *chromeOut, chrome.Events(), len(chrome.Tracks()))
 	}
 }

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"mv2sim/internal/halo3d"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 	"mv2sim/internal/shoc"
@@ -27,10 +30,35 @@ import (
 	"mv2sim/internal/transpose"
 )
 
+// benchResults is the machine-readable summary written as BENCH_repro.json:
+// the Figure 5(b) latency curves, the Table II/III stencil medians, and the
+// per-resource utilization of the five-stage pipeline at 4 MB.
+type benchResults struct {
+	Scale              int                           `json:"scale"`
+	Iters              int                           `json:"iters"`
+	Figure5bLatencyUs  map[string]map[string]float64 `json:"figure5b_latency_us"`
+	Stencil2DMedianSec map[string][]shoc.TableRow    `json:"stencil2d_median_sec"`
+	PipelineResources  []resourceUtil                `json:"pipeline_utilization_4mb"`
+}
+
+// resourceUtil is one row of the pipeline utilization table.
+type resourceUtil struct {
+	Resource    string  `json:"resource"`
+	BusyUs      float64 `json:"busy_us"`
+	Utilization float64 `json:"utilization"`
+}
+
 func main() {
 	scale := flag.Int("scale", 16, "stencil geometry divisor (1 = paper scale)")
 	iters := flag.Int("iters", 3, "iterations per measurement")
+	benchOut := flag.String("bench", "BENCH_repro.json", "machine-readable results file ('' to skip)")
 	flag.Parse()
+	bench := benchResults{
+		Scale:              *scale,
+		Iters:              *iters,
+		Figure5bLatencyUs:  map[string]map[string]float64{},
+		Stencil2DMedianSec: map[string][]shoc.TableRow{},
+	}
 
 	start := time.Now()
 	banner := func(s string) { fmt.Printf("\n================ %s ================\n\n", s) }
@@ -47,10 +75,18 @@ func main() {
 	vcfg := osu.VectorConfig{Iters: *iters}
 	fmt.Println(must(osu.RunFigure5("Figure 5(a): small messages (us)",
 		[]int{16, 64, 256, 1 << 10, 4 << 10}, vcfg)))
-	fmt.Println(must(osu.RunFigure5("Figure 5(b): large messages (us)",
-		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, vcfg)))
+	fig5b := must(osu.RunFigure5("Figure 5(b): large messages (us)",
+		[]int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}, vcfg))
+	fmt.Println(fig5b)
 	fmt.Println("Paper: MV2-GPU-NC up to 88% latency improvement over Cpy2D+Send at 4 MB;")
 	fmt.Println("       MV2-GPU-NC and the manual pipeline perform similarly.")
+	for _, s := range fig5b.Series {
+		pts := map[string]float64{}
+		for i, size := range s.Sizes {
+			pts[fmt.Sprintf("%d", size)] = s.Values[i].Micros()
+		}
+		bench.Figure5bLatencyUs[s.Name] = pts
+	}
 
 	banner("Section IV-B: pipeline block-size sweep")
 	fmt.Println(must(osu.BlockSizeSweep(4<<20,
@@ -63,11 +99,16 @@ func main() {
 
 	banner("Tables II & III: Stencil2D")
 	for _, prec := range []shoc.Precision{shoc.F32, shoc.F64} {
-		t, err := shoc.RunTable(prec, *scale, *iters)
+		rows, err := shoc.RunTableRows(prec, *scale, *iters)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(t)
+		fmt.Println(shoc.TableFromRows(prec, *scale, rows))
+		name := "f32"
+		if prec == shoc.F64 {
+			name = "f64"
+		}
+		bench.Stencil2DMedianSec[name] = rows
 	}
 	fmt.Println("Paper improvements: f32 42/19/27/22% and f64 39/22/26/21% on 1x8/8x1/2x4/4x2.")
 
@@ -81,6 +122,17 @@ func main() {
 
 	banner("Figure 3: pipeline stage trace (1 MB vector)")
 	fmt.Println(pipelineTrace())
+
+	banner("Pipeline resource utilization (4 MB vector, Figure 5(b) largest point)")
+	util := utilizationReport()
+	t := report.NewTable("Per-resource busy time over the transfer window",
+		"resource", "busy (us)", "utilization")
+	for _, u := range util {
+		t.Add(u.Resource, fmt.Sprintf("%.1f", u.BusyUs), fmt.Sprintf("%.0f%%", 100*u.Utilization))
+	}
+	fmt.Println(t)
+	fmt.Println("The DMA engines and HCA all stay busy concurrently: the paper's overlap argument, quantified.")
+	bench.PipelineResources = util
 
 	banner("Extensions beyond the paper's figures")
 	fmt.Println("Library-level pack-location ablation (1 MB vector, pitch 16):")
@@ -120,8 +172,75 @@ func main() {
 	banner("Sensitivity: conclusions under calibration error")
 	fmt.Println(must(osu.SensitivityTable([]float64{0.25, 1, 4}, 1<<20)))
 
+	if *benchOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nMachine-readable results: %s\n", *benchOut)
+	}
+
 	fmt.Printf("\nTotal wall time: %s (virtual cluster: 8 nodes, C2050-class GPUs, QDR IB)\n",
 		time.Since(start).Round(time.Millisecond))
+}
+
+// utilizationReport runs one traced 4 MB MV2-GPU-NC vector transfer and
+// reports how busy each pipeline resource was between the first and last
+// traced activity: both GPUs' copy engines, both ends of the wire, and the
+// staging pools' vbuf holds.
+func utilizationReport() []resourceUtil {
+	busy := obs.NewBusyTimeTracer()
+	rows := (4 << 20) / 4
+	vec, err := datatype.Vector(rows, 1, 4, datatype.Float32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vec.MustCommit()
+	ccfg := cluster.Config{
+		GPUMemBytes: 2*rows*16 + (64 << 20),
+		Tracers:     []obs.Tracer{busy},
+	}
+	cl := cluster.New(ccfg)
+	err = cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(vec.Span(1))
+		if r.Rank() == 0 {
+			mem.Fill(buf, vec.Span(1), func(i int) byte { return byte(i) })
+			r.Send(buf, 1, vec, 1, 0)
+		} else {
+			r.Recv(buf, 1, vec, 0, 0)
+		}
+		if err := n.Ctx.Free(buf); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		log.Fatal(err)
+	}
+
+	from, to := busy.Window()
+	var out []resourceUtil
+	for _, where := range []string{
+		"gpu0.d2dEngine", // stage 1: pack (sender)
+		"gpu0.d2hEngine", // stage 2: D2H staging
+		"hca0.tx",        // stage 3: RDMA write, sender link
+		"hca1.rx",        // stage 3: RDMA write, receiver link
+		"gpu1.h2dEngine", // stage 4: H2D staging
+		"gpu1.d2dEngine", // stage 5: unpack (receiver)
+	} {
+		out = append(out, resourceUtil{
+			Resource:    where,
+			BusyUs:      busy.Busy(where).Micros(),
+			Utilization: busy.Utilization(where, from, to),
+		})
+	}
+	return out
 }
 
 // must exits nonzero on any benchmark failure — including the end-of-run

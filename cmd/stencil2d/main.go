@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"mv2sim/internal/obs"
 	"mv2sim/internal/shoc"
 )
 
@@ -31,7 +33,30 @@ func main() {
 	scale := flag.Int("scale", 16, "divide each matrix dimension by this (1 = paper scale)")
 	iters := flag.Int("iters", 3, "timed iterations (median reported)")
 	breakdown := flag.Bool("breakdown", false, "run the Figure 6 communication breakdown instead")
+	traceOut := flag.String("trace", "", "run one traced NC iteration on the 2x4 grid and write Chrome trace JSON")
 	flag.Parse()
+
+	if *traceOut != "" {
+		chrome := obs.NewChromeTracer()
+		g := shoc.PaperGrids(*scale)[2] // 2x4
+		p := shoc.ScaledParams(g, shoc.F32, shoc.NC, *scale, 1)
+		p.Cluster.Tracers = []obs.Tracer{chrome}
+		if _, err := shoc.Run(p); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := chrome.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Chrome trace of one Stencil2D-NC iteration (2x4 grid): %s (%d events)\n", *traceOut, chrome.Events())
+		return
+	}
 
 	if *breakdown {
 		bd, err := shoc.RunBreakdown(*scale, *iters)

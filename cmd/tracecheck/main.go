@@ -1,0 +1,95 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced by
+// the obs.ChromeTracer: the document parses, contains events, every event
+// carries the required fields, and completion timestamps never run
+// backwards (events are emitted in simulation order, so a regression here
+// means the tracer or the engine lost determinism). CI runs it against a
+// freshly generated pipetrace trace.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Ph   string   `json:"ph"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	Name string   `json:"name"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: tracecheck <trace.json>")
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("%s: not valid JSON: %v", os.Args[1], err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("%s: no trace events", os.Args[1])
+	}
+
+	var lastDone float64
+	counts := map[string]int{}
+	tracks := map[int]string{}
+	for i, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Ph == "" || ev.Name == "" || ev.Pid == nil {
+			fail("event %d: missing required field (ph=%q name=%q)", i, ev.Ph, ev.Name)
+		}
+		if ev.Ph == "M" {
+			if ev.Tid != nil {
+				tracks[*ev.Tid] = ev.Name
+			}
+			continue
+		}
+		if ev.Ts == nil || *ev.Ts < 0 {
+			fail("event %d (%s %q): missing or negative ts", i, ev.Ph, ev.Name)
+		}
+		// Events are emitted at completion time; that time must be
+		// monotone non-decreasing across the file.
+		done := *ev.Ts
+		if ev.Ph == "X" {
+			if ev.Dur == nil || *ev.Dur < 0 {
+				fail("event %d (X %q): missing or negative dur", i, ev.Name)
+			}
+			done += *ev.Dur
+		}
+		// Timestamps are nanosecond-precision decimals; ts+dur can differ
+		// from the exact end by a binary float epsilon, so compare with
+		// half-a-nanosecond slack.
+		const halfNs = 0.0005
+		if done < lastDone-halfNs {
+			fail("event %d (%s %q): completion time %.3f us precedes %.3f us — trace is not in simulation order",
+				i, ev.Ph, ev.Name, done, lastDone)
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+	}
+
+	fmt.Printf("%s: OK — %d events (%d spans, %d instants, %d counter samples) on %d tracks, %.1f us simulated\n",
+		os.Args[1], len(doc.TraceEvents)-counts["M"], counts["X"], counts["i"], counts["C"], len(tracks), lastDone)
+}

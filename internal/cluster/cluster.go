@@ -15,6 +15,7 @@ import (
 	"mv2sim/internal/ib"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -52,6 +53,16 @@ type Config struct {
 	// device-memory registration and the transport skips host staging.
 	// Not available on the paper's 2011 testbed; see internal/core.
 	GPUDirect bool
+	// Tracers receive task records from every instrumented layer (CUDA
+	// streams, IB links, vbuf pools, MPI protocol phases, pipeline stages).
+	// Empty means tracing is off and the hot paths take their
+	// zero-allocation fast path. Core.Trace, when set, is appended
+	// automatically so the two options compose.
+	Tracers []obs.Tracer
+	// TraceEngine additionally records every simulation process's lifetime
+	// and counts fired events via an obs.EngineTracer hook. Verbose; only
+	// meaningful when Tracers is non-empty.
+	TraceEngine bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +98,9 @@ type Cluster struct {
 	World     *mpi.World
 	Transport *core.Transport
 	Nodes     []*Node
+	// Obs is the tracing hub all layers publish to; nil when Config.Tracers
+	// is empty (and Core.Trace unset), i.e. when tracing is off.
+	Obs *obs.Hub
 }
 
 // New builds a cluster per cfg.
@@ -101,8 +115,22 @@ func New(cfg Config) *Cluster {
 	world := mpi.NewWorld(e, cfg.MPI)
 	cl := &Cluster{Engine: e, Fabric: fabric, World: world}
 
+	tracers := append([]obs.Tracer(nil), cfg.Tracers...)
+	if cfg.Core.Trace != nil {
+		tracers = append(tracers, cfg.Core.Trace)
+	}
+	if len(tracers) > 0 {
+		cl.Obs = obs.NewHub(e, tracers...)
+		fabric.SetHub(cl.Obs)
+		world.SetHub(cl.Obs)
+		if cfg.TraceEngine {
+			e.SetHook(obs.NewEngineTracer(cl.Obs))
+		}
+	}
+
 	if !cfg.NoGPU {
 		cl.Transport = core.New(cfg.Core)
+		cl.Transport.SetHub(cl.Obs)
 		world.SetGPUTransport(cl.Transport)
 	}
 
@@ -119,6 +147,12 @@ func New(cfg Config) *Cluster {
 			node.Pool = hostmem.NewPool(e, fmt.Sprintf("node%d.txvbufs", i), hca, pinned.Base(), blockSize, cfg.VbufCount)
 			node.RecvPool = hostmem.NewPool(e, fmt.Sprintf("node%d.rxvbufs", i), hca,
 				pinned.Base().Add(cfg.VbufCount*blockSize), blockSize, cfg.VbufCount)
+			if cl.Obs != nil {
+				node.Dev.SetHub(cl.Obs)
+				node.Ctx.SetHub(cl.Obs)
+				node.Pool.SetHub(cl.Obs)
+				node.RecvPool.SetHub(cl.Obs)
+			}
 			cl.Transport.Attach(rank, node.Ctx, node.Pool, node.RecvPool)
 		}
 		cl.Nodes = append(cl.Nodes, node)

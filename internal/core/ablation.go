@@ -5,6 +5,7 @@ import (
 
 	"mv2sim/internal/hostmem"
 	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -27,6 +28,8 @@ func hostStagedApplies(t *Transport, pl plan, blockSize int) bool {
 func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
 	r := req.Rank()
 	e := r.World().Engine()
+	h := t.obsHub(e)
+	parent := req.ObsSpan()
 	size := pl.size
 	blockSize := r.World().Config().BlockSize
 	rowsPerChunk := blockSize / pl.shape.Width
@@ -44,13 +47,17 @@ func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 		sent := e.NewEvent(fmt.Sprintf("rank%d.hschunk%d", r.Rank(), c))
 		chunkSent[c] = sent
 		startRow := c * rowsPerChunk
+		d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h, c, n)
 		d2h := n1.Ctx.Memcpy2DAsync(p,
 			vbuf.Ptr, pl.shape.Width,
 			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
 			pl.shape.Width, n/pl.shape.Width, n1.d2hStream)
 		d2h.OnTrigger(func() {
+			d2hSp.End()
+			rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma, c, n)
 			rdma := r.RDMAChunk(req, slot, vbuf.Ptr, n)
 			rdma.OnTrigger(func() {
+				rdmaSp.End()
 				n1.Pool.Put(vbuf)
 				sent.Trigger()
 			})
@@ -64,6 +71,8 @@ func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 // from each vbuf straight into the user buffer.
 func (t *Transport) recvHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
 	r := req.Rank()
+	h := t.obsHub(r.World().Engine())
+	parent := req.ObsSpan()
 	size := req.Size()
 	total, chunkBytes := r.World().ChunkGeometry(size)
 	rowsPerChunk := chunkBytes / pl.shape.Width
@@ -103,12 +112,16 @@ func (t *Transport) recvHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 		vbuf := slotVbuf[c]
 		n := chunkLen(c)
 		startRow := c * rowsPerChunk
+		h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d, c, n)
 		ev := n1.Ctx.Memcpy2DAsync(p,
 			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
 			vbuf.Ptr, pl.shape.Width,
 			pl.shape.Width, n/pl.shape.Width, n1.h2dStream)
 		h2dDone[c] = ev
-		ev.OnTrigger(func() { n1.RecvPool.Put(vbuf) })
+		ev.OnTrigger(func() {
+			h2dSp.End()
+			n1.RecvPool.Put(vbuf)
+		})
 	}
 	p.WaitAll(h2dDone...)
 	req.CompleteRecv()

@@ -37,6 +37,7 @@ import (
 	"mv2sim/internal/hostmem"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -87,12 +88,40 @@ type NodeGPU struct {
 	d2hStream    *cuda.Stream
 	h2dStream    *cuda.Stream
 	unpackStream *cuda.Stream
+
+	tracks stageTracks
+}
+
+// stageTracks holds the precomputed per-rank tracing track names, one per
+// pipeline stage — precomputed so the traced hot path never formats
+// strings.
+type stageTracks struct {
+	pack, d2h, rdma, h2d, unpack string
 }
 
 // Transport implements mpi.GPUTransport.
 type Transport struct {
 	cfg   Config
 	nodes map[*mpi.Rank]*NodeGPU
+	hub   *obs.Hub
+}
+
+// SetHub attaches an observability hub: every pipeline stage of every
+// chunk becomes a task on its rank's per-stage track ("rank0.pack",
+// "rank0.d2h", ..., "rank1.unpack"), parented to the MPI request task.
+// cluster.New wires this; direct Transport users without a hub still get
+// Config.Trace served through a lazily created internal hub.
+func (t *Transport) SetHub(h *obs.Hub) { t.hub = h }
+
+// obsHub returns the tracing hub for transfers. When no cluster-level
+// hub was installed but the legacy Config.Trace sink is set, a private
+// hub wrapping it is created on first use so PipelineTrace keeps working
+// for direct Transport users.
+func (t *Transport) obsHub(e *sim.Engine) *obs.Hub {
+	if t.hub == nil && t.cfg.Trace != nil {
+		t.hub = obs.NewHub(e, t.cfg.Trace)
+	}
+	return t.hub
 }
 
 // New creates an empty transport; attach per-rank GPU resources with
@@ -114,6 +143,13 @@ func (t *Transport) Attach(r *mpi.Rank, ctx *cuda.Ctx, sendPool, recvPool *hostm
 		d2hStream:    ctx.NewStream(),
 		h2dStream:    ctx.NewStream(),
 		unpackStream: ctx.NewStream(),
+		tracks: stageTracks{
+			pack:   fmt.Sprintf("rank%d.pack", r.Rank()),
+			d2h:    fmt.Sprintf("rank%d.d2h", r.Rank()),
+			rdma:   fmt.Sprintf("rank%d.rdma", r.Rank()),
+			h2d:    fmt.Sprintf("rank%d.h2d", r.Rank()),
+			unpack: fmt.Sprintf("rank%d.unpack", r.Rank()),
+		},
 	}
 	t.nodes[r] = n
 	return n
@@ -263,6 +299,8 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 	r.SendRTS(req)
 	e := r.World().Engine()
 	e.Spawn(fmt.Sprintf("rank%d.gpusend", r.Rank()), func(p *sim.Proc) {
+		h := t.obsHub(e)
+		parent := req.ObsSpan()
 		size := pl.size
 		blockSize := r.World().Config().BlockSize
 		if t.cfg.GPUDirect {
@@ -292,11 +330,14 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 			}
 			for off := 0; off < size; off += step {
 				n := min(step, size-off)
+				idx := len(packDone)
+				sp := h.StartChild(parent, obs.KindPack, n1.tracks.pack, idx, n)
 				ev := t.packChunk(p, n1, pl, req, tbuf.Add(off), off, n)
 				packDone = append(packDone, ev)
 				packCut = append(packCut, off+n)
-				idx := len(packDone) - 1
-				ev.OnTrigger(func() { t.cfg.Trace.add("pack", idx, e.Now()) })
+				if sp.Active() {
+					ev.OnTrigger(sp.End)
+				}
 			}
 		}
 		packReady := func(throughByte int) *sim.Event {
@@ -336,12 +377,14 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 			vbuf := n1.Pool.Get(p)
 			sent := e.NewEvent(fmt.Sprintf("rank%d.chunk%d.sent", r.Rank(), c))
 			chunkSent[c] = sent
+			d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h, c, n)
 			d2h := n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStream)
 			d2h.OnTrigger(func() {
-				t.cfg.Trace.add("d2h", c, e.Now())
+				d2hSp.End()
+				rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma, c, n)
 				rdma := r.RDMAChunk(req, slot, vbuf.Ptr, n)
 				rdma.OnTrigger(func() {
-					t.cfg.Trace.add("rdma", c, e.Now())
+					rdmaSp.End()
 					n1.Pool.Put(vbuf)
 					sent.Trigger()
 				})
@@ -367,6 +410,8 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 	pl := planFor(req)
 	e := r.World().Engine()
 	e.Spawn(fmt.Sprintf("rank%d.gpurecv", r.Rank()), func(p *sim.Proc) {
+		h := t.obsHub(e)
+		parent := req.ObsSpan()
 		size := req.Size()
 		total, chunkBytes := r.World().ChunkGeometry(size)
 		if t.cfg.GPUDirect {
@@ -406,10 +451,13 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 				cut = arrived
 			}
 			if cut > unpackedThrough {
+				idx := len(unpackEvs)
+				sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, cut-unpackedThrough)
 				ev := t.unpackChunk(nil, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
 				unpackEvs = append(unpackEvs, ev)
-				idx := len(unpackEvs) - 1
-				ev.OnTrigger(func() { t.cfg.Trace.add("unpack", idx, e.Now()) })
+				if sp.Active() {
+					ev.OnTrigger(sp.End)
+				}
 				unpackedThrough = cut
 			}
 		}
@@ -453,11 +501,11 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			vbuf := slotVbuf[c]
 			n := chunkLen(c)
 			off := c * chunkBytes
+			h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d, c, n)
 			ev := n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStream)
 			h2dDone[c] = ev
-			c := c
 			ev.OnTrigger(func() {
-				t.cfg.Trace.add("h2d", c, e.Now())
+				h2dSp.End()
 				n1.RecvPool.Put(vbuf)
 				arrived += n
 				advanceUnpack()
@@ -469,8 +517,13 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 		arrived = arrivedAll
 		if !pl.contig {
 			if unpackedThrough < size {
+				idx := len(unpackEvs)
+				sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, size-unpackedThrough)
 				ev := t.unpackChunk(p, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
 				unpackEvs = append(unpackEvs, ev)
+				if sp.Active() {
+					ev.OnTrigger(sp.End)
+				}
 				unpackedThrough = size
 			}
 			p.WaitAll(unpackEvs...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -24,6 +25,8 @@ import (
 func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
 	r := req.Rank()
 	e := r.World().Engine()
+	h := t.obsHub(e)
+	parent := req.ObsSpan()
 	size := pl.size
 	blockSize := r.World().Config().BlockSize
 
@@ -43,9 +46,14 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		}
 		for off := 0; off < size; off += step {
 			n := min(step, size-off)
+			idx := len(packDone)
+			sp := h.StartChild(parent, obs.KindPack, n1.tracks.pack, idx, n)
 			ev := t.packChunk(p, n1, pl, req, tbuf.Add(off), off, n)
 			packDone = append(packDone, ev)
 			packCut = append(packCut, off+n)
+			if sp.Active() {
+				ev.OnTrigger(sp.End)
+			}
 		}
 	}
 	packReady := func(throughByte int) *sim.Event {
@@ -74,7 +82,11 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		}
 		sent := e.NewEvent(fmt.Sprintf("rank%d.gdrchunk%d", r.Rank(), c))
 		chunkSent[c] = sent
+		sp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma, c, n)
 		rdma := r.RDMAChunk(req, slot, tbuf.Add(off), n)
+		if sp.Active() {
+			rdma.OnTrigger(sp.End)
+		}
 		rdma.OnTrigger(sent.Trigger)
 	}
 	p.WaitAll(chunkSent...)
@@ -89,6 +101,8 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 // announced in one CTS; arriving chunks are unpacked as their bytes land.
 func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
 	r := req.Rank()
+	h := t.obsHub(r.World().Engine())
+	parent := req.ObsSpan()
 	size := req.Size()
 	total, chunkBytes := r.World().ChunkGeometry(size)
 	chunkLen := func(c int) int { return min(chunkBytes, size-c*chunkBytes) }
@@ -126,16 +140,26 @@ func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 			cut = arrived
 		}
 		if cut > unpackedThrough {
+			idx := len(unpackEvs)
+			sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, cut-unpackedThrough)
 			ev := t.unpackChunk(nil, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
 			unpackEvs = append(unpackEvs, ev)
 			unpackedThrough = cut
+			if sp.Active() {
+				ev.OnTrigger(sp.End)
+			}
 		}
 	}
 	r.HCA().Deregister(region)
 	if !pl.contig {
 		if unpackedThrough < size {
+			idx := len(unpackEvs)
+			sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, size-unpackedThrough)
 			ev := t.unpackChunk(p, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
 			unpackEvs = append(unpackEvs, ev)
+			if sp.Active() {
+				ev.OnTrigger(sp.End)
+			}
 		}
 		p.WaitAll(unpackEvs...)
 		mustFree(n1.Ctx, tbuf)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -12,6 +13,10 @@ import (
 // transfer — the executable form of the paper's Figure 3 pipeline diagram.
 // Install one via Config.Trace before a transfer; each stage that finishes
 // appends an event.
+//
+// PipelineTrace is a thin obs.Tracer: it listens for the five
+// pipeline-stage task kinds emitted by the transport and ignores
+// everything else, so it can also be added to any obs.Hub directly.
 //
 // Stages, in data-flow order:
 //
@@ -31,12 +36,36 @@ type StageEvent struct {
 	At    sim.Time
 }
 
-func (t *PipelineTrace) add(stage string, chunk int, at sim.Time) {
+// stageOfKind maps the transport's task kinds to the trace's stage names.
+var stageOfKind = map[string]string{
+	obs.KindPack:   "pack",
+	obs.KindD2H:    "d2h",
+	obs.KindRDMA:   "rdma",
+	obs.KindH2D:    "h2d",
+	obs.KindUnpack: "unpack",
+}
+
+// TaskStart implements obs.Tracer; stage completions are what matter.
+func (t *PipelineTrace) TaskStart(obs.Task) {}
+
+// TaskStep implements obs.Tracer.
+func (t *PipelineTrace) TaskStep(obs.Task, string) {}
+
+// TaskEnd records the completion of a pipeline-stage task. Only the five
+// chunked stage kinds are kept: the ib layer reuses the rdma_write kind
+// for its own (chunk-less) link tasks, so the chunk index doubles as the
+// transport-task discriminator.
+func (t *PipelineTrace) TaskEnd(task obs.Task) {
 	if t == nil {
 		return
 	}
-	t.Events = append(t.Events, StageEvent{stage, chunk, at})
+	if stage, ok := stageOfKind[task.Kind]; ok && task.Chunk >= 0 {
+		t.Events = append(t.Events, StageEvent{stage, task.Chunk, task.End})
+	}
 }
+
+// CounterSample implements obs.Tracer.
+func (t *PipelineTrace) CounterSample(string, sim.Time, float64) {}
 
 // Completions returns the completion times of one stage indexed by chunk.
 func (t *PipelineTrace) Completions(stage string) map[int]sim.Time {

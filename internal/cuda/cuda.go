@@ -26,6 +26,7 @@ import (
 
 	"mv2sim/internal/gpu"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -35,7 +36,13 @@ type Ctx struct {
 	dev     *gpu.Device
 	nstream int
 	def     *Stream
+	hub     *obs.Hub
 }
+
+// SetHub attaches an observability hub; every stream operation (copy,
+// kernel, memset) becomes a task on the stream's own track, covering the
+// op from dequeue to completion — engine contention included.
+func (c *Ctx) SetHub(h *obs.Hub) { c.hub = h }
 
 // NewCtx creates a context on the given device. The context owns the
 // default (NULL) stream used by the blocking API.
@@ -94,9 +101,27 @@ func (c *Ctx) NewStream() *Stream {
 	return s
 }
 
+// opSpan opens the tracing span for one stream op. Markers and stream
+// waits carry no device work and are not traced.
+func (s *Stream) opSpan(o *op) obs.Span {
+	h := s.ctx.hub
+	if !h.Enabled() || o.isMarker || o.waitOn != nil {
+		return obs.Span{}
+	}
+	switch {
+	case o.memsetBytes > 0:
+		return h.Start(obs.KindMemset, s.name, -1, o.memsetBytes)
+	case o.isKernel:
+		return h.Start(obs.KindKernel, s.name, -1, o.kernCells)
+	default:
+		return h.Start(gpu.CopyKind(gpu.DirOf(o.dst, o.src)), s.name, -1, o.shape.Bytes())
+	}
+}
+
 func (s *Stream) run(p *sim.Proc) {
 	for {
 		o := s.q.Get(p)
+		sp := s.opSpan(o)
 		switch {
 		case o.waitOn != nil:
 			// cudaStreamWaitEvent: the stream stalls here until the event
@@ -118,6 +143,7 @@ func (s *Stream) run(p *sim.Proc) {
 		default:
 			s.ctx.dev.ExecCopy(p, o.dst, o.shape.DPitch, o.src, o.shape.SPitch, o.shape.Width, o.shape.Height)
 		}
+		sp.End()
 		o.done.Trigger()
 		s.pending--
 		if s.pending == 0 && s.drained != nil {

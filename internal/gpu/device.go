@@ -6,6 +6,7 @@ import (
 	"mv2sim/internal/alloc"
 
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -69,13 +70,15 @@ type Config struct {
 
 // Device is one simulated GPU.
 type Device struct {
-	id      int
-	e       *sim.Engine
-	space   *mem.Space
-	alloc   *alloc.Allocator
-	model   CostModel
-	engines [numEngines]*sim.Resource
-	stats   Stats
+	id          int
+	e           *sim.Engine
+	space       *mem.Space
+	alloc       *alloc.Allocator
+	model       CostModel
+	engines     [numEngines]*sim.Resource
+	engineTrack [numEngines]string // precomputed obs track names
+	stats       Stats
+	hub         *obs.Hub
 }
 
 // New creates a device with the given ordinal and configuration.
@@ -96,9 +99,30 @@ func New(e *sim.Engine, id int, cfg Config) *Device {
 		stats: Stats{Copies: map[CopyDir]int{}, Bytes: map[CopyDir]int64{}},
 	}
 	for k := EngineKind(0); k < numEngines; k++ {
-		d.engines[k] = e.NewResource(fmt.Sprintf("gpu%d.%s", id, k), 1)
+		name := fmt.Sprintf("gpu%d.%s", id, k)
+		d.engines[k] = e.NewResource(name, 1)
+		d.engineTrack[k] = name
 	}
 	return d
+}
+
+// SetHub attaches an observability hub; each engine occupancy becomes a
+// task on the engine's own track ("gpu0.d2hEngine", ...), which is what
+// BusyTimeTracer turns into DMA-engine utilization.
+func (d *Device) SetHub(h *obs.Hub) { d.hub = h }
+
+// CopyKind maps a copy direction to its obs task kind.
+func CopyKind(dir CopyDir) string {
+	switch dir {
+	case H2D:
+		return obs.KindCopyH2D
+	case D2H:
+		return obs.KindCopyD2H
+	case D2D:
+		return obs.KindCopyD2D
+	default:
+		return obs.KindCopyH2H
+	}
 }
 
 // ID returns the device ordinal.
@@ -178,9 +202,12 @@ func (d *Device) ExecCopy(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spi
 		// Host copies do not occupy a device engine.
 		p.Sleep(cost)
 	} else {
-		eng := d.engines[EngineFor(dir)]
+		k := EngineFor(dir)
+		eng := d.engines[k]
 		eng.Acquire(p)
+		sp := d.hub.Start(CopyKind(dir), d.engineTrack[k], -1, shape.Bytes())
 		p.Sleep(cost)
+		sp.End()
 		eng.Release()
 	}
 	mem.Copy2D(dst, dpitch, src, spitch, width, height)
@@ -194,7 +221,9 @@ func (d *Device) ExecKernel(p *sim.Proc, cells int, nsPerCell float64, body func
 	cost := d.model.KernelCost(cells, nsPerCell)
 	eng := d.engines[EngineKernel]
 	eng.Acquire(p)
+	sp := d.hub.Start(obs.KindKernel, d.engineTrack[EngineKernel], -1, cells)
 	p.Sleep(cost)
+	sp.End()
 	eng.Release()
 	if body != nil {
 		body()

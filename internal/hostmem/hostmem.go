@@ -15,6 +15,7 @@ import (
 
 	"mv2sim/internal/ib"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -29,6 +30,7 @@ type Vbuf struct {
 
 	pool *Pool
 	free bool
+	span obs.Span // open while the vbuf is held
 }
 
 // Pool is a fixed set of vbufs carved from one pinned host allocation.
@@ -42,6 +44,9 @@ type Pool struct {
 
 	gets, puts uint64
 	minFree    int
+
+	hub     *obs.Hub
+	freeCtr string // occupancy gauge name
 }
 
 // NewPool carves count chunks of chunkSize bytes out of host space at base
@@ -54,7 +59,7 @@ func NewPool(e *sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, c
 	if base.IsDevice() {
 		panic("hostmem: vbuf pool must live in host memory")
 	}
-	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count}
+	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count, freeCtr: name + ".free"}
 	for i := 0; i < count; i++ {
 		ptr := base.Add(i * chunkSize)
 		v := &Vbuf{Ptr: ptr, Region: hca.Register(ptr, chunkSize), Index: i, pool: p, free: true}
@@ -63,6 +68,12 @@ func NewPool(e *sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, c
 	}
 	return p
 }
+
+// SetHub attaches an observability hub: each vbuf hold (Get→Put) becomes
+// a task on the pool's track, and the free count is sampled as a gauge
+// ("<pool>.free") on every state change — the pool-occupancy view of how
+// deep the pipeline runs.
+func (p *Pool) SetHub(h *obs.Hub) { p.hub = h }
 
 // ChunkSize returns the size of each vbuf in bytes.
 func (p *Pool) ChunkSize() int { return p.chunkSize }
@@ -103,6 +114,8 @@ func (p *Pool) take() *Vbuf {
 	if len(p.freeList) < p.minFree {
 		p.minFree = len(p.freeList)
 	}
+	v.span = p.hub.Start(obs.KindVbuf, p.name, v.Index, p.chunkSize)
+	p.hub.Counter(p.freeCtr, float64(len(p.freeList)))
 	return v
 }
 
@@ -117,8 +130,11 @@ func (p *Pool) Put(v *Vbuf) {
 		panic(fmt.Sprintf("hostmem: double return of vbuf %d to %s", v.Index, p.name))
 	}
 	v.free = true
+	v.span.End()
+	v.span = obs.Span{}
 	p.freeList = append(p.freeList, v)
 	p.puts++
+	p.hub.Counter(p.freeCtr, float64(len(p.freeList)))
 	if len(p.waiters) > 0 {
 		head := p.waiters[0]
 		p.waiters = p.waiters[1:]

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -63,7 +64,13 @@ type Fabric struct {
 	e     *sim.Engine
 	model Model
 	hcas  map[int]*HCA
+	hub   *obs.Hub
 }
+
+// SetHub attaches an observability hub: every wire operation becomes a
+// task on the sending HCA's tx track and the receiving HCA's rx track,
+// and cumulative per-HCA byte counters are sampled after each transfer.
+func (f *Fabric) SetHub(h *obs.Hub) { f.hub = h }
 
 // NewFabric creates an empty fabric.
 func NewFabric(e *sim.Engine, model Model) *Fabric {
@@ -89,6 +96,10 @@ func (f *Fabric) NewHCA(node int) *HCA {
 		node:     node,
 		sendLink: f.e.NewResource(fmt.Sprintf("hca%d.tx", node), 1),
 		recvLink: f.e.NewResource(fmt.Sprintf("hca%d.rx", node), 1),
+		txTrack:  fmt.Sprintf("hca%d.tx", node),
+		rxTrack:  fmt.Sprintf("hca%d.rx", node),
+		txCtr:    fmt.Sprintf("hca%d.bytesTx", node),
+		rxCtr:    fmt.Sprintf("hca%d.bytesRx", node),
 		regions:  map[uint32]Region{},
 		nextRkey: 1,
 	}
@@ -129,6 +140,10 @@ type HCA struct {
 	nextRkey uint32
 	stats    Stats
 	seq      int
+
+	// precomputed obs track and counter names
+	txTrack, rxTrack string
+	txCtr, rxCtr     string
 }
 
 // Node returns the node ID this HCA serves.
@@ -172,8 +187,9 @@ func (h *HCA) wireTime(n int) sim.Time {
 
 // transmit implements the shared egress/ingress path: snapshot is the
 // payload already captured at post time; deliver runs in engine context at
-// the remote side once the bytes have fully arrived.
-func (h *HCA) transmit(dst int, nbytes int, deliver func(rx *HCA)) *sim.Event {
+// the remote side once the bytes have fully arrived. kind classifies the
+// operation for tracing.
+func (h *HCA) transmit(dst int, nbytes int, kind string, deliver func(rx *HCA)) *sim.Event {
 	rx := h.f.hcas[dst]
 	if rx == nil {
 		panic(fmt.Sprintf("ib: no HCA for destination node %d", dst))
@@ -185,18 +201,24 @@ func (h *HCA) transmit(dst int, nbytes int, deliver func(rx *HCA)) *sim.Event {
 	h.seq++
 	h.f.e.Spawn(fmt.Sprintf("hca%d->%d.%d", h.node, dst, h.seq), func(p *sim.Proc) {
 		h.sendLink.Acquire(p)
+		tx := h.f.hub.Start(kind, h.txTrack, -1, nbytes)
 		p.Sleep(h.wireTime(nbytes))
+		tx.End()
 		h.sendLink.Release()
 		localDone.Trigger() // last byte has left the sender
 		h.stats.BytesTx += int64(nbytes)
+		h.f.hub.Counter(h.txCtr, float64(h.stats.BytesTx))
 		p.Sleep(h.f.model.Latency)
 		rx.recvLink.Acquire(p)
 		// Ingress serialization: the receive link is occupied while the
 		// payload streams in. Short control messages cost only their
 		// header-size time.
+		in := h.f.hub.Start(kind, rx.rxTrack, -1, nbytes)
 		p.Sleep(sim.DurationOf(nbytes, h.f.model.Bandwidth) / 8)
+		in.End()
 		rx.recvLink.Release()
 		rx.stats.BytesRx += int64(nbytes)
+		h.f.hub.Counter(rx.rxCtr, float64(rx.stats.BytesRx))
 		deliver(rx)
 	})
 	return localDone
@@ -215,7 +237,7 @@ func (h *HCA) PostSend(dst int, msg Message, payload []byte) *sim.Event {
 		snap = append([]byte(nil), payload...)
 	}
 	h.stats.SendsPosted++
-	return h.transmit(dst, headerBytes+len(snap), func(rx *HCA) {
+	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, func(rx *HCA) {
 		if rx.handler == nil {
 			panic(fmt.Sprintf("ib: message for node %d dropped: no handler", rx.node))
 		}
@@ -233,7 +255,7 @@ func (h *HCA) PostSend(dst int, msg Message, payload []byte) *sim.Event {
 func (h *HCA) RDMAWrite(dst int, src mem.Ptr, n int, rkey uint32, roff int) *sim.Event {
 	snap := append([]byte(nil), src.Bytes(n)...)
 	h.stats.RDMAWrites++
-	return h.transmit(dst, n, func(rx *HCA) {
+	return h.transmit(dst, n, obs.KindRDMA, func(rx *HCA) {
 		reg, ok := rx.regions[rkey]
 		if !ok {
 			panic(fmt.Sprintf("ib: RDMA write to unknown rkey %d on node %d", rkey, rx.node))
@@ -265,7 +287,9 @@ func (h *HCA) RDMARead(dst mem.Ptr, from int, rkey uint32, roff, n int) *sim.Eve
 	h.f.e.Spawn(fmt.Sprintf("hca%d<-%d.%d", h.node, from, h.seq), func(p *sim.Proc) {
 		// Request: a header-sized message out on our send link.
 		h.sendLink.Acquire(p)
+		reqSp := h.f.hub.Start(obs.KindRDMARead, h.txTrack, -1, headerBytes)
 		p.Sleep(h.wireTime(headerBytes))
+		reqSp.End()
 		h.sendLink.Release()
 		p.Sleep(h.f.model.Latency)
 		// Response: the target streams the payload from its link.
@@ -277,15 +301,21 @@ func (h *HCA) RDMARead(dst mem.Ptr, from int, rkey uint32, roff, n int) *sim.Eve
 			panic(fmt.Sprintf("ib: RDMA read [%d,%d) outside region of %d bytes", roff, roff+n, reg.len))
 		}
 		tx.sendLink.Acquire(p)
+		respSp := h.f.hub.Start(obs.KindRDMARead, tx.txTrack, -1, n)
 		snap := append([]byte(nil), reg.ptr.Add(roff).Bytes(n)...)
 		p.Sleep(tx.wireTime(n))
+		respSp.End()
 		tx.sendLink.Release()
 		tx.stats.BytesTx += int64(n)
+		h.f.hub.Counter(tx.txCtr, float64(tx.stats.BytesTx))
 		p.Sleep(h.f.model.Latency)
 		h.recvLink.Acquire(p)
+		inSp := h.f.hub.Start(obs.KindRDMARead, h.rxTrack, -1, n)
 		p.Sleep(sim.DurationOf(n, h.f.model.Bandwidth) / 8)
+		inSp.End()
 		h.recvLink.Release()
 		h.stats.BytesRx += int64(n)
+		h.f.hub.Counter(h.rxCtr, float64(h.stats.BytesRx))
 		copy(dst.Bytes(n), snap)
 		done.Trigger()
 	})

@@ -75,7 +75,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers lists every analyzer in the suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ProcBlock, EventPair, AllocFree, ErrFree, ChunkConst}
+	return []*Analyzer{ProcBlock, EventPair, SpanEnd, AllocFree, ErrFree, ChunkConst}
 }
 
 // Run applies the analyzers to every package and returns the surviving
@@ -181,6 +181,7 @@ const (
 	memPath     = "mv2sim/internal/mem"
 	mpiPath     = "mv2sim/internal/mpi"
 	clusterPath = "mv2sim/internal/cluster"
+	obsPath     = "mv2sim/internal/obs"
 )
 
 // namedOf unwraps pointers and generic instantiations down to the

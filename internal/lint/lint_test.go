@@ -36,7 +36,7 @@ func TestSuppression(t *testing.T) {
 // TestAnalyzerNames pins the analyzer set: scripts/check.sh and the docs
 // reference these names.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"procblock", "eventpair", "allocfree", "errfree", "chunkconst"}
+	want := []string{"procblock", "eventpair", "spanend", "allocfree", "errfree", "chunkconst"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,7 @@
+package lint
+
+import "testing"
+
+func TestSpanEnd(t *testing.T) {
+	RunGolden(t, Testdata(), SpanEnd, "spanend")
+}

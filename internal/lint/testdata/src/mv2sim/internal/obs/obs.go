@@ -1,0 +1,47 @@
+// Package obs is a golden-test stub of the real internal/obs.
+package obs
+
+// Task is one traced unit of work.
+type Task struct {
+	ID    uint64
+	Kind  string
+	Where string
+}
+
+// Hub fans task records out to tracers.
+type Hub struct{}
+
+// Span is an open task handle.
+type Span struct{ hub *Hub }
+
+// Start opens a task.
+func (h *Hub) Start(kind, where string, chunk, bytes int) Span { return Span{hub: h} }
+
+// StartTask opens a task with a distinct What label.
+func (h *Hub) StartTask(kind, what, where string, chunk, bytes int) Span { return Span{hub: h} }
+
+// StartChild opens a task parented to another span's task.
+func (h *Hub) StartChild(parent Span, kind, where string, chunk, bytes int) Span {
+	return Span{hub: h}
+}
+
+// Instant records a zero-duration task.
+func (h *Hub) Instant(kind, where string, chunk, bytes int) {}
+
+// Counter records a gauge sample.
+func (h *Hub) Counter(name string, value float64) {}
+
+// Enabled reports whether any tracer is attached.
+func (h *Hub) Enabled() bool { return h != nil }
+
+// Active reports whether the span is recording.
+func (sp Span) Active() bool { return sp.hub != nil }
+
+// Task returns the span's task record so far.
+func (sp Span) Task() Task { return Task{} }
+
+// Step records an intermediate step.
+func (sp Span) Step(what string) {}
+
+// End closes the task.
+func (sp Span) End() {}

@@ -1,0 +1,72 @@
+// Package spanend holds golden cases for the spanend analyzer.
+package spanend
+
+import (
+	"mv2sim/internal/obs"
+	"mv2sim/internal/sim"
+)
+
+// Positive: started but never ended.
+func unended(h *obs.Hub) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536) // want `span sp is started but never ended`
+	_ = sp.Active()
+}
+
+// Positive: a step is not a completion.
+func steppedOnly(h *obs.Hub) {
+	sp := h.StartTask("rdma_write", "chunk", "hca0.tx", 1, 65536) // want `span sp is started but never ended`
+	sp.Step("posted")
+}
+
+// Positive: a child span needs its own End.
+func childUnended(h *obs.Hub, parent obs.Span) {
+	sp := h.StartChild(parent, "d2d_nc2c", "rank0.pack", 0, 4096) // want `span sp is started but never ended`
+	sp.Step("queued")
+}
+
+// Negative: started and ended.
+func ended(h *obs.Hub) {
+	sp := h.Start("d2d_nc2c", "rank0.pack", 0, 4096)
+	sp.End()
+}
+
+// Negative: End passed as a method value to a trigger callback — the
+// canonical pipeline idiom.
+func endViaTrigger(h *obs.Hub, ev *sim.Event) {
+	sp := h.Start("rdma_write", "rank0.rdma", 2, 65536)
+	ev.OnTrigger(sp.End)
+}
+
+// Negative: ended inside a closure.
+func endInClosure(h *obs.Hub, ev *sim.Event) {
+	sp := h.Start("h2d_c2c", "rank1.h2d", 3, 65536)
+	ev.OnTrigger(func() { sp.End() })
+}
+
+// Negative: the span escapes by return.
+func escapesReturn(h *obs.Hub) obs.Span {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	return sp
+}
+
+// Negative: the span escapes to a helper that ends it.
+func escapesHelper(h *obs.Hub) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	endLater(sp)
+}
+
+func endLater(sp obs.Span) { sp.End() }
+
+// Negative: the span escapes through a struct field.
+type holder struct{ sp obs.Span }
+
+func escapesField(h *obs.Hub, x *holder) {
+	sp := h.Start("vbuf", "node0.txvbufs", 4, 65536)
+	x.sp = sp
+}
+
+// Negative: instants and counters open nothing.
+func instants(h *obs.Hub) {
+	h.Instant("rts", "rank0.mpi", -1, 1<<20)
+	h.Counter("node0.txvbufs.free", 63)
+}

@@ -27,6 +27,7 @@ import (
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/ib"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -119,7 +120,19 @@ type World struct {
 	ranks     []*Rank
 	transport GPUTransport
 	nextCtx   int // context-ID allocator for Comm.Split (root-driven)
+	hub       *obs.Hub
 }
+
+// SetHub attaches an observability hub: every request's lifetime becomes
+// a task on its rank's "rankN.mpi" track (eager/rendezvous/self kinds),
+// and the rendezvous control messages (RTS/CTS/FIN) appear as instant
+// markers. Install before communication starts.
+func (w *World) SetHub(h *obs.Hub) { w.hub = h }
+
+// Hub returns the attached observability hub (nil when tracing is off).
+// GPU transports use it to parent their pipeline-stage tasks to the
+// request tasks recorded here.
+func (w *World) Hub() *obs.Hub { return w.hub }
 
 // NewWorld creates an empty world; attach ranks with AddRank.
 func NewWorld(e *sim.Engine, cfg Config) *World {
@@ -152,13 +165,14 @@ func (w *World) GPUTransport() GPUTransport { return w.transport }
 // buffers. The HCA's node ID must equal the new rank's index.
 func (w *World) AddRank(hca *ib.HCA, host *mem.Space) *Rank {
 	r := &Rank{
-		w:     w,
-		rank:  len(w.ranks),
-		hca:   hca,
-		host:  host,
-		heap:  alloc.New(host.Size(), 64),
-		reqs:  map[int]*Request{},
-		stats: &RankStats{},
+		w:        w,
+		rank:     len(w.ranks),
+		hca:      hca,
+		host:     host,
+		heap:     alloc.New(host.Size(), 64),
+		reqs:     map[int]*Request{},
+		stats:    &RankStats{},
+		obsTrack: fmt.Sprintf("rank%d.mpi", len(w.ranks)),
 	}
 	if hca.Node() != r.rank {
 		panic(fmt.Sprintf("mpi: HCA node %d attached as rank %d", hca.Node(), r.rank))
@@ -204,8 +218,9 @@ type Rank struct {
 	unexpected     []*inbound   // arrived unmatched, in arrival order
 	arrivalWaiters []*sim.Event // blocked Probe calls
 
-	nextID int
-	reqs   map[int]*Request // in-flight rendezvous requests by ID
+	nextID   int
+	reqs     map[int]*Request // in-flight rendezvous requests by ID
+	obsTrack string           // tracing track name, "rankN.mpi"
 }
 
 // Rank returns this process's rank index.

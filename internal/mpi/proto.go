@@ -6,6 +6,7 @@ import (
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/ib"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -126,6 +127,7 @@ func (r *Rank) isend(buf mem.Ptr, count int, dt *datatype.Datatype, dest, tag, c
 	}
 	q := r.newRequest(SendReq, buf, dt, count, dest, tag, ctx)
 	r.stats.BytesSent += int64(q.size)
+	q.span = r.w.hub.Start(sendKind(r, q), r.obsTrack, -1, q.size)
 
 	switch {
 	case dest == r.rank:
@@ -159,6 +161,18 @@ func (r *Rank) isend(buf mem.Ptr, count int, dt *datatype.Datatype, dest, tag, c
 		r.stats.RndvSent++
 	}
 	return q
+}
+
+// sendKind classifies a send request for tracing.
+func sendKind(r *Rank, q *Request) string {
+	switch {
+	case q.peer == r.rank:
+		return obs.KindSendSelf
+	case q.size > r.w.cfg.EagerLimit:
+		return obs.KindSendRndv
+	default:
+		return obs.KindSendEager
+	}
 }
 
 // startHostRendezvous dispatches a large host-buffer send onto the
@@ -199,6 +213,7 @@ func (r *Rank) selfSend(q *Request) {
 // transports call this before (or while) packing begins, so the handshake
 // overlaps datatype processing as in the paper's design.
 func (r *Rank) SendRTS(q *Request) {
+	r.w.hub.Instant(obs.KindRTS, r.obsTrack, -1, q.size)
 	r.hca.PostSend(q.peer, rtsMsg{r.rank, q.tag, q.ctx, q.size, q.id}, nil)
 }
 
@@ -238,6 +253,7 @@ func (r *Rank) RDMAChunk(q *Request, s Slot, src mem.Ptr, n int) *sim.Event {
 		panic(fmt.Sprintf("mpi: chunk %d length %d does not match slot length %d", s.Chunk, n, s.Len))
 	}
 	ev := r.hca.RDMAWrite(q.peer, src, n, s.Rkey, s.Off)
+	r.w.hub.Instant(obs.KindFIN, r.obsTrack, s.Chunk, n)
 	r.hca.PostSend(q.peer, finMsg{q.peerID, s.Chunk}, nil)
 	return ev
 }
@@ -289,6 +305,7 @@ func (r *Rank) irecv(buf mem.Ptr, count int, dt *datatype.Datatype, source, tag,
 		return r.nullRequest(RecvReq)
 	}
 	q := r.newRequest(RecvReq, buf, dt, count, source, tag, ctx)
+	q.span = r.w.hub.Start(obs.KindRecv, r.obsTrack, -1, q.size)
 
 	// Try the unexpected queue first, in arrival order.
 	for i, in := range r.unexpected {
@@ -468,6 +485,7 @@ func (r *Rank) startRecvData(q *Request, from, tag, size, sendID int) {
 // SendCTS announces landing slots to the sender. GPU transports may call
 // it several times with successive batches when staging memory is scarce.
 func (r *Rank) SendCTS(q *Request, totalChunks, chunkBytes int, slots []Slot) {
+	r.w.hub.Instant(obs.KindCTS, r.obsTrack, -1, len(slots)*chunkBytes)
 	r.hca.PostSend(q.peer, ctsMsg{
 		SendID: q.peerID, RecvID: q.id,
 		TotalChunks: totalChunks, ChunkBytes: chunkBytes,

@@ -5,6 +5,7 @@ import (
 
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -52,6 +53,8 @@ type Request struct {
 	// get-protocol state
 	srcRkey uint32 // receiver: sender's advertised region
 	onDone  func() // sender: cleanup + completion when DONE arrives
+
+	span obs.Span // open over the request's lifetime when tracing
 }
 
 // Accessors used by GPU transports.
@@ -89,6 +92,10 @@ func (q *Request) Size() int {
 // Done reports whether the request has completed.
 func (q *Request) Done() bool { return q.done.Fired() }
 
+// ObsSpan returns the request's tracing span (inert when tracing is off).
+// GPU transports parent their pipeline-stage tasks to it.
+func (q *Request) ObsSpan() obs.Span { return q.span }
+
 // newRequest assigns an ID and registers the request for protocol lookup.
 func (r *Rank) newRequest(kind ReqKind, buf mem.Ptr, dt *datatype.Datatype, count, peer, tag, ctx int) *Request {
 	dtSize := count * dt.Size()
@@ -120,6 +127,7 @@ func (r *Rank) nullRequest(kind ReqKind) *Request {
 // complete finalizes the request.
 func (q *Request) complete() {
 	delete(q.r.reqs, q.id)
+	q.span.End()
 	q.done.Trigger()
 }
 

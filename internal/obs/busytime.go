@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+
+	"mv2sim/internal/sim"
+)
+
+// BusyTimeTracer measures how long each resource track (a DMA engine, an
+// HCA link, a vbuf pool, a CUDA stream) was busy — the union of its task
+// intervals, so overlapping holds on the same track are not double
+// counted. Utilization over any window follows directly. Modeled on
+// Akita's BusyTimeTracer.
+type BusyTimeTracer struct {
+	ivals  map[string][]interval
+	merged map[string]bool
+	order  []string
+
+	winSet   bool
+	from, to sim.Time
+}
+
+type interval struct{ from, to sim.Time }
+
+// NewBusyTimeTracer creates an empty busy-time collector.
+func NewBusyTimeTracer() *BusyTimeTracer {
+	return &BusyTimeTracer{ivals: map[string][]interval{}, merged: map[string]bool{}}
+}
+
+// TaskStart extends the observed window to the task's start.
+func (b *BusyTimeTracer) TaskStart(t Task) { b.observe(t.Start) }
+
+// TaskStep is ignored: milestones do not change busy time.
+func (b *BusyTimeTracer) TaskStep(Task, string) {}
+
+// TaskEnd records the task's interval on its track. Instant tasks only
+// extend the window.
+func (b *BusyTimeTracer) TaskEnd(t Task) {
+	b.observe(t.Start)
+	b.observe(t.End)
+	if t.Instant() {
+		return
+	}
+	if _, ok := b.ivals[t.Where]; !ok {
+		b.order = append(b.order, t.Where)
+	}
+	b.ivals[t.Where] = append(b.ivals[t.Where], interval{t.Start, t.End})
+	b.merged[t.Where] = false
+}
+
+// CounterSample extends the observed window only.
+func (b *BusyTimeTracer) CounterSample(_ string, at sim.Time, _ float64) { b.observe(at) }
+
+func (b *BusyTimeTracer) observe(t sim.Time) {
+	if !b.winSet {
+		b.winSet, b.from, b.to = true, t, t
+		return
+	}
+	if t < b.from {
+		b.from = t
+	}
+	if t > b.to {
+		b.to = t
+	}
+}
+
+// Window returns the [from, to] span of all observed activity.
+func (b *BusyTimeTracer) Window() (from, to sim.Time) { return b.from, b.to }
+
+// Wheres returns the tracked resource names in first-seen order.
+func (b *BusyTimeTracer) Wheres() []string { return append([]string(nil), b.order...) }
+
+// normalize sorts and unions the track's intervals in place.
+func (b *BusyTimeTracer) normalize(where string) []interval {
+	ivs := b.ivals[where]
+	if b.merged[where] || len(ivs) == 0 {
+		return ivs
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].from < ivs[j].from })
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.from <= last.to {
+			if iv.to > last.to {
+				last.to = iv.to
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	b.ivals[where] = out
+	b.merged[where] = true
+	return out
+}
+
+// Busy returns the total busy time of a track over the whole run.
+func (b *BusyTimeTracer) Busy(where string) sim.Time {
+	var total sim.Time
+	for _, iv := range b.normalize(where) {
+		total += iv.to - iv.from
+	}
+	return total
+}
+
+// BusyBetween returns the busy time of a track clipped to [from, to].
+func (b *BusyTimeTracer) BusyBetween(where string, from, to sim.Time) sim.Time {
+	var total sim.Time
+	for _, iv := range b.normalize(where) {
+		lo, hi := iv.from, iv.to
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
+}
+
+// Utilization returns the track's busy fraction of [from, to]; zero for
+// an empty window.
+func (b *BusyTimeTracer) Utilization(where string, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return float64(b.BusyBetween(where, from, to)) / float64(to-from)
+}

@@ -1,0 +1,39 @@
+package obs
+
+import "mv2sim/internal/sim"
+
+// EngineTracer adapts a Hub to sim.Hook: every engine process becomes a
+// task on a shared "procs" track (the process name as the task name), and
+// fired events are counted. Install it with Engine.SetHook; cluster.New
+// does so when Config.TraceEngine is set. This view is deliberately
+// coarse — per-transfer helper processes are short-lived and numerous, so
+// one track keeps the trace readable.
+type EngineTracer struct {
+	hub    *Hub
+	open   map[string]Span
+	events uint64
+}
+
+// NewEngineTracer creates the adapter.
+func NewEngineTracer(hub *Hub) *EngineTracer {
+	return &EngineTracer{hub: hub, open: map[string]Span{}}
+}
+
+// ProcStart opens the process's task.
+func (t *EngineTracer) ProcStart(_ sim.Time, name string) {
+	t.open[name] = t.hub.StartTask(KindProc, name, "procs", -1, 0)
+}
+
+// ProcEnd closes the process's task.
+func (t *EngineTracer) ProcEnd(_ sim.Time, name string) {
+	if sp, ok := t.open[name]; ok {
+		sp.End()
+		delete(t.open, name)
+	}
+}
+
+// EventFired counts event firings.
+func (t *EngineTracer) EventFired(sim.Time, string) { t.events++ }
+
+// EventsFired returns the number of observed event firings.
+func (t *EngineTracer) EventsFired() uint64 { return t.events }

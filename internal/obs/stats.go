@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+
+	"mv2sim/internal/report"
+	"mv2sim/internal/sim"
+	"mv2sim/internal/trace"
+)
+
+// StatsTracer aggregates per-kind counts, durations and byte volumes — a
+// paper-style summary table of everything that happened in a run.
+type StatsTracer struct {
+	order []string
+	kinds map[string]*kindStats
+}
+
+type kindStats struct {
+	count int
+	total sim.Time
+	bytes int64
+	durs  []sim.Time
+}
+
+// NewStatsTracer creates an empty aggregator.
+func NewStatsTracer() *StatsTracer {
+	return &StatsTracer{kinds: map[string]*kindStats{}}
+}
+
+// TaskStart is a no-op; durations are known at TaskEnd.
+func (s *StatsTracer) TaskStart(Task) {}
+
+// TaskStep is a no-op.
+func (s *StatsTracer) TaskStep(Task, string) {}
+
+// TaskEnd accumulates the task under its kind.
+func (s *StatsTracer) TaskEnd(t Task) {
+	ks := s.kinds[t.Kind]
+	if ks == nil {
+		ks = &kindStats{}
+		s.kinds[t.Kind] = ks
+		s.order = append(s.order, t.Kind)
+	}
+	ks.count++
+	ks.total += t.End - t.Start
+	ks.bytes += int64(t.Bytes)
+	ks.durs = append(ks.durs, t.End-t.Start)
+}
+
+// CounterSample is a no-op: gauges carry no duration.
+func (s *StatsTracer) CounterSample(string, sim.Time, float64) {}
+
+// Kinds returns the observed task kinds in first-seen order.
+func (s *StatsTracer) Kinds() []string { return append([]string(nil), s.order...) }
+
+// Count returns the number of tasks of a kind.
+func (s *StatsTracer) Count(kind string) int {
+	if ks := s.kinds[kind]; ks != nil {
+		return ks.count
+	}
+	return 0
+}
+
+// Total returns the summed duration of a kind.
+func (s *StatsTracer) Total(kind string) sim.Time {
+	if ks := s.kinds[kind]; ks != nil {
+		return ks.total
+	}
+	return 0
+}
+
+// Bytes returns the summed byte volume of a kind.
+func (s *StatsTracer) Bytes(kind string) int64 {
+	if ks := s.kinds[kind]; ks != nil {
+		return ks.bytes
+	}
+	return 0
+}
+
+// Avg returns the mean duration of a kind (zero when unobserved).
+func (s *StatsTracer) Avg(kind string) sim.Time {
+	ks := s.kinds[kind]
+	if ks == nil || ks.count == 0 {
+		return 0
+	}
+	return ks.total / sim.Time(ks.count)
+}
+
+// Median returns the median duration of a kind.
+func (s *StatsTracer) Median(kind string) sim.Time {
+	if ks := s.kinds[kind]; ks != nil {
+		return trace.Median(ks.durs)
+	}
+	return 0
+}
+
+// Breakdown returns the per-kind total durations as a trace.Breakdown in
+// first-seen order.
+func (s *StatsTracer) Breakdown() *trace.Breakdown {
+	b := trace.NewBreakdown()
+	for _, k := range s.order {
+		b.Add(k, s.kinds[k].total)
+	}
+	return b
+}
+
+// Table renders the per-kind statistics as a report table.
+func (s *StatsTracer) Table(title string) *report.Table {
+	t := report.NewTable(title, "kind", "count", "total (us)", "avg (us)", "median (us)", "bytes")
+	for _, k := range s.order {
+		ks := s.kinds[k]
+		t.Add(k,
+			fmt.Sprintf("%d", ks.count),
+			fmt.Sprintf("%.1f", ks.total.Micros()),
+			fmt.Sprintf("%.1f", s.Avg(k).Micros()),
+			fmt.Sprintf("%.1f", s.Median(k).Micros()),
+			fmt.Sprintf("%d", ks.bytes))
+	}
+	return t
+}

@@ -62,19 +62,19 @@ func ScaledParams(g GridConfig, prec Precision, variant Variant, scale, iters in
 	}
 }
 
-// RunTable executes the paper's Table II (single precision) or Table III
-// (double precision): median iteration time of both Stencil2D variants on
-// all four grids, with the improvement column.
-func RunTable(prec Precision, scale, iters int) (*report.Table, error) {
-	title := "Table II: Stencil2D median iteration time, single precision (sec)"
-	if prec == F64 {
-		title = "Table III: Stencil2D median iteration time, double precision (sec)"
-	}
-	if scale > 1 {
-		title += fmt.Sprintf(" [geometry 1/%d, ratio-preserving]", scale)
-	}
-	t := report.NewTable(title,
-		"Process Grid (Matrix/Process)", "Stencil2D-Def", "Stencil2D-MV2-GPU-NC", "Improvement")
+// TableRow is one structured row of Table II/III: the median iteration
+// time of both variants on one grid. Machine-readable counterpart of
+// RunTable, consumed by cmd/repro's BENCH_repro.json.
+type TableRow struct {
+	Grid           string  `json:"grid"`
+	DefSec         float64 `json:"def_sec"`
+	NCSec          float64 `json:"nc_sec"`
+	ImprovementPct float64 `json:"improvement_pct"`
+}
+
+// RunTableRows executes Table II/III and returns structured rows.
+func RunTableRows(prec Precision, scale, iters int) ([]TableRow, error) {
+	var rows []TableRow
 	for _, g := range PaperGrids(scale) {
 		def, err := Run(ScaledParams(g, prec, Def, scale, iters))
 		if err != nil {
@@ -84,12 +84,45 @@ func RunTable(prec Precision, scale, iters int) (*report.Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s NC: %w", g.Label, err)
 		}
-		t.Add(g.Label,
-			report.Seconds(def.MedianIter),
-			report.Seconds(nc.MedianIter),
-			report.Improvement(def.MedianIter, nc.MedianIter))
+		rows = append(rows, TableRow{
+			Grid:           g.Label,
+			DefSec:         def.MedianIter.Seconds(),
+			NCSec:          nc.MedianIter.Seconds(),
+			ImprovementPct: 100 * (1 - float64(nc.MedianIter)/float64(def.MedianIter)),
+		})
 	}
-	return t, nil
+	return rows, nil
+}
+
+// RunTable executes the paper's Table II (single precision) or Table III
+// (double precision): median iteration time of both Stencil2D variants on
+// all four grids, with the improvement column.
+func RunTable(prec Precision, scale, iters int) (*report.Table, error) {
+	rows, err := RunTableRows(prec, scale, iters)
+	if err != nil {
+		return nil, err
+	}
+	return TableFromRows(prec, scale, rows), nil
+}
+
+// TableFromRows renders structured rows in the paper's table format.
+func TableFromRows(prec Precision, scale int, rows []TableRow) *report.Table {
+	title := "Table II: Stencil2D median iteration time, single precision (sec)"
+	if prec == F64 {
+		title = "Table III: Stencil2D median iteration time, double precision (sec)"
+	}
+	if scale > 1 {
+		title += fmt.Sprintf(" [geometry 1/%d, ratio-preserving]", scale)
+	}
+	t := report.NewTable(title,
+		"Process Grid (Matrix/Process)", "Stencil2D-Def", "Stencil2D-MV2-GPU-NC", "Improvement")
+	for _, r := range rows {
+		t.Add(r.Grid,
+			fmt.Sprintf("%.6f", r.DefSec),
+			fmt.Sprintf("%.6f", r.NCSec),
+			fmt.Sprintf("%.0f%%", r.ImprovementPct))
+	}
+	return t
 }
 
 // RunBreakdown executes the Figure 6 experiment: Stencil2D-Def on the 2x4

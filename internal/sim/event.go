@@ -49,6 +49,9 @@ func (ev *Event) Trigger() {
 	ev.fired = true
 	ev.firedAt = ev.e.now
 	ev.e.trace("event %s: fired", ev.name)
+	if ev.e.hook != nil {
+		ev.e.hook.EventFired(ev.e.now, ev.name)
+	}
 	for _, p := range ev.waiters {
 		p.scheduleResume(ev.e.now)
 	}

@@ -124,6 +124,21 @@ type Engine struct {
 	shutdownDone bool
 
 	tracer func(t Time, msg string)
+	hook   Hook
+}
+
+// Hook observes engine lifecycle events with structured callbacks, the
+// machine-readable counterpart of SetTracer's formatted strings. All
+// callbacks run in simulation order while the caller holds the baton, so
+// implementations need no locking. internal/obs provides an adapter that
+// turns these into trace tasks.
+type Hook interface {
+	// ProcStart fires when a spawned process begins executing.
+	ProcStart(t Time, name string)
+	// ProcEnd fires when a process function returns (or panics).
+	ProcEnd(t Time, name string)
+	// EventFired fires on the first Trigger of every event.
+	EventFired(t Time, name string)
 }
 
 // New creates an empty engine at virtual time zero.
@@ -161,6 +176,9 @@ func (e *Engine) Events() uint64 { return e.nevents }
 // SetTracer installs a trace sink invoked for process lifecycle events.
 // Pass nil to disable tracing.
 func (e *Engine) SetTracer(fn func(t Time, msg string)) { e.tracer = fn }
+
+// SetHook installs a structured lifecycle observer. Pass nil to disable.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
 
 func (e *Engine) trace(format string, args ...interface{}) {
 	if e.tracer != nil {
@@ -313,6 +331,9 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	go func() {
 		p.awaitResume() // wait for first dispatch
 		e.trace("proc %s: start", p.name)
+		if e.hook != nil {
+			e.hook.ProcStart(e.now, p.name)
+		}
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -322,6 +343,9 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}()
 		e.trace("proc %s: done", p.name)
+		if e.hook != nil {
+			e.hook.ProcEnd(e.now, p.name)
+		}
 		p.done = true
 		e.nlive--
 		e.yield <- struct{}{}

@@ -49,11 +49,13 @@ func (b *Breakdown) Get(key string) sim.Time { return b.vals[key] }
 // Keys returns the keys in first-use order.
 func (b *Breakdown) Keys() []string { return append([]string(nil), b.keys...) }
 
-// Total returns the sum over all keys.
+// Total returns the sum over all keys. Like Keys and String it walks the
+// keys in insertion order, so any rounding in downstream arithmetic is
+// deterministic run to run.
 func (b *Breakdown) Total() sim.Time {
 	var t sim.Time
-	for _, v := range b.vals {
-		t += v
+	for _, k := range b.keys {
+		t += b.vals[k]
 	}
 	return t
 }
@@ -62,6 +64,23 @@ func (b *Breakdown) Total() sim.Time {
 func (b *Breakdown) Merge(other *Breakdown) {
 	for _, k := range other.keys {
 		b.Add(k, other.vals[k])
+	}
+}
+
+// Scale multiplies every accumulated value by factor, e.g. 1/iterations to
+// turn a whole-run accumulation into a per-iteration breakdown.
+func (b *Breakdown) Scale(factor float64) {
+	for _, k := range b.keys {
+		b.vals[k] = sim.Time(float64(b.vals[k]) * factor)
+	}
+}
+
+// Sub subtracts other's entries from b, registering keys b has not seen.
+// Together with Scale it supports differential breakdowns ("this run minus
+// baseline").
+func (b *Breakdown) Sub(other *Breakdown) {
+	for _, k := range other.keys {
+		b.Add(k, -other.vals[k])
 	}
 }
 

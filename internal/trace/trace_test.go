@@ -52,6 +52,61 @@ func TestBreakdownMergeAndSorted(t *testing.T) {
 	}
 }
 
+func TestBreakdownTotalInsertionOrder(t *testing.T) {
+	// Total must walk keys in insertion order (same order as Keys), not
+	// map-iteration order, so derived arithmetic is deterministic.
+	b := NewBreakdown()
+	keys := []string{"pack", "d2h", "rdma", "h2d", "unpack", "sync", "wait"}
+	var want sim.Time
+	for i, k := range keys {
+		d := sim.Time(i+1) * sim.Microsecond
+		b.Add(k, d)
+		want += d
+	}
+	for trial := 0; trial < 50; trial++ {
+		if got := b.Total(); got != want {
+			t.Fatalf("Total = %v, want %v", got, want)
+		}
+	}
+	if got := b.Keys(); len(got) != len(keys) || got[0] != "pack" || got[6] != "wait" {
+		t.Errorf("keys = %v", got)
+	}
+}
+
+func TestBreakdownScale(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("x", 10*sim.Microsecond)
+	b.Add("y", 4*sim.Microsecond)
+	b.Scale(0.5)
+	if b.Get("x") != 5*sim.Microsecond || b.Get("y") != 2*sim.Microsecond {
+		t.Errorf("scaled: x=%v y=%v", b.Get("x"), b.Get("y"))
+	}
+	if b.Total() != 7*sim.Microsecond {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestBreakdownSub(t *testing.T) {
+	run, base := NewBreakdown(), NewBreakdown()
+	run.Add("cuda", 9*sim.Microsecond)
+	run.Add("mpi", 5*sim.Microsecond)
+	base.Add("cuda", 4*sim.Microsecond)
+	base.Add("idle", 1*sim.Microsecond)
+	run.Sub(base)
+	if run.Get("cuda") != 5*sim.Microsecond {
+		t.Errorf("cuda = %v", run.Get("cuda"))
+	}
+	if run.Get("mpi") != 5*sim.Microsecond {
+		t.Errorf("mpi = %v", run.Get("mpi"))
+	}
+	if run.Get("idle") != -1*sim.Microsecond {
+		t.Errorf("idle = %v", run.Get("idle"))
+	}
+	if got := run.Keys(); len(got) != 3 || got[2] != "idle" {
+		t.Errorf("keys = %v", got)
+	}
+}
+
 func TestBreakdownString(t *testing.T) {
 	b := NewBreakdown()
 	b.Add("south_mpi", 1500*sim.Nanosecond)

@@ -26,4 +26,13 @@ go run ./cmd/mv2lint ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== trace gate"
+# One traced pipeline run must produce a valid, well-ordered Chrome trace.
+tracefile="${TRACE_OUT:-$(mktemp /tmp/mv2sim-trace.XXXXXX.json)}"
+go run ./cmd/pipetrace -chrome "$tracefile" > /dev/null
+go run ./cmd/tracecheck "$tracefile"
+if [ -z "${TRACE_OUT:-}" ]; then
+    rm -f "$tracefile"
+fi
+
 echo "OK"
