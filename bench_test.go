@@ -17,6 +17,7 @@ import (
 	"mv2sim/internal/cluster"
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/halo3d"
+	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/shoc"
@@ -325,6 +326,105 @@ func BenchmarkHalo3D(b *testing.B) {
 		last = res.MedianIter
 	}
 	reportVirt(b, last)
+}
+
+// BenchmarkPackPlanCache measures the wall-clock cost of chunk packing
+// with the commit-time cached chunk plan versus the uncached range walk
+// that re-derives segment geometry on every call. The cached path must be
+// allocation-free in steady state (also pinned by a plan_test AllocsPerRun
+// test) and beat the uncached ns/op.
+func BenchmarkPackPlanCache(b *testing.B) {
+	// An irregular (indexed) type the analytic uniform-2D path rejects, so
+	// both paths exercise the generic segment machinery.
+	blocklens := make([]int, 64)
+	displs := make([]int, 64)
+	for i := range blocklens {
+		blocklens[i] = 3 + i%5
+		displs[i] = i * 12
+	}
+	idx, err := datatype.Indexed(blocklens, displs, datatype.Float32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx.MustCommit()
+	const count = 256
+	chunk := mpi.DefaultBlockSize
+	total := count * idx.Size()
+	src := mem.NewHostSpace("bench.src", count*idx.Extent()+64)
+	dst := mem.NewHostSpace("bench.dst", total+64)
+
+	b.Run("cached", func(b *testing.B) {
+		plan := idx.ChunkPlan(count, chunk)
+		chunks := plan.Chunks()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := i % chunks
+			plan.PackChunk(dst.Base(), src.Base(), c)
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		chunks := (total + chunk - 1) / chunk
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := i % chunks
+			off := c * chunk
+			idx.PackRange(dst.Base(), src.Base(), count, off, min(chunk, total-off))
+		}
+	})
+}
+
+// BenchmarkEngineEventLoop measures raw event-loop throughput of the
+// discrete-event engine: one process sleeping through b.N timer events.
+// This is the denominator of every other wall-clock number in this file.
+func BenchmarkEngineEventLoop(b *testing.B) {
+	e := sim.New()
+	e.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(sim.Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	e.Shutdown()
+}
+
+// BenchmarkRailsSweep measures streaming bandwidth of a wire-bound
+// (wide-row) device vector across HCA rail counts. Single-rail is
+// wire-limited (~3.0 GB/s); two rails shift the bottleneck to the
+// per-direction PCIe copy engine; four rails add nothing beyond that.
+func BenchmarkRailsSweep(b *testing.B) {
+	for _, rails := range []int{1, 2, 4} {
+		rails := rails
+		b.Run(railName(rails), func(b *testing.B) {
+			cfg := osu.VectorConfig{ElemBytes: 8 << 10, PitchBytes: 16 << 10}
+			cfg.Cluster.Rails = rails
+			var bw float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				bw, err = osu.Bandwidth(1<<20, 4, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bw, "virt-MB/s")
+		})
+	}
+}
+
+func railName(n int) string {
+	switch n {
+	case 1:
+		return "rails1"
+	case 2:
+		return "rails2"
+	case 4:
+		return "rails4"
+	}
+	return "rails?"
 }
 
 // BenchmarkRendezvousProtocol compares put-based (the paper's) and

@@ -15,12 +15,14 @@ import (
 	"mv2sim/internal/core"
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
 )
 
 func main() {
 	msg := flag.Int("msg", 1<<20, "message size in bytes")
 	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
+	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe chunks across (MV2_NUM_RAILS)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 	flag.Parse()
 
@@ -33,7 +35,7 @@ func main() {
 
 	trace := &core.PipelineTrace{}
 	var chrome *obs.ChromeTracer
-	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20)}
+	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20), Rails: *rails}
 	cfg.Core.Trace = trace
 	if *chromeOut != "" {
 		chrome = obs.NewChromeTracer()
@@ -55,6 +57,9 @@ func main() {
 	}
 	fmt.Printf("Five-stage pipeline, %d-byte vector, %d-byte block chunks (completion times):\n\n",
 		*msg, cl.World.Config().BlockSize)
+	if *rails > 1 {
+		fmt.Printf("Chunks striped round-robin across %d HCA rails.\n\n", *rails)
+	}
 	fmt.Println(trace)
 	if trace.Overlapped() {
 		fmt.Println("Overlap confirmed: packing was still running after the first chunk hit the wire.")

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -48,11 +49,36 @@ type resourceUtil struct {
 	Utilization float64 `json:"utilization"`
 }
 
+// wallclockResults is the machine-readable simulator-performance summary
+// written by -wallclock: real (host) time per operation for the hot paths
+// the pack-plan cache and the event loop sit on, plus the multi-rail
+// bandwidth points as a determinism pin. CI runs `repro -wallclockonly
+// -wallclock BENCH_wallclock.json` and archives the file so simulator
+// slowdowns show up in review alongside virtual-time regressions.
+type wallclockResults struct {
+	GoMaxProcs              int                `json:"gomaxprocs"`
+	EngineEventNs           float64            `json:"engine_event_ns"`
+	PackPlanCachedNsChunk   float64            `json:"packplan_cached_ns_per_chunk"`
+	PackPlanUncachedNsChunk float64            `json:"packplan_uncached_ns_per_chunk"`
+	RailsBandwidthMBs       map[string]float64 `json:"rails_bandwidth_mbs"`
+	RailsBandwidthWallMs    float64            `json:"rails_bandwidth_wall_ms"`
+	PipetraceTransferWallMs float64            `json:"pipetrace_transfer_wall_ms"`
+}
+
 func main() {
 	scale := flag.Int("scale", 16, "stencil geometry divisor (1 = paper scale)")
 	iters := flag.Int("iters", 3, "iterations per measurement")
 	benchOut := flag.String("bench", "BENCH_repro.json", "machine-readable results file ('' to skip)")
+	wallOut := flag.String("wallclock", "", "write simulator wall-clock microbenchmarks to this JSON file")
+	wallOnly := flag.Bool("wallclockonly", false, "run only the -wallclock microbenchmarks and exit")
 	flag.Parse()
+	if *wallOnly && *wallOut == "" {
+		log.Fatal("repro: -wallclockonly requires -wallclock FILE")
+	}
+	if *wallOnly {
+		writeWallclock(*wallOut)
+		return
+	}
 	bench := benchResults{
 		Scale:              *scale,
 		Iters:              *iters,
@@ -183,8 +209,100 @@ func main() {
 		fmt.Printf("\nMachine-readable results: %s\n", *benchOut)
 	}
 
+	if *wallOut != "" {
+		writeWallclock(*wallOut)
+	}
+
 	fmt.Printf("\nTotal wall time: %s (virtual cluster: 8 nodes, C2050-class GPUs, QDR IB)\n",
 		time.Since(start).Round(time.Millisecond))
+}
+
+// writeWallclock measures the simulator's own wall-clock hot paths and
+// writes them as JSON. Fast (a few seconds) so CI can run it on every push.
+func writeWallclock(path string) {
+	res := wallclockResults{
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		RailsBandwidthMBs: map[string]float64{},
+	}
+
+	// Event-loop throughput: one process sleeping through N timer events.
+	{
+		const n = 200_000
+		e := sim.New()
+		e.Spawn("wallclock", func(p *sim.Proc) {
+			for i := 0; i < n; i++ {
+				p.Sleep(sim.Nanosecond)
+			}
+		})
+		t0 := time.Now()
+		if err := e.Run(); err != nil {
+			log.Fatal(err)
+		}
+		res.EngineEventNs = float64(time.Since(t0).Nanoseconds()) / n
+		e.Shutdown()
+	}
+
+	// Pack-plan chunk walk, cached plan vs uncached range derivation, on an
+	// irregular indexed type (the generic-kernel path).
+	{
+		blocklens := make([]int, 64)
+		displs := make([]int, 64)
+		for i := range blocklens {
+			blocklens[i] = 3 + i%5
+			displs[i] = i * 12
+		}
+		idx := must(datatype.Indexed(blocklens, displs, datatype.Float32))
+		idx.MustCommit()
+		const count = 256
+		chunk := mpi.DefaultBlockSize
+		total := count * idx.Size()
+		src := mem.NewHostSpace("wallclock.src", count*idx.Extent()+64)
+		dst := mem.NewHostSpace("wallclock.dst", total+64)
+		plan := idx.ChunkPlan(count, chunk)
+		const reps = 2000
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			plan.PackChunk(dst.Base(), src.Base(), i%plan.Chunks())
+		}
+		res.PackPlanCachedNsChunk = float64(time.Since(t0).Nanoseconds()) / reps
+		chunks := (total + chunk - 1) / chunk
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			off := i % chunks * chunk
+			idx.PackRange(dst.Base(), src.Base(), count, off, min(chunk, total-off))
+		}
+		res.PackPlanUncachedNsChunk = float64(time.Since(t0).Nanoseconds()) / reps
+	}
+
+	// Multi-rail bandwidth points (wire-bound wide-row vector): both a
+	// determinism pin for the virtual numbers and a wall-clock sample of a
+	// full pipeline simulation.
+	{
+		t0 := time.Now()
+		for _, rails := range []int{1, 2, 4} {
+			cfg := osu.VectorConfig{ElemBytes: 8 << 10, PitchBytes: 16 << 10}
+			cfg.Cluster.Rails = rails
+			bw := must(osu.Bandwidth(1<<20, 4, cfg))
+			res.RailsBandwidthMBs[fmt.Sprintf("rails%d", rails)] = bw
+		}
+		res.RailsBandwidthWallMs = float64(time.Since(t0).Microseconds()) / 1e3
+	}
+
+	// One traced 1 MB five-stage transfer, wall time end to end.
+	{
+		t0 := time.Now()
+		_ = pipelineTrace()
+		res.PipetraceTransferWallMs = float64(time.Since(t0).Microseconds()) / 1e3
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wall-clock microbenchmarks: %s\n", path)
 }
 
 // utilizationReport runs one traced 4 MB MV2-GPU-NC vector transfer and

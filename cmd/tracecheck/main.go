@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 )
 
 type traceDoc struct {
@@ -90,6 +91,46 @@ func main() {
 		}
 	}
 
+	checkRailTracks(tracks)
+
 	fmt.Printf("%s: OK — %d events (%d spans, %d instants, %d counter samples) on %d tracks, %.1f us simulated\n",
 		os.Args[1], len(doc.TraceEvents)-counts["M"], counts["X"], counts["i"], counts["C"], len(tracks), lastDone)
+}
+
+var railSuffix = regexp.MustCompile(`^(.+)\.r(\d+)$`)
+
+// checkRailTracks validates multi-rail track naming: a striped stage either
+// keeps its single bare track (one rail) or suffixes EVERY rail including
+// rail 0 (".r0", ".r1", ...), with the indices dense. Mixing a bare track
+// with rail-suffixed siblings, or skipping a rail index, means a layer
+// disagreed about the configured rail count.
+func checkRailTracks(tracks map[int]string) {
+	bare := map[string]bool{}
+	rails := map[string][]bool{}
+	for _, name := range tracks {
+		if m := railSuffix.FindStringSubmatch(name); m != nil {
+			base := m[1]
+			var idx int
+			fmt.Sscanf(m[2], "%d", &idx)
+			for len(rails[base]) <= idx {
+				rails[base] = append(rails[base], false)
+			}
+			if rails[base][idx] {
+				fail("track %q: duplicate rail index", name)
+			}
+			rails[base][idx] = true
+		} else {
+			bare[name] = true
+		}
+	}
+	for base, seen := range rails {
+		if bare[base] {
+			fail("track %q exists both bare and rail-suffixed (%q...) — rail naming must not mix", base, base+".r0")
+		}
+		for idx, ok := range seen {
+			if !ok {
+				fail("track %q has %d rail tracks but %q is missing — rail indices must be dense", base, len(seen), fmt.Sprintf("%s.r%d", base, idx))
+			}
+		}
+	}
 }

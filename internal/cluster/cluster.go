@@ -30,6 +30,13 @@ type Config struct {
 	// HostHeapBytes is each node's host heap for application and library
 	// allocations. Default 64 MiB.
 	HostHeapBytes int
+	// Rails is the number of independently-serialized HCA rails per node
+	// (MV2_NUM_RAILS): the fabric model and the MPI/transport layers are
+	// configured together so rendezvous chunks stripe round-robin over R
+	// full-bandwidth links. Default 1 (the paper's single-rail testbed).
+	// Setting IBModel.Rails or MPI.Rails individually is rejected: the knob
+	// must stay consistent across layers.
+	Rails int
 	// VbufCount is the number of registered staging chunks per node in
 	// EACH of the two pools (one for the send side, one for the receive
 	// side — separate pools make the pipeline deadlock-free even when
@@ -78,6 +85,18 @@ func (c Config) withDefaults() Config {
 	if c.VbufCount == 0 {
 		c.VbufCount = 64
 	}
+	if c.Rails == 0 {
+		c.Rails = mpi.DefaultRails
+	}
+	if c.Rails < 1 {
+		panic(fmt.Sprintf("cluster: Rails must be >= 1, got %d", c.Rails))
+	}
+	if (c.IBModel.Rails != 0 && c.IBModel.Rails != c.Rails) ||
+		(c.MPI.Rails != 0 && c.MPI.Rails != c.Rails) {
+		panic("cluster: set Config.Rails, not IBModel.Rails/MPI.Rails")
+	}
+	c.IBModel.Rails = c.Rails
+	c.MPI.Rails = c.Rails
 	return c
 }
 

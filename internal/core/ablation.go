@@ -40,22 +40,23 @@ func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 	}
 	chunkSent := make([]*sim.Event, total)
 	for c := 0; c < total; c++ {
+		rail := c % n1.rails
 		off := c * chunkBytes
 		n := min(chunkBytes, size-off)
 		slot := req.AwaitSlot(p, c)
-		vbuf := n1.Pool.Get(p)
+		vbuf := n1.Pool.GetRail(p, rail)
 		sent := e.NewEvent(fmt.Sprintf("rank%d.hschunk%d", r.Rank(), c))
 		chunkSent[c] = sent
 		startRow := c * rowsPerChunk
-		d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h, c, n)
+		d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h[rail], c, n)
 		d2h := n1.Ctx.Memcpy2DAsync(p,
 			vbuf.Ptr, pl.shape.Width,
 			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
-			pl.shape.Width, n/pl.shape.Width, n1.d2hStream)
+			pl.shape.Width, n/pl.shape.Width, n1.d2hStreams[rail])
 		d2h.OnTrigger(func() {
 			d2hSp.End()
-			rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma, c, n)
-			rdma := r.RDMAChunk(req, slot, vbuf.Ptr, n)
+			rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
+			rdma := r.RDMAChunkRail(req, slot, vbuf.Ptr, n, rail)
 			rdma.OnTrigger(func() {
 				rdmaSp.End()
 				n1.Pool.Put(vbuf)
@@ -100,23 +101,26 @@ func (t *Transport) recvHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 		r.SendCTS(req, total, chunkBytes, slots)
 	}
 
+	// Strided H2D scatters are independent per chunk, so FINs arriving out
+	// of order across rails are simply processed in arrival order.
 	h2dDone := make([]*sim.Event, total)
-	for c := 0; c < total; c++ {
-		for announced <= c {
+	for done := 0; done < total; done++ {
+		for announced <= done {
 			announce()
 		}
-		got := req.AwaitFin(p)
-		if got != c {
-			panic(fmt.Sprintf("core: chunk %d out of order (expected %d)", got, c))
+		c := req.AwaitFin(p)
+		if c < 0 || c >= total || h2dDone[c] != nil {
+			panic(fmt.Sprintf("core: bogus FIN for chunk %d", c))
 		}
+		rail := c % n1.rails
 		vbuf := slotVbuf[c]
 		n := chunkLen(c)
 		startRow := c * rowsPerChunk
-		h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d, c, n)
+		h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d[rail], c, n)
 		ev := n1.Ctx.Memcpy2DAsync(p,
 			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
 			vbuf.Ptr, pl.shape.Width,
-			pl.shape.Width, n/pl.shape.Width, n1.h2dStream)
+			pl.shape.Width, n/pl.shape.Width, n1.h2dStreams[rail])
 		h2dDone[c] = ev
 		ev.OnTrigger(func() {
 			h2dSp.End()

@@ -84,19 +84,37 @@ type NodeGPU struct {
 	Pool     *hostmem.Pool // send-side staging
 	RecvPool *hostmem.Pool // receive-side landing slots
 
+	// rails is the stripe width: rendezvous chunk c runs its D2H/H2D on
+	// stream pair c%rails and its RDMA+FIN on HCA rail c%rails.
+	rails        int
 	packStream   *cuda.Stream
-	d2hStream    *cuda.Stream
-	h2dStream    *cuda.Stream
+	d2hStreams   []*cuda.Stream // one per rail
+	h2dStreams   []*cuda.Stream // one per rail
 	unpackStream *cuda.Stream
 
 	tracks stageTracks
 }
 
-// stageTracks holds the precomputed per-rank tracing track names, one per
-// pipeline stage — precomputed so the traced hot path never formats
-// strings.
+// stageTracks holds the precomputed per-rank tracing track names — one per
+// pipeline stage, and one per rail for the striped middle stages — so the
+// traced hot path never formats strings.
 type stageTracks struct {
-	pack, d2h, rdma, h2d, unpack string
+	pack, unpack   string
+	d2h, rdma, h2d []string // indexed by rail
+}
+
+// railTracks expands a stage's track name per rail. Single-rail keeps the
+// historical bare name; multi-rail suffixes every rail (including rail 0)
+// so traces never mix a bare track with rail-indexed siblings.
+func railTracks(base string, rails int) []string {
+	if rails == 1 {
+		return []string{base}
+	}
+	out := make([]string, rails)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s.r%d", base, i)
+	}
+	return out
 }
 
 // Transport implements mpi.GPUTransport.
@@ -134,23 +152,35 @@ func New(cfg Config) *Transport {
 }
 
 // Attach binds a rank's CUDA context and staging pools to the transport.
+// The rail count comes from the world's MPI config; streams are created in
+// pack, d2h(s), h2d(s), unpack order so single-rail clusters get exactly
+// the historical stream IDs.
 func (t *Transport) Attach(r *mpi.Rank, ctx *cuda.Ctx, sendPool, recvPool *hostmem.Pool) *NodeGPU {
+	rails := r.World().Config().Rails
+	if rails < 1 {
+		rails = 1
+	}
 	n := &NodeGPU{
-		Ctx:          ctx,
-		Pool:         sendPool,
-		RecvPool:     recvPool,
-		packStream:   ctx.NewStream(),
-		d2hStream:    ctx.NewStream(),
-		h2dStream:    ctx.NewStream(),
-		unpackStream: ctx.NewStream(),
+		Ctx:        ctx,
+		Pool:       sendPool,
+		RecvPool:   recvPool,
+		rails:      rails,
+		packStream: ctx.NewStream(),
 		tracks: stageTracks{
 			pack:   fmt.Sprintf("rank%d.pack", r.Rank()),
-			d2h:    fmt.Sprintf("rank%d.d2h", r.Rank()),
-			rdma:   fmt.Sprintf("rank%d.rdma", r.Rank()),
-			h2d:    fmt.Sprintf("rank%d.h2d", r.Rank()),
+			d2h:    railTracks(fmt.Sprintf("rank%d.d2h", r.Rank()), rails),
+			rdma:   railTracks(fmt.Sprintf("rank%d.rdma", r.Rank()), rails),
+			h2d:    railTracks(fmt.Sprintf("rank%d.h2d", r.Rank()), rails),
 			unpack: fmt.Sprintf("rank%d.unpack", r.Rank()),
 		},
 	}
+	for i := 0; i < rails; i++ {
+		n.d2hStreams = append(n.d2hStreams, ctx.NewStream())
+	}
+	for i := 0; i < rails; i++ {
+		n.h2dStreams = append(n.h2dStreams, ctx.NewStream())
+	}
+	n.unpackStream = ctx.NewStream()
 	t.nodes[r] = n
 	return n
 }
@@ -165,30 +195,38 @@ func (t *Transport) Node(r *mpi.Rank) *NodeGPU {
 }
 
 // planFor analyzes the request's datatype once: either a uniform 2D shape
-// (offloadable to the copy engine) or the generic kernel path.
+// (offloadable to the copy engine, answered analytically from the shape
+// canonicalized at Commit) or the generic kernel path, which fetches the
+// datatype's cached chunk-aligned plan so per-chunk packing re-derives
+// nothing.
 type plan struct {
 	size    int
 	shape   datatype.Shape2D
 	uniform bool
-	contig  bool // single contiguous region: no pack/unpack stage at all
+	contig  bool                // single contiguous region: no pack/unpack stage at all
+	cp      *datatype.ChunkPlan // irregular types only
 }
 
 func planFor(req *mpi.Request) plan {
 	dt, count := req.Datatype(), req.Count()
 	shape, uniform := dt.Uniform2D(count)
-	return plan{
+	pl := plan{
 		size:    req.Size(),
 		shape:   shape,
 		uniform: uniform,
 		contig:  uniform && shape.Rows == 1,
 	}
+	if !uniform && pl.size > 0 {
+		pl.cp = dt.ChunkPlan(count, req.Rank().World().Config().BlockSize)
+	}
+	return pl
 }
 
 // packChunk enqueues the device-side pack of packed-byte range
 // [off, off+n) from the user buffer into dst (contiguous device memory) and
 // returns the completion event. p may be nil in engine context.
 func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, dst mem.Ptr, off, n int) *sim.Event {
-	dt, count, src := req.Datatype(), req.Count(), req.Buf()
+	src := req.Buf()
 	if pl.uniform {
 		// Row-aligned 2D copy: callers align off and n to row boundaries.
 		w := pl.shape.Width
@@ -197,16 +235,17 @@ func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Reques
 		}
 		return n1.Ctx.Memcpy2DAsync(p, dst, w, src.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, w, n/w, n1.packStream)
 	}
-	// Generic datatype: a pack kernel gathers the IOV on the device.
+	// Generic datatype: a pack kernel gathers the cached chunk plan's
+	// segments on the device (callers keep off/n chunk-aligned).
 	return n1.Ctx.LaunchKernel(p, n1.packStream, n, t.cfg.KernelPackNsPerByte, func() {
-		dt.PackRange(dst, src, count, off, n)
+		pl.cp.PackRange(dst, src, off, n)
 	})
 }
 
 // unpackChunk is the inverse: scatter packed range [off, off+n) from src
 // (contiguous device memory) into the user buffer.
 func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, src mem.Ptr, off, n int) *sim.Event {
-	dt, count, dst := req.Datatype(), req.Count(), req.Buf()
+	dst := req.Buf()
 	if pl.uniform {
 		w := pl.shape.Width
 		if off%w != 0 || n%w != 0 {
@@ -215,7 +254,7 @@ func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Requ
 		return n1.Ctx.Memcpy2DAsync(p, dst.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, src, w, w, n/w, n1.unpackStream)
 	}
 	return n1.Ctx.LaunchKernel(p, n1.unpackStream, n, t.cfg.KernelPackNsPerByte, func() {
-		dt.UnpackRange(dst, src, count, off, n)
+		pl.cp.UnpackRange(dst, src, off, n)
 	})
 }
 
@@ -223,7 +262,10 @@ func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Requ
 // Eager path (and self-sends of any size)
 
 // StageToHost packs the device buffer and stages it into host bytes:
-// D2D pack into tbuf, then chunk-sized D2H copies through one vbuf.
+// D2D pack into tbuf, then chunk-sized D2H copies double-buffered through
+// two vbufs, so the host memcpy draining chunk i overlaps chunk i+1's D2H.
+// The second vbuf is best-effort (TryGet): a drained pool degrades to the
+// serial single-vbuf path instead of risking deadlock.
 func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 	r := req.Rank()
 	n1 := t.Node(r)
@@ -239,15 +281,43 @@ func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 		} else {
 			tbuf = req.Buf().Add(pl.shape.Off)
 		}
-		vbuf := n1.Pool.Get(p)
 		chunk := n1.Pool.ChunkSize()
+		var bufs [2]*hostmem.Vbuf
+		bufs[0] = n1.Pool.Get(p)
+		nbuf := 1
+		if size > chunk {
+			if v, ok := n1.Pool.TryGet(); ok {
+				bufs[1] = v
+				nbuf = 2
+			}
+		}
+		var evs [2]*sim.Event
+		issue := func(b, off int) {
+			n := min(chunk, size-off)
+			evs[b] = n1.Ctx.MemcpyAsync(p, bufs[b].Ptr, tbuf.Add(off), n, n1.d2hStreams[0])
+		}
+		issue(0, 0)
+		b := 0
 		for off := 0; off < size; off += chunk {
 			n := min(chunk, size-off)
-			p.Wait(n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStream))
+			p.Wait(evs[b])
+			next := off + chunk
+			if next < size && nbuf == 2 {
+				issue(1-b, next)
+			}
 			p.Sleep(r.HostCopyCost(n))
-			copy(packed[off:off+n], vbuf.Ptr.Bytes(n))
+			copy(packed[off:off+n], bufs[b].Ptr.Bytes(n))
+			if next < size && nbuf == 1 {
+				issue(0, next)
+			}
+			if nbuf == 2 {
+				b = 1 - b
+			}
 		}
-		n1.Pool.Put(vbuf)
+		n1.Pool.Put(bufs[0])
+		if bufs[1] != nil {
+			n1.Pool.Put(bufs[1])
+		}
 		if !pl.contig {
 			mustFree(n1.Ctx, tbuf)
 		}
@@ -256,7 +326,9 @@ func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 }
 
 // DeliverFromHost unpacks eager payload bytes into the device buffer:
-// host copy into a vbuf, H2D into tbuf, D2D unpack, complete.
+// host copy into a vbuf, H2D into tbuf, D2D unpack, complete. The host
+// copies and H2D transfers are double-buffered across two vbufs (when the
+// pool allows): the H2D of chunk i runs while the host fills chunk i+1.
 func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 	r := req.Rank()
 	n1 := t.Node(r)
@@ -270,15 +342,39 @@ func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 		} else {
 			tbuf = n1.Ctx.MustMalloc(size)
 		}
-		vbuf := n1.RecvPool.Get(p)
 		chunk := n1.Pool.ChunkSize()
+		var bufs [2]*hostmem.Vbuf
+		bufs[0] = n1.RecvPool.Get(p)
+		nbuf := 1
+		if size > chunk {
+			if v, ok := n1.RecvPool.TryGet(); ok {
+				bufs[1] = v
+				nbuf = 2
+			}
+		}
+		var evs [2]*sim.Event
+		b := 0
 		for off := 0; off < size; off += chunk {
 			n := min(chunk, size-off)
+			if evs[b] != nil {
+				p.Wait(evs[b]) // vbuf b's previous H2D must have drained it
+			}
 			p.Sleep(r.HostCopyCost(n))
-			copy(vbuf.Ptr.Bytes(n), packed[off:off+n])
-			p.Wait(n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStream))
+			copy(bufs[b].Ptr.Bytes(n), packed[off:off+n])
+			evs[b] = n1.Ctx.MemcpyAsync(p, tbuf.Add(off), bufs[b].Ptr, n, n1.h2dStreams[0])
+			if nbuf == 2 {
+				b = 1 - b
+			}
 		}
-		n1.RecvPool.Put(vbuf)
+		for i := 0; i < nbuf; i++ {
+			if evs[i] != nil {
+				p.Wait(evs[i])
+			}
+		}
+		n1.RecvPool.Put(bufs[0])
+		if bufs[1] != nil {
+			n1.RecvPool.Put(bufs[1])
+		}
 		if !pl.contig {
 			p.Wait(t.unpackChunk(p, n1, pl, req, tbuf, 0, size))
 			mustFree(n1.Ctx, tbuf)
@@ -364,25 +460,29 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 
 		// Stages 2-3 per chunk: D2H into a vbuf, RDMA write + FIN, recycle
 		// the vbuf at local completion. Chained via completion callbacks so
-		// chunk i's RDMA overlaps chunk i+1's D2H and later packs.
+		// chunk i's RDMA overlaps chunk i+1's D2H and later packs. Chunks
+		// stripe round-robin: chunk c stages on D2H stream c%rails and
+		// flies on HCA rail c%rails, so with R rails up to R chunks occupy
+		// PCIe queues and wires concurrently.
 		chunkSent := make([]*sim.Event, total)
 		for c := 0; c < total; c++ {
 			c := c
+			rail := c % n1.rails
 			off := c * chunkBytes
 			n := min(chunkBytes, size-off)
 			slot := req.AwaitSlot(p, c)
 			if ev := packReady(off + n); ev != nil {
 				p.Wait(ev)
 			}
-			vbuf := n1.Pool.Get(p)
+			vbuf := n1.Pool.GetRail(p, rail)
 			sent := e.NewEvent(fmt.Sprintf("rank%d.chunk%d.sent", r.Rank(), c))
 			chunkSent[c] = sent
-			d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h, c, n)
-			d2h := n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStream)
+			d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h[rail], c, n)
+			d2h := n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStreams[rail])
 			d2h.OnTrigger(func() {
 				d2hSp.End()
-				rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma, c, n)
-				rdma := r.RDMAChunk(req, slot, vbuf.Ptr, n)
+				rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
+				rdma := r.RDMAChunkRail(req, slot, vbuf.Ptr, n, rail)
 				rdma.OnTrigger(func() {
 					rdmaSp.End()
 					n1.Pool.Put(vbuf)
@@ -489,32 +589,41 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			r.SendCTS(req, total, chunkBytes, slots)
 		}
 
+		// FINs from different rails may overtake each other, so chunks are
+		// processed in arrival order; the progressive unpack only advances
+		// over the contiguous prefix of landed chunks.
 		h2dDone := make([]*sim.Event, total)
-		for c := 0; c < total; c++ {
-			for announced <= c {
+		arrivedChunks := make([]bool, total)
+		prefixChunks := 0
+		for done := 0; done < total; done++ {
+			for announced <= done {
 				announce()
 			}
-			got := req.AwaitFin(p)
-			if got != c {
-				panic(fmt.Sprintf("core: chunk %d arrived out of order (expected %d)", got, c))
+			c := req.AwaitFin(p)
+			if c < 0 || c >= total || h2dDone[c] != nil {
+				panic(fmt.Sprintf("core: bogus FIN for chunk %d", c))
 			}
 			vbuf := slotVbuf[c]
 			n := chunkLen(c)
 			off := c * chunkBytes
-			h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d, c, n)
-			ev := n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStream)
+			rail := c % n1.rails
+			h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d[rail], c, n)
+			ev := n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStreams[rail])
 			h2dDone[c] = ev
 			ev.OnTrigger(func() {
 				h2dSp.End()
 				n1.RecvPool.Put(vbuf)
-				arrived += n
+				arrivedChunks[c] = true
+				for prefixChunks < total && arrivedChunks[prefixChunks] {
+					prefixChunks++
+				}
+				arrived = min(prefixChunks*chunkBytes, size)
 				advanceUnpack()
 			})
 		}
 		p.WaitAll(h2dDone...)
 		// All bytes are on the device; flush any unpack tail and wait.
-		arrivedAll := size
-		arrived = arrivedAll
+		arrived = size
 		if !pl.contig {
 			if unpackedThrough < size {
 				idx := len(unpackEvs)

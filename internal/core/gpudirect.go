@@ -74,6 +74,7 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 	}
 	chunkSent := make([]*sim.Event, total)
 	for c := 0; c < total; c++ {
+		rail := c % n1.rails
 		off := c * chunkBytes
 		n := min(chunkBytes, size-off)
 		slot := req.AwaitSlot(p, c)
@@ -82,8 +83,8 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		}
 		sent := e.NewEvent(fmt.Sprintf("rank%d.gdrchunk%d", r.Rank(), c))
 		chunkSent[c] = sent
-		sp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma, c, n)
-		rdma := r.RDMAChunk(req, slot, tbuf.Add(off), n)
+		sp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
+		rdma := r.RDMAChunkRail(req, slot, tbuf.Add(off), n, rail)
 		if sp.Active() {
 			rdma.OnTrigger(sp.End)
 		}
@@ -121,15 +122,24 @@ func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 	}
 	r.SendCTS(req, total, chunkBytes, slots)
 
+	// Chunks land straight in device memory, so a FIN is all there is to a
+	// chunk here; FINs from different rails may overtake each other, and the
+	// progressive unpack follows the contiguous prefix of landed chunks.
 	arrived := 0
 	unpackedThrough := 0
 	var unpackEvs []*sim.Event
-	for c := 0; c < total; c++ {
-		got := req.AwaitFin(p)
-		if got != c {
-			panic(fmt.Sprintf("core: chunk %d out of order (expected %d)", got, c))
+	arrivedChunks := make([]bool, total)
+	prefixChunks := 0
+	for done := 0; done < total; done++ {
+		c := req.AwaitFin(p)
+		if c < 0 || c >= total || arrivedChunks[c] {
+			panic(fmt.Sprintf("core: bogus FIN for chunk %d", c))
 		}
-		arrived += chunkLen(c)
+		arrivedChunks[c] = true
+		for prefixChunks < total && arrivedChunks[prefixChunks] {
+			prefixChunks++
+		}
+		arrived = min(prefixChunks*chunkBytes, size)
 		if pl.contig {
 			continue
 		}

@@ -12,4 +12,7 @@ const (
 	// DefaultEagerLimit is the eager/rendezvous threshold
 	// (MV2_IBA_EAGER_THRESHOLD).
 	DefaultEagerLimit = mpi.DefaultEagerLimit
+	// DefaultRails is the number of HCA rails rendezvous chunks stripe
+	// across (MV2_NUM_RAILS).
+	DefaultRails = mpi.DefaultRails
 )

@@ -76,6 +76,17 @@ type Datatype struct {
 	committed bool
 	iov       []Segment // flattened type map of ONE element, coalesced
 	prefix    []int     // prefix[i] = total packed bytes before iov[i]
+
+	// Commit-time canonicalization: when the element's own type map is a
+	// uniform row grid (equal widths, constant pitch), Uniform2D answers
+	// analytically from these three fields instead of materializing
+	// SegmentsOf(count). Only meaningful for len(iov) > 1; single-segment
+	// and contiguous cases are derived directly from iov[0].
+	elemUniform bool
+	elemWidth   int
+	elemPitch   int
+
+	planCache // lazily built per-(count, chunkBytes) chunk plans
 }
 
 // Predefined basic types.
@@ -470,8 +481,32 @@ func (t *Datatype) Commit() error {
 	if sum != t.size {
 		return fmt.Errorf("datatype: internal error: iov covers %d bytes, size is %d", sum, t.size)
 	}
+	t.canonicalize()
 	t.committed = true
 	return nil
+}
+
+// canonicalize precomputes the per-element row shape the analytic
+// Uniform2D fast path answers from. Committed type maps are coalesced and
+// overlap-free, so a uniform element always has pitch > width; the guard
+// also rejects unsorted (negative-pitch) struct layouts.
+func (t *Datatype) canonicalize() {
+	t.elemUniform = false
+	m := len(t.iov)
+	if m < 2 {
+		return
+	}
+	w := t.iov[0].Len
+	pitch := t.iov[1].Off - t.iov[0].Off
+	if pitch <= w {
+		return
+	}
+	for i := 1; i < m; i++ {
+		if t.iov[i].Len != w || t.iov[i].Off-t.iov[i-1].Off != pitch {
+			return
+		}
+	}
+	t.elemUniform, t.elemWidth, t.elemPitch = true, w, pitch
 }
 
 // MustCommit commits or panics; for statically correct test/benchmark

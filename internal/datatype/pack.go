@@ -184,7 +184,53 @@ type Shape2D struct {
 // and returns it. Vectors of fixed-size blocks qualify; indexed or struct
 // types with irregular gaps do not. A fully contiguous region qualifies
 // with Rows == 1.
+//
+// The answer is computed in O(1) from the element shape canonicalized at
+// Commit time — no segment list is materialized, so calling this per
+// message (as the transport's planFor does) allocates nothing. The
+// uncached uniform2DSlow derivation is kept for cross-validation.
 func (t *Datatype) Uniform2D(count int) (Shape2D, bool) {
+	t.mustCommitted()
+	m := len(t.iov)
+	if count <= 0 || m == 0 {
+		return Shape2D{}, false
+	}
+	off := t.iov[0].Off
+	if m == 1 {
+		w := t.iov[0].Len
+		if count == 1 {
+			return Shape2D{Off: off, Width: w, Pitch: w, Rows: 1}, true
+		}
+		switch ext := t.Extent(); {
+		case w == ext:
+			// Consecutive elements butt together: one contiguous run.
+			return Shape2D{Off: off, Width: count * w, Pitch: count * w, Rows: 1}, true
+		case w < ext:
+			// One row per element, extent apart.
+			return Shape2D{Off: off, Width: w, Pitch: ext, Rows: count}, true
+		default:
+			// Extent shrunk below the data span (Resized): rows overlap.
+			return Shape2D{}, false
+		}
+	}
+	if !t.elemUniform {
+		return Shape2D{}, false
+	}
+	if count == 1 {
+		return Shape2D{Off: off, Width: t.elemWidth, Pitch: t.elemPitch, Rows: m}, true
+	}
+	// Across elements the grid continues only if the gap from the last row
+	// of one element to the first row of the next equals the row pitch.
+	if t.Extent()+off-t.iov[m-1].Off != t.elemPitch {
+		return Shape2D{}, false
+	}
+	return Shape2D{Off: off, Width: t.elemWidth, Pitch: t.elemPitch, Rows: count * m}, true
+}
+
+// uniform2DSlow is the original derivation of Uniform2D: expand the full
+// segment list and test it for uniformity. Retained as the ground truth
+// the analytic fast path is validated against in tests.
+func (t *Datatype) uniform2DSlow(count int) (Shape2D, bool) {
 	t.mustCommitted()
 	if count <= 0 || len(t.iov) == 0 {
 		return Shape2D{}, false

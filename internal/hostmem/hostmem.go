@@ -30,6 +30,7 @@ type Vbuf struct {
 
 	pool *Pool
 	free bool
+	rail int      // rail the current hold is accounted to
 	span obs.Span // open while the vbuf is held
 }
 
@@ -44,6 +45,15 @@ type Pool struct {
 
 	gets, puts uint64
 	minFree    int
+
+	// Per-rail accounting for multi-rail pipelines: railGets[r] counts
+	// vbufs handed out to rail r's chunk stream, railHeld[r] how many it
+	// holds right now, railMaxHeld[r] its high-water mark. Slices grow
+	// lazily with the highest rail index seen, so single-rail runs pay
+	// one entry.
+	railGets    []uint64
+	railHeld    []int
+	railMaxHeld []int
 
 	hub     *obs.Hub
 	freeCtr string // occupancy gauge name
@@ -88,29 +98,55 @@ func (p *Pool) Free() int { return len(p.freeList) }
 // i.e. how deep the pipeline actually dug into the pool.
 func (p *Pool) MinFree() int { return p.minFree }
 
-// Get blocks until a vbuf is available and returns it.
+// Get blocks until a vbuf is available and returns it, accounted to
+// rail 0.
 func (p *Pool) Get(proc *sim.Proc) *Vbuf {
+	return p.GetRail(proc, 0)
+}
+
+// GetRail is Get with the hold accounted to the given pipeline rail.
+func (p *Pool) GetRail(proc *sim.Proc, rail int) *Vbuf {
 	for len(p.freeList) == 0 {
 		ev := p.e.NewEvent(p.name + ".vbuf")
 		p.waiters = append(p.waiters, ev)
 		proc.Wait(ev)
 	}
-	return p.take()
+	return p.take(rail)
 }
 
-// TryGet returns a vbuf if one is immediately available.
+// TryGet returns a vbuf if one is immediately available, accounted to
+// rail 0.
 func (p *Pool) TryGet() (*Vbuf, bool) {
+	return p.TryGetRail(0)
+}
+
+// TryGetRail is TryGet with the hold accounted to the given rail.
+func (p *Pool) TryGetRail(rail int) (*Vbuf, bool) {
 	if len(p.freeList) == 0 {
 		return nil, false
 	}
-	return p.take(), true
+	return p.take(rail), true
 }
 
-func (p *Pool) take() *Vbuf {
+func (p *Pool) take(rail int) *Vbuf {
+	if rail < 0 {
+		panic(fmt.Sprintf("hostmem: negative rail %d on pool %s", rail, p.name))
+	}
 	v := p.freeList[len(p.freeList)-1]
 	p.freeList = p.freeList[:len(p.freeList)-1]
 	v.free = false
+	v.rail = rail
 	p.gets++
+	for len(p.railGets) <= rail {
+		p.railGets = append(p.railGets, 0)
+		p.railHeld = append(p.railHeld, 0)
+		p.railMaxHeld = append(p.railMaxHeld, 0)
+	}
+	p.railGets[rail]++
+	p.railHeld[rail]++
+	if p.railHeld[rail] > p.railMaxHeld[rail] {
+		p.railMaxHeld[rail] = p.railHeld[rail]
+	}
 	if len(p.freeList) < p.minFree {
 		p.minFree = len(p.freeList)
 	}
@@ -132,6 +168,7 @@ func (p *Pool) Put(v *Vbuf) {
 	v.free = true
 	v.span.End()
 	v.span = obs.Span{}
+	p.railHeld[v.rail]--
 	p.freeList = append(p.freeList, v)
 	p.puts++
 	p.hub.Counter(p.freeCtr, float64(len(p.freeList)))
@@ -142,8 +179,48 @@ func (p *Pool) Put(v *Vbuf) {
 	}
 }
 
-// Stats returns a one-line summary.
+// Rails returns the number of rails the pool has seen holds for (at
+// least 1 once any vbuf was taken).
+func (p *Pool) Rails() int { return len(p.railGets) }
+
+// RailGets returns the number of vbufs handed out to the given rail.
+func (p *Pool) RailGets(rail int) uint64 {
+	if rail < 0 || rail >= len(p.railGets) {
+		return 0
+	}
+	return p.railGets[rail]
+}
+
+// RailHeld returns how many vbufs the given rail holds right now.
+func (p *Pool) RailHeld(rail int) int {
+	if rail < 0 || rail >= len(p.railHeld) {
+		return 0
+	}
+	return p.railHeld[rail]
+}
+
+// RailMaxHeld returns the given rail's concurrent-hold high-water mark —
+// how many vbufs that rail's chunk stream had in flight at once.
+func (p *Pool) RailMaxHeld(rail int) int {
+	if rail < 0 || rail >= len(p.railMaxHeld) {
+		return 0
+	}
+	return p.railMaxHeld[rail]
+}
+
+// Stats returns a one-line summary; multi-rail pools append the per-rail
+// get counts.
 func (p *Pool) Stats() string {
-	return fmt.Sprintf("%s: %d x %dB, gets=%d puts=%d minFree=%d",
+	s := fmt.Sprintf("%s: %d x %dB, gets=%d puts=%d minFree=%d",
 		p.name, len(p.bufs), p.chunkSize, p.gets, p.puts, p.minFree)
+	if len(p.railGets) > 1 {
+		s += " railGets="
+		for r, g := range p.railGets {
+			if r > 0 {
+				s += "/"
+			}
+			s += fmt.Sprintf("%d", g)
+		}
+	}
+	return s
 }

@@ -12,10 +12,14 @@
 // different node pairs proceed concurrently, matching a non-blocking
 // fat-tree at this scale (8 nodes).
 //
-// Ordering: operations posted from one HCA are wire-serialized in post
-// order and delivered in order, so a send posted after an RDMA write
-// arrives after the write's bytes have landed — the invariant the paper's
-// "RDMA write finish message" relies on.
+// Ordering: operations posted from one HCA on one rail are wire-serialized
+// in post order and delivered in order, so a send posted after an RDMA
+// write on the same rail arrives after the write's bytes have landed — the
+// invariant the paper's "RDMA write finish message" relies on. With
+// Model.Rails > 1 each HCA exposes several independently-serialized rails
+// (queue pairs striped across parallel link resources); the FIFO guarantee
+// holds only per rail, never across rails, so protocols that need
+// FIN-after-data must post both operations on the same rail.
 package ib
 
 import (
@@ -34,6 +38,12 @@ type Model struct {
 	Latency sim.Time
 	// PostOverhead is the host-side cost of posting one work request.
 	PostOverhead sim.Time
+	// Rails is the number of independently-serialized send/receive link
+	// pairs (queue-pair rails) per HCA. Each rail runs the same per-link
+	// bandwidth/latency model, so aggregate fabric bandwidth scales with
+	// the rail count — the multi-rail striping configuration of
+	// arXiv:1908.08590. Zero means 1 (the paper's single-rail testbed).
+	Rails int
 	// AllowDeviceRegistration lets HCAs pin GPU device memory for RDMA —
 	// GPUDirect RDMA, which did not exist on the paper's 2011 testbed but
 	// arrived in its successors (MVAPICH2-GDR). Off by default.
@@ -75,15 +85,26 @@ func (f *Fabric) SetHub(h *obs.Hub) { f.hub = h }
 // NewFabric creates an empty fabric.
 func NewFabric(e *sim.Engine, model Model) *Fabric {
 	if model.Bandwidth <= 0 {
-		allow := model.AllowDeviceRegistration
+		allow, rails := model.AllowDeviceRegistration, model.Rails
 		model = DefaultModel()
 		model.AllowDeviceRegistration = allow
+		model.Rails = rails
+	}
+	// minRails is the floor for an unset or nonsense rail count; the
+	// calibrated default lives in mpi.DefaultRails (ib sits below mpi in
+	// the dependency order, so it only clamps).
+	const minRails = 1
+	if model.Rails < minRails {
+		model.Rails = minRails
 	}
 	return &Fabric{e: e, model: model, hcas: map[int]*HCA{}}
 }
 
 // Model returns the fabric's cost model.
 func (f *Fabric) Model() Model { return f.model }
+
+// Rails returns the number of rails each HCA exposes (always >= 1).
+func (f *Fabric) Rails() int { return f.model.Rails }
 
 // NewHCA attaches an adapter for the given node ID. Node IDs must be
 // unique.
@@ -94,14 +115,28 @@ func (f *Fabric) NewHCA(node int) *HCA {
 	h := &HCA{
 		f:        f,
 		node:     node,
-		sendLink: f.e.NewResource(fmt.Sprintf("hca%d.tx", node), 1),
-		recvLink: f.e.NewResource(fmt.Sprintf("hca%d.rx", node), 1),
-		txTrack:  fmt.Sprintf("hca%d.tx", node),
-		rxTrack:  fmt.Sprintf("hca%d.rx", node),
 		txCtr:    fmt.Sprintf("hca%d.bytesTx", node),
 		rxCtr:    fmt.Sprintf("hca%d.bytesRx", node),
 		regions:  map[uint32]Region{},
 		nextRkey: 1,
+	}
+	for i := 0; i < f.model.Rails; i++ {
+		// Single-rail fabrics keep the historical "hcaN.tx"/"hcaN.rx"
+		// resource and track names bit-for-bit; multi-rail fabrics suffix
+		// every rail (including rail 0) so traces never mix a bare name
+		// with rail-indexed siblings.
+		txName := fmt.Sprintf("hca%d.tx", node)
+		rxName := fmt.Sprintf("hca%d.rx", node)
+		if f.model.Rails > 1 {
+			txName = fmt.Sprintf("hca%d.tx.r%d", node, i)
+			rxName = fmt.Sprintf("hca%d.rx.r%d", node, i)
+		}
+		h.rails = append(h.rails, &rail{
+			sendLink: f.e.NewResource(txName, 1),
+			recvLink: f.e.NewResource(rxName, 1),
+			txTrack:  txName,
+			rxTrack:  rxName,
+		})
 	}
 	f.hcas[node] = h
 	return h
@@ -129,25 +164,44 @@ type Stats struct {
 	BytesRx     int64
 }
 
+// rail is one independently-serialized send/receive link pair of an HCA
+// (one queue-pair rail). Each rail owns its own wire-order FIFO; nothing
+// is ordered across rails.
+type rail struct {
+	sendLink *sim.Resource
+	recvLink *sim.Resource
+	// precomputed obs track names
+	txTrack, rxTrack string
+}
+
 // HCA is one node's adapter.
 type HCA struct {
 	f        *Fabric
 	node     int
-	sendLink *sim.Resource
-	recvLink *sim.Resource
+	rails    []*rail
 	handler  Handler
 	regions  map[uint32]Region
 	nextRkey uint32
 	stats    Stats
 	seq      int
 
-	// precomputed obs track and counter names
-	txTrack, rxTrack string
-	txCtr, rxCtr     string
+	// precomputed obs counter names
+	txCtr, rxCtr string
 }
 
 // Node returns the node ID this HCA serves.
 func (h *HCA) Node() int { return h.node }
+
+// Rails returns the number of rails this HCA exposes (always >= 1).
+func (h *HCA) Rails() int { return len(h.rails) }
+
+// railAt bounds-checks and fetches a rail.
+func (h *HCA) railAt(i int) *rail {
+	if i < 0 || i >= len(h.rails) {
+		panic(fmt.Sprintf("ib: rail %d out of range (hca%d has %d rails)", i, h.node, len(h.rails)))
+	}
+	return h.rails[i]
+}
 
 // Stats returns a copy of the counters.
 func (h *HCA) Stats() Stats { return h.stats }
@@ -188,8 +242,9 @@ func (h *HCA) wireTime(n int) sim.Time {
 // transmit implements the shared egress/ingress path: snapshot is the
 // payload already captured at post time; deliver runs in engine context at
 // the remote side once the bytes have fully arrived. kind classifies the
-// operation for tracing.
-func (h *HCA) transmit(dst int, nbytes int, kind string, deliver func(rx *HCA)) *sim.Event {
+// operation for tracing. railIdx selects which of the sender's (and,
+// symmetrically, the receiver's) rails the transfer serializes on.
+func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, deliver func(rx *HCA)) *sim.Event {
 	rx := h.f.hcas[dst]
 	if rx == nil {
 		panic(fmt.Sprintf("ib: no HCA for destination node %d", dst))
@@ -197,26 +252,27 @@ func (h *HCA) transmit(dst int, nbytes int, kind string, deliver func(rx *HCA)) 
 	if rx == h {
 		panic("ib: loopback transfer; same-node communication does not use the fabric")
 	}
+	txRail, rxRail := h.railAt(railIdx), rx.railAt(railIdx)
 	localDone := h.f.e.NewEvent(fmt.Sprintf("hca%d.tx.done", h.node))
 	h.seq++
 	h.f.e.Spawn(fmt.Sprintf("hca%d->%d.%d", h.node, dst, h.seq), func(p *sim.Proc) {
-		h.sendLink.Acquire(p)
-		tx := h.f.hub.Start(kind, h.txTrack, -1, nbytes)
+		txRail.sendLink.Acquire(p)
+		tx := h.f.hub.Start(kind, txRail.txTrack, -1, nbytes)
 		p.Sleep(h.wireTime(nbytes))
 		tx.End()
-		h.sendLink.Release()
+		txRail.sendLink.Release()
 		localDone.Trigger() // last byte has left the sender
 		h.stats.BytesTx += int64(nbytes)
 		h.f.hub.Counter(h.txCtr, float64(h.stats.BytesTx))
 		p.Sleep(h.f.model.Latency)
-		rx.recvLink.Acquire(p)
+		rxRail.recvLink.Acquire(p)
 		// Ingress serialization: the receive link is occupied while the
 		// payload streams in. Short control messages cost only their
 		// header-size time.
-		in := h.f.hub.Start(kind, rx.rxTrack, -1, nbytes)
+		in := h.f.hub.Start(kind, rxRail.rxTrack, -1, nbytes)
 		p.Sleep(sim.DurationOf(nbytes, h.f.model.Bandwidth) / 8)
 		in.End()
-		rx.recvLink.Release()
+		rxRail.recvLink.Release()
 		rx.stats.BytesRx += int64(nbytes)
 		h.f.hub.Counter(rx.rxCtr, float64(rx.stats.BytesRx))
 		deliver(rx)
@@ -228,16 +284,22 @@ func (h *HCA) transmit(dst int, nbytes int, kind string, deliver func(rx *HCA)) 
 const headerBytes = 64
 
 // PostSend transmits a two-sided message carrying msg and an optional
-// payload snapshot taken from payload at post time. The returned event
-// fires at local completion (send buffer reusable). The remote handler is
-// invoked when the message fully arrives.
+// payload snapshot taken from payload at post time, on rail 0. The
+// returned event fires at local completion (send buffer reusable). The
+// remote handler is invoked when the message fully arrives.
 func (h *HCA) PostSend(dst int, msg Message, payload []byte) *sim.Event {
+	return h.PostSendRail(dst, msg, payload, 0)
+}
+
+// PostSendRail is PostSend on an explicit rail. Delivery order is
+// guaranteed only relative to other operations on the same rail.
+func (h *HCA) PostSendRail(dst int, msg Message, payload []byte, railIdx int) *sim.Event {
 	var snap []byte
 	if len(payload) > 0 {
 		snap = append([]byte(nil), payload...)
 	}
 	h.stats.SendsPosted++
-	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, func(rx *HCA) {
+	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, railIdx, func(rx *HCA) {
 		if rx.handler == nil {
 			panic(fmt.Sprintf("ib: message for node %d dropped: no handler", rx.node))
 		}
@@ -246,16 +308,22 @@ func (h *HCA) PostSend(dst int, msg Message, payload []byte) *sim.Event {
 }
 
 // RDMAWrite transfers n bytes from local memory src into the remote region
-// identified by rkey at byte offset roff, with no receiver-side
+// identified by rkey at byte offset roff on rail 0, with no receiver-side
 // notification (a silent one-sided put). The source bytes are snapshotted
 // at post time, modeling the HCA's DMA read; the returned event fires at
 // local completion. The bytes become visible in remote memory at delivery
-// time, strictly before any send posted afterwards on this HCA is
-// delivered.
+// time, strictly before any send posted afterwards on the same rail of
+// this HCA is delivered.
 func (h *HCA) RDMAWrite(dst int, src mem.Ptr, n int, rkey uint32, roff int) *sim.Event {
+	return h.RDMAWriteRail(dst, src, n, rkey, roff, 0)
+}
+
+// RDMAWriteRail is RDMAWrite on an explicit rail. The FIN-after-data
+// invariant holds only against sends posted on the same rail.
+func (h *HCA) RDMAWriteRail(dst int, src mem.Ptr, n int, rkey uint32, roff, railIdx int) *sim.Event {
 	snap := append([]byte(nil), src.Bytes(n)...)
 	h.stats.RDMAWrites++
-	return h.transmit(dst, n, obs.KindRDMA, func(rx *HCA) {
+	return h.transmit(dst, n, obs.KindRDMA, railIdx, func(rx *HCA) {
 		reg, ok := rx.regions[rkey]
 		if !ok {
 			panic(fmt.Sprintf("ib: RDMA write to unknown rkey %d on node %d", rkey, rx.node))
@@ -284,13 +352,14 @@ func (h *HCA) RDMARead(dst mem.Ptr, from int, rkey uint32, roff, n int) *sim.Eve
 	done := h.f.e.NewEvent(fmt.Sprintf("hca%d.read.done", h.node))
 	h.seq++
 	h.stats.RDMAReads++
+	reqRail, respRail := h.railAt(0), tx.railAt(0)
 	h.f.e.Spawn(fmt.Sprintf("hca%d<-%d.%d", h.node, from, h.seq), func(p *sim.Proc) {
 		// Request: a header-sized message out on our send link.
-		h.sendLink.Acquire(p)
-		reqSp := h.f.hub.Start(obs.KindRDMARead, h.txTrack, -1, headerBytes)
+		reqRail.sendLink.Acquire(p)
+		reqSp := h.f.hub.Start(obs.KindRDMARead, reqRail.txTrack, -1, headerBytes)
 		p.Sleep(h.wireTime(headerBytes))
 		reqSp.End()
-		h.sendLink.Release()
+		reqRail.sendLink.Release()
 		p.Sleep(h.f.model.Latency)
 		// Response: the target streams the payload from its link.
 		reg, ok := tx.regions[rkey]
@@ -300,20 +369,20 @@ func (h *HCA) RDMARead(dst mem.Ptr, from int, rkey uint32, roff, n int) *sim.Eve
 		if roff < 0 || roff+n > reg.len {
 			panic(fmt.Sprintf("ib: RDMA read [%d,%d) outside region of %d bytes", roff, roff+n, reg.len))
 		}
-		tx.sendLink.Acquire(p)
-		respSp := h.f.hub.Start(obs.KindRDMARead, tx.txTrack, -1, n)
+		respRail.sendLink.Acquire(p)
+		respSp := h.f.hub.Start(obs.KindRDMARead, respRail.txTrack, -1, n)
 		snap := append([]byte(nil), reg.ptr.Add(roff).Bytes(n)...)
 		p.Sleep(tx.wireTime(n))
 		respSp.End()
-		tx.sendLink.Release()
+		respRail.sendLink.Release()
 		tx.stats.BytesTx += int64(n)
 		h.f.hub.Counter(tx.txCtr, float64(tx.stats.BytesTx))
 		p.Sleep(h.f.model.Latency)
-		h.recvLink.Acquire(p)
-		inSp := h.f.hub.Start(obs.KindRDMARead, h.rxTrack, -1, n)
+		reqRail.recvLink.Acquire(p)
+		inSp := h.f.hub.Start(obs.KindRDMARead, reqRail.rxTrack, -1, n)
 		p.Sleep(sim.DurationOf(n, h.f.model.Bandwidth) / 8)
 		inSp.End()
-		h.recvLink.Release()
+		reqRail.recvLink.Release()
 		h.stats.BytesRx += int64(n)
 		h.f.hub.Counter(h.rxCtr, float64(h.stats.BytesRx))
 		copy(dst.Bytes(n), snap)

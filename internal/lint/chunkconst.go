@@ -13,10 +13,13 @@ import (
 // literal ("64 << 10") to a BlockSize or EagerLimit field scatters the
 // calibration across the tree, so retuning the pipeline silently misses
 // copies. Literals are permitted only inside const declarations — the one
-// place the canonical value is defined.
+// place the canonical value is defined. The HCA rail count joined the list
+// with the multi-rail transport: a hard-coded "Rails: 2" pins a host-channel
+// topology that belongs either to the calibrated default (mpi.DefaultRails)
+// or to an explicit sweep variable.
 var ChunkConst = &Analyzer{
 	Name: "chunkconst",
-	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit tunables",
+	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit/Rails tunables",
 	Run:  runChunkConst,
 }
 
@@ -24,6 +27,7 @@ var ChunkConst = &Analyzer{
 var tunableNames = map[string]bool{
 	"BlockSize":  true,
 	"EagerLimit": true,
+	"Rails":      true,
 }
 
 func runChunkConst(pass *Pass) error {

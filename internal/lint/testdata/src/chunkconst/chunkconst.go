@@ -6,6 +6,7 @@ package chunkconst
 type Config struct {
 	BlockSize  int
 	EagerLimit int
+	Rails      int
 	Iters      int
 }
 
@@ -14,6 +15,7 @@ type Config struct {
 const (
 	DefaultBlockSize  = 64 << 10
 	DefaultEagerLimit = 16 << 10
+	DefaultRails      = 1
 )
 
 // Positive: raw literals scattered into a composite literal.
@@ -21,6 +23,7 @@ func Bad() Config {
 	return Config{
 		BlockSize:  64 << 10, // want `raw literal used for BlockSize`
 		EagerLimit: 16384,    // want `raw literal used for EagerLimit`
+		Rails:      2,        // want `raw literal used for Rails`
 		Iters:      10,
 	}
 }
@@ -28,11 +31,28 @@ func Bad() Config {
 // Positive: raw literal assigned to a tunable field.
 func BadAssign(c *Config) {
 	c.BlockSize = 32 << 10 // want `raw literal assigned to BlockSize`
+	c.Rails = 4            // want `raw literal assigned to Rails`
 }
 
 // Negative: referencing the named tunables.
 func Good() Config {
-	return Config{BlockSize: DefaultBlockSize, EagerLimit: DefaultEagerLimit}
+	return Config{
+		BlockSize:  DefaultBlockSize,
+		EagerLimit: DefaultEagerLimit,
+		Rails:      DefaultRails,
+	}
+}
+
+// Negative: sweeping the rail count over variables is how the rails
+// experiments are written.
+func RailSweep(counts []int) []Config {
+	out := make([]Config, 0, len(counts))
+	for _, r := range counts {
+		c := Config{Rails: DefaultRails}
+		c.Rails = r
+		out = append(out, c)
+	}
+	return out
 }
 
 // Negative: sweeping a tunable over computed values is how calibration

@@ -53,6 +53,10 @@ const (
 	// DefaultBlockSize is the GPU pipeline chunk size
 	// (MV2_CUDA_BLOCK_SIZE); the paper finds 64 KiB optimal.
 	DefaultBlockSize = 64 << 10
+	// DefaultRails is the number of independently-serialized HCA rails the
+	// rendezvous pipeline stripes chunks across (MV2_NUM_RAILS). The
+	// paper's testbed is single-rail.
+	DefaultRails = 1
 )
 
 // Config holds library tunables, the knobs MVAPICH2 exposes through its
@@ -64,6 +68,11 @@ type Config struct {
 	// BlockSize is the pipeline chunk size for GPU rendezvous transfers
 	// (MV2_CUDA_BLOCK_SIZE). The paper finds 64 KiB optimal. Default 64 KiB.
 	BlockSize int
+	// Rails is the number of HCA rails rendezvous chunks stripe across
+	// (MV2_NUM_RAILS); it must match the fabric's ib.Model.Rails.
+	// Control traffic (eager, RTS, CTS) stays on rail 0 so MPI message
+	// ordering is unaffected. Default 1.
+	Rails int
 	// CallOverhead is the fixed host cost of entering an MPI call.
 	CallOverhead sim.Time
 	// HostCopyBandwidth and HostCopyBase model CPU memcpy/pack speed.
@@ -83,6 +92,7 @@ func DefaultConfig() Config {
 	return Config{
 		EagerLimit:        DefaultEagerLimit,
 		BlockSize:         DefaultBlockSize,
+		Rails:             DefaultRails,
 		CallOverhead:      200 * sim.Nanosecond,
 		HostCopyBandwidth: 6e9,
 		HostCopyBase:      300 * sim.Nanosecond,
@@ -97,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockSize == 0 {
 		c.BlockSize = d.BlockSize
+	}
+	if c.Rails == 0 {
+		c.Rails = DefaultRails
 	}
 	if c.CallOverhead == 0 {
 		c.CallOverhead = d.CallOverhead

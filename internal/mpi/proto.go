@@ -244,25 +244,37 @@ func (q *Request) waitSlotEvent(p *sim.Proc) {
 	p.Wait(q.slotEv)
 }
 
-// RDMAChunk places one packed chunk into its announced slot and posts the
-// chunk's FIN message behind it (ordered delivery makes the FIN arrive
-// after the data). It returns the local completion event, after which the
-// source buffer is reusable.
+// RDMAChunk places one packed chunk into its announced slot on rail 0 and
+// posts the chunk's FIN message behind it (ordered delivery makes the FIN
+// arrive after the data). It returns the local completion event, after
+// which the source buffer is reusable.
 func (r *Rank) RDMAChunk(q *Request, s Slot, src mem.Ptr, n int) *sim.Event {
+	return r.RDMAChunkRail(q, s, src, n, 0)
+}
+
+// RDMAChunkRail is RDMAChunk on an explicit HCA rail. The data write and
+// its FIN travel on the same rail — wire FIFO ordering holds only per
+// rail, so posting them on different rails would let the FIN overtake its
+// data. FINs from different rails may arrive in any interleaving; the
+// receiver must not assume chunk order.
+func (r *Rank) RDMAChunkRail(q *Request, s Slot, src mem.Ptr, n, rail int) *sim.Event {
 	if n != s.Len {
 		panic(fmt.Sprintf("mpi: chunk %d length %d does not match slot length %d", s.Chunk, n, s.Len))
 	}
-	ev := r.hca.RDMAWrite(q.peer, src, n, s.Rkey, s.Off)
+	ev := r.hca.RDMAWriteRail(q.peer, src, n, s.Rkey, s.Off, rail)
 	r.w.hub.Instant(obs.KindFIN, r.obsTrack, s.Chunk, n)
-	r.hca.PostSend(q.peer, finMsg{q.peerID, s.Chunk}, nil)
+	r.hca.PostSendRail(q.peer, finMsg{q.peerID, s.Chunk}, nil, rail)
 	return ev
 }
 
 // sendHostData is the host-memory rendezvous sender: pack each chunk on
 // the CPU and place it. Chunks are processed in order; each chunk's pack
 // overlaps the previous chunk's wire time through the async RDMA post.
+// Packing indexes the datatype's cached chunk plan, so the per-chunk walk
+// re-derives nothing.
 func (r *Rank) sendHostData(p *sim.Proc, q *Request) {
 	total, chunkBytes := q.AwaitCTS(p)
+	plan := q.dt.ChunkPlan(q.count, chunkBytes)
 	staging := r.AllocHost(chunkBytes)
 	defer r.FreeHost(staging)
 	var lastEv *sim.Event
@@ -270,7 +282,7 @@ func (r *Rank) sendHostData(p *sim.Proc, q *Request) {
 		s := q.AwaitSlot(p, c)
 		off := c * chunkBytes
 		p.Sleep(r.hostCopyCost(s.Len))
-		q.dt.PackRange(staging, q.buf, q.count, off, s.Len)
+		plan.PackRange(staging, q.buf, off, s.Len)
 		lastEv = r.RDMAChunk(q, s, staging, s.Len)
 		// The staging buffer is reused next iteration, so wait for the
 		// HCA to have read it (local completion).

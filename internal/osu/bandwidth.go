@@ -148,6 +148,33 @@ func RunBandwidthTable(sizes []int, window int, cfg VectorConfig) (*report.Table
 	return t, nil
 }
 
+// RailsSweep measures unidirectional vector streaming bandwidth at a fixed
+// message size across HCA rail counts — the multi-rail scaling view. Large
+// messages should gain with rails until a non-wire stage (pack engine,
+// PCIe) becomes the bottleneck; the speedup column is relative to the first
+// entry.
+func RailsSweep(msgBytes, window int, rails []int, cfg VectorConfig) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Multi-rail streaming bandwidth, %s vector message, window %d", report.ByteSize(msgBytes), window),
+		"rails", "bandwidth (MB/s)", "speedup")
+	var base float64
+	for i, nr := range rails {
+		c := cfg
+		c.Cluster.Rails = nr
+		bw, err := Bandwidth(msgBytes, window, c)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = bw
+		}
+		t.Add(fmt.Sprintf("%d", nr),
+			fmt.Sprintf("%.0f", bw),
+			fmt.Sprintf("%.2fx", bw/base))
+	}
+	return t, nil
+}
+
 // MultiPairLatency runs the vector latency measurement on `pairs` disjoint
 // node pairs simultaneously (ranks 2i -> 2i+1) and returns the slowest
 // pair's transfer time. On a non-blocking fabric like the paper's 8-node

@@ -35,4 +35,18 @@ if [ -z "${TRACE_OUT:-}" ]; then
     rm -f "$tracefile"
 fi
 
+echo "== multi-rail trace gate"
+# The striped pipeline must stay deterministic and correctly named: at each
+# rail count the trace must be well-ordered with dense per-rail tracks, and
+# byte-identical across two back-to-back runs.
+for rails in 2 4; do
+    ra=$(mktemp /tmp/mv2sim-rails.XXXXXX.json)
+    rb=$(mktemp /tmp/mv2sim-rails.XXXXXX.json)
+    go run ./cmd/pipetrace -rails "$rails" -chrome "$ra" > /dev/null
+    go run ./cmd/pipetrace -rails "$rails" -chrome "$rb" > /dev/null
+    go run ./cmd/tracecheck "$ra"
+    cmp "$ra" "$rb" || { echo "rails=$rails trace not deterministic"; exit 1; }
+    rm -f "$ra" "$rb"
+done
+
 echo "OK"
