@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"mv2sim/internal/core"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/osu"
 )
@@ -20,11 +21,18 @@ func main() {
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe pipeline chunks across (MV2_NUM_RAILS)")
 	elem := flag.Int("elem", 0, "element width in bytes (0 = paper default, 4)")
 	pitch := flag.Int("pitch", 0, "row pitch in bytes (0 = paper default)")
+	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
 	flag.Parse()
 
+	mode, err := core.ParsePackMode(*packMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	blocks := []int{4 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20, *msg}
 	cfg := osu.VectorConfig{Iters: *iters, ElemBytes: *elem, PitchBytes: *pitch}
 	cfg.Cluster.Rails = *rails
+	cfg.Cluster.Core.PackMode = mode
+	cfg.Cluster.Core.UnpackMode = mode
 	t, err := osu.BlockSizeSweep(*msg, blocks, cfg)
 	if err != nil {
 		log.Fatal(err)

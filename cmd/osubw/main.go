@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 
+	"mv2sim/internal/core"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/osu"
 )
@@ -21,11 +22,18 @@ func main() {
 	window := flag.Int("window", 16, "messages in flight per measurement")
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe rendezvous chunks across (MV2_NUM_RAILS)")
 	railSweep := flag.Bool("railsweep", false, "additionally sweep rail counts 1/2/4 at the largest message size")
+	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
 	flag.Parse()
 
+	mode, err := core.ParsePackMode(*packMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sizes := []int{16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
 	cfg := osu.VectorConfig{}
 	cfg.Cluster.Rails = *rails
+	cfg.Cluster.Core.PackMode = mode
+	cfg.Cluster.Core.UnpackMode = mode
 	t, err := osu.RunBandwidthTable(sizes, *window, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"log"
 	"os"
 
+	"mv2sim/internal/core"
 	"mv2sim/internal/obs"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
@@ -29,9 +30,16 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations per point (median reported)")
 	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
 	traceOut := flag.String("trace", "", "also run one traced 4 MB MV2-GPU-NC transfer and write Chrome trace JSON")
+	packMode := flag.String("packmode", "auto", "MV2-GPU-NC pack/unpack engine: auto, memcpy2d or kernel")
 	flag.Parse()
 
+	mode, err := core.ParsePackMode(*packMode)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := osu.VectorConfig{Iters: *iters, PitchBytes: *pitch}
+	cfg.Cluster.Core.PackMode = mode
+	cfg.Cluster.Core.UnpackMode = mode
 	smallSizes := []int{16, 64, 256, 1 << 10, 4 << 10}
 	largeSizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
 

@@ -9,13 +9,20 @@
 //	packbench -small     # Figure 2(a): 16 B – 4 KB
 //	packbench -large     # Figure 2(b): 4 KB – 4 MB
 //	packbench -csv       # CSV instead of aligned tables
+//
+// Beyond Figure 2, -crossover sweeps the kernel-vs-memcpy2D D2D pack
+// crossover over a rows × rowBytes grid (the experimental basis of the
+// transport's PackModeAuto heuristic) and -bench writes it as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"mv2sim/internal/gpu"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 )
@@ -27,7 +34,14 @@ func main() {
 	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
 	csv := flag.Bool("csv", false, "emit CSV")
 	widths := flag.Bool("widths", false, "also sweep element width at 256 KB (beyond the paper's fixed 4 B)")
+	crossover := flag.Bool("crossover", false, "run the kernel-vs-memcpy2D pack crossover sweep instead of Figure 2")
+	benchOut := flag.String("bench", "", "with -crossover: write the sweep as JSON (BENCH_pack.json)")
 	flag.Parse()
+
+	if *crossover {
+		runCrossover(*benchOut)
+		return
+	}
 
 	cfg := osu.PackConfig{Iters: *iters, PitchBytes: *pitch}
 	smallSizes := []int{16, 64, 256, 1 << 10, 4 << 10}
@@ -57,6 +71,27 @@ func main() {
 	}
 	if *widths {
 		fmt.Println(must(osu.WidthSweep(256<<10, []int{4, 16, 64, 256, 1024}, cfg)))
+	}
+}
+
+// runCrossover measures the pack-engine crossover grid, prints it, and
+// optionally writes the JSON artifact CI uploads next to BENCH_wallclock.
+func runCrossover(out string) {
+	rowsList := []int{16, 64, 128, 256, 1024, 4096, 16384}
+	rowBytesList := []int{4, 16, 64, 256, 1024, 4096}
+	res := must(osu.PackCrossover(rowsList, rowBytesList, 4, gpu.CostModel{}))
+	fmt.Println(res.Table())
+	be := res.BreakEvenRows[4]
+	fmt.Printf("Break-even at 4-byte rows: kernel wins from %d rows up.\n", be)
+	if out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Crossover sweep written to %s (%d points).\n", out, len(res.Grid))
 	}
 }
 

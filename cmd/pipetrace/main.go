@@ -24,12 +24,18 @@ func main() {
 	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe chunks across (MV2_NUM_RAILS)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON file (open in Perfetto)")
+	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
 	flag.Parse()
 
-	rows := *msg / 4
-	vec, err := datatype.Vector(rows, 1, *pitch/4, datatype.Float32)
+	mode, err := core.ParsePackMode(*packMode)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	rows := *msg / 4
+	vec, vecErr := datatype.Vector(rows, 1, *pitch/4, datatype.Float32)
+	if vecErr != nil {
+		log.Fatal(vecErr)
 	}
 	vec.MustCommit()
 
@@ -37,6 +43,8 @@ func main() {
 	var chrome *obs.ChromeTracer
 	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20), Rails: *rails}
 	cfg.Core.Trace = trace
+	cfg.Core.PackMode = mode
+	cfg.Core.UnpackMode = mode
 	if *chromeOut != "" {
 		chrome = obs.NewChromeTracer()
 		cfg.Tracers = []obs.Tracer{chrome}

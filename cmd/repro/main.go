@@ -307,8 +307,9 @@ func writeWallclock(path string) {
 
 // utilizationReport runs one traced 4 MB MV2-GPU-NC vector transfer and
 // reports how busy each pipeline resource was between the first and last
-// traced activity: both GPUs' copy engines, both ends of the wire, and the
-// staging pools' vbuf holds.
+// traced activity: both GPUs' copy and compute engines (the pack/unpack
+// stages land on either, depending on PackMode), both ends of the wire,
+// and the staging pools' vbuf holds.
 func utilizationReport() []resourceUtil {
 	busy := obs.NewBusyTimeTracer()
 	rows := (4 << 20) / 4
@@ -345,12 +346,14 @@ func utilizationReport() []resourceUtil {
 	from, to := busy.Window()
 	var out []resourceUtil
 	for _, where := range []string{
-		"gpu0.d2dEngine", // stage 1: pack (sender)
-		"gpu0.d2hEngine", // stage 2: D2H staging
-		"hca0.tx",        // stage 3: RDMA write, sender link
-		"hca1.rx",        // stage 3: RDMA write, receiver link
-		"gpu1.h2dEngine", // stage 4: H2D staging
-		"gpu1.d2dEngine", // stage 5: unpack (receiver)
+		"gpu0.d2dEngine",    // stage 1: pack (sender, PackModeMemcpy2D)
+		"gpu0.kernelEngine", // stage 1: pack (sender, kernel engine — auto's pick here)
+		"gpu0.d2hEngine",    // stage 2: D2H staging
+		"hca0.tx",           // stage 3: RDMA write, sender link
+		"hca1.rx",           // stage 3: RDMA write, receiver link
+		"gpu1.h2dEngine",    // stage 4: H2D staging
+		"gpu1.d2dEngine",    // stage 5: unpack (receiver, PackModeMemcpy2D)
+		"gpu1.kernelEngine", // stage 5: unpack (receiver, kernel engine)
 	} {
 		out = append(out, resourceUtil{
 			Resource:    where,

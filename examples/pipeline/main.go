@@ -42,13 +42,11 @@ func main() {
 		report.Improvement(blocking, manual))
 	fmt.Printf("MV2-GPU-NC vs blocking:             %s faster (one MPI_Send on a device pointer)\n",
 		report.Improvement(blocking, nc))
-	fmt.Printf("MV2-GPU-NC vs hand-written:         within %.1f%% — the library matches expert code\n",
-		100*abs(1-float64(nc)/float64(manual)))
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
+	if nc <= manual {
+		fmt.Printf("MV2-GPU-NC vs hand-written:         %s faster — auto's kernel pack beats the memcpy2D pipeline\n",
+			report.Improvement(manual, nc))
+	} else {
+		fmt.Printf("MV2-GPU-NC vs hand-written:         within %.1f%% — the library matches expert code\n",
+			100*(float64(nc)/float64(manual)-1))
 	}
-	return x
 }

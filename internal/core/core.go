@@ -43,10 +43,14 @@ import (
 
 // Config holds the transport tunables.
 type Config struct {
-	// KernelPackNsPerByte is the modeled per-byte cost of the generic
-	// pack/unpack GPU kernel used for types without a uniform 2D shape
-	// (read + write through device memory at ~80 GB/s effective).
-	KernelPackNsPerByte float64
+	// PackMode selects the engine for the sender's stage-1 pack of
+	// uniform 2D types; UnpackMode selects it for the receiver's stage-5
+	// unpack. The two sides are independent — a transfer may pack with
+	// the kernel and unpack with the copy engine. The zero value is
+	// PackModeAuto; see packmode.go. The per-byte kernel rate lives in
+	// gpu.CostModel.PackKernelNsPerByte.
+	PackMode   PackMode
+	UnpackMode PackMode
 
 	// HostStagedPack disables the paper's GPU offload for rendezvous
 	// transfers of uniform 2D types: data is gathered straight across
@@ -67,9 +71,10 @@ type Config struct {
 	GPUDirect bool
 }
 
-// DefaultConfig returns the Fermi-class calibration.
+// DefaultConfig returns the default transport configuration: automatic
+// pack-engine selection, ablations off.
 func DefaultConfig() Config {
-	return Config{KernelPackNsPerByte: 0.025}
+	return Config{}
 }
 
 // NodeGPU bundles one rank's GPU-side resources: its CUDA context, its
@@ -91,6 +96,13 @@ type NodeGPU struct {
 	d2hStreams   []*cuda.Stream // one per rail
 	h2dStreams   []*cuda.Stream // one per rail
 	unpackStream *cuda.Stream
+
+	// kernOps counts this transport's pack/unpack kernels in flight on
+	// the device (issued, not yet complete). The auto heuristic uses it to
+	// tell its own kernel traffic apart from application compute when it
+	// samples EngineKernel occupancy: only foreign work forces the
+	// copy-engine fallback. Updated in simulation order, so no locking.
+	kernOps int
 
 	tracks stageTracks
 }
@@ -145,9 +157,6 @@ func (t *Transport) obsHub(e *sim.Engine) *obs.Hub {
 // New creates an empty transport; attach per-rank GPU resources with
 // Attach, then install it with World.SetGPUTransport.
 func New(cfg Config) *Transport {
-	if cfg.KernelPackNsPerByte == 0 {
-		cfg.KernelPackNsPerByte = DefaultConfig().KernelPackNsPerByte
-	}
 	return &Transport{cfg: cfg, nodes: map[*mpi.Rank]*NodeGPU{}}
 }
 
@@ -195,19 +204,23 @@ func (t *Transport) Node(r *mpi.Rank) *NodeGPU {
 }
 
 // planFor analyzes the request's datatype once: either a uniform 2D shape
-// (offloadable to the copy engine, answered analytically from the shape
-// canonicalized at Commit) or the generic kernel path, which fetches the
-// datatype's cached chunk-aligned plan so per-chunk packing re-derives
-// nothing.
+// (answered analytically from the shape canonicalized at Commit) or the
+// generic kernel path, which fetches the datatype's cached chunk-aligned
+// plan so per-chunk packing re-derives nothing. For uniform shapes it also
+// resolves each side's PackMode into a concrete engine choice — made once
+// per transfer, before any stage is issued, so the whole pipeline sees one
+// consistent decision.
 type plan struct {
-	size    int
-	shape   datatype.Shape2D
-	uniform bool
-	contig  bool                // single contiguous region: no pack/unpack stage at all
-	cp      *datatype.ChunkPlan // irregular types only
+	size         int
+	shape        datatype.Shape2D
+	uniform      bool
+	contig       bool                // single contiguous region: no pack/unpack stage at all
+	packKernel   bool                // stage-1 pack runs on the compute engine
+	unpackKernel bool                // stage-5 unpack runs on the compute engine
+	cp           *datatype.ChunkPlan // set whenever either side packs by kernel
 }
 
-func planFor(req *mpi.Request) plan {
+func (t *Transport) planFor(req *mpi.Request) plan {
 	dt, count := req.Datatype(), req.Count()
 	shape, uniform := dt.Uniform2D(count)
 	pl := plan{
@@ -216,18 +229,34 @@ func planFor(req *mpi.Request) plan {
 		uniform: uniform,
 		contig:  uniform && shape.Rows == 1,
 	}
-	if !uniform && pl.size > 0 {
-		pl.cp = dt.ChunkPlan(count, req.Rank().World().Config().BlockSize)
+	if pl.size == 0 || pl.contig {
+		return pl
+	}
+	blockSize := req.Rank().World().Config().BlockSize
+	if !uniform {
+		// Irregular types have no 2D shape the copy engine could express:
+		// both sides always pack by kernel.
+		pl.cp = dt.ChunkPlan(count, blockSize)
+		pl.packKernel, pl.unpackKernel = true, true
+		return pl
+	}
+	n1 := t.Node(req.Rank())
+	pl.packKernel = t.useKernel(t.cfg.PackMode, n1, shape, pl.size, blockSize)
+	pl.unpackKernel = t.useKernel(t.cfg.UnpackMode, n1, shape, pl.size, blockSize)
+	if pl.packKernel || pl.unpackKernel {
+		pl.cp = dt.ChunkPlan(count, blockSize)
 	}
 	return pl
 }
 
 // packChunk enqueues the device-side pack of packed-byte range
 // [off, off+n) from the user buffer into dst (contiguous device memory) and
-// returns the completion event. p may be nil in engine context.
-func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, dst mem.Ptr, off, n int) *sim.Event {
+// returns the completion event. p may be nil in engine context. sp is the
+// enclosing stage span and chunk the pipeline chunk index; kernel-path ops
+// are traced under them.
+func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, sp obs.Span, chunk int, dst mem.Ptr, off, n int) *sim.Event {
 	src := req.Buf()
-	if pl.uniform {
+	if pl.uniform && !pl.packKernel {
 		// Row-aligned 2D copy: callers align off and n to row boundaries.
 		w := pl.shape.Width
 		if off%w != 0 || n%w != 0 {
@@ -235,27 +264,35 @@ func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Reques
 		}
 		return n1.Ctx.Memcpy2DAsync(p, dst, w, src.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, w, n/w, n1.packStream)
 	}
-	// Generic datatype: a pack kernel gathers the cached chunk plan's
-	// segments on the device (callers keep off/n chunk-aligned).
-	return n1.Ctx.LaunchKernel(p, n1.packStream, n, t.cfg.KernelPackNsPerByte, func() {
-		pl.cp.PackRange(dst, src, off, n)
+	// Kernel path: a gather kernel walks the cached chunk plan's segments
+	// on the compute engine (callers keep off/n chunk-aligned).
+	d := pl.cp.Kernel(off, n)
+	n1.kernOps++
+	ev := n1.Ctx.LaunchKernelTask(p, n1.packStream, sp, chunk, d.Bytes(), n1.Ctx.Model().PackKernelNsPerCell(), func() {
+		d.Pack(dst, src)
 	})
+	ev.OnTrigger(func() { n1.kernOps-- })
+	return ev
 }
 
 // unpackChunk is the inverse: scatter packed range [off, off+n) from src
 // (contiguous device memory) into the user buffer.
-func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, src mem.Ptr, off, n int) *sim.Event {
+func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, sp obs.Span, chunk int, src mem.Ptr, off, n int) *sim.Event {
 	dst := req.Buf()
-	if pl.uniform {
+	if pl.uniform && !pl.unpackKernel {
 		w := pl.shape.Width
 		if off%w != 0 || n%w != 0 {
 			panic(fmt.Sprintf("core: unpack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
 		}
 		return n1.Ctx.Memcpy2DAsync(p, dst.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, src, w, w, n/w, n1.unpackStream)
 	}
-	return n1.Ctx.LaunchKernel(p, n1.unpackStream, n, t.cfg.KernelPackNsPerByte, func() {
-		pl.cp.UnpackRange(dst, src, off, n)
+	d := pl.cp.Kernel(off, n)
+	n1.kernOps++
+	ev := n1.Ctx.LaunchKernelTask(p, n1.unpackStream, sp, chunk, d.Bytes(), n1.Ctx.Model().PackKernelNsPerCell(), func() {
+		d.Unpack(dst, src)
 	})
+	ev.OnTrigger(func() { n1.kernOps-- })
+	return ev
 }
 
 // ---------------------------------------------------------------------------
@@ -269,7 +306,7 @@ func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Requ
 func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 	r := req.Rank()
 	n1 := t.Node(r)
-	pl := planFor(req)
+	pl := t.planFor(req)
 	e := r.World().Engine()
 	e.Spawn(fmt.Sprintf("rank%d.gpustage", r.Rank()), func(p *sim.Proc) {
 		size := pl.size
@@ -277,7 +314,7 @@ func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 		var tbuf mem.Ptr
 		if !pl.contig {
 			tbuf = n1.Ctx.MustMalloc(size)
-			p.Wait(t.packChunk(p, n1, pl, req, tbuf, 0, size))
+			p.Wait(t.packChunk(p, n1, pl, req, req.ObsSpan(), -1, tbuf, 0, size))
 		} else {
 			tbuf = req.Buf().Add(pl.shape.Off)
 		}
@@ -332,7 +369,7 @@ func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 	r := req.Rank()
 	n1 := t.Node(r)
-	pl := planFor(req)
+	pl := t.planFor(req)
 	e := r.World().Engine()
 	e.Spawn(fmt.Sprintf("rank%d.gpudeliver", r.Rank()), func(p *sim.Proc) {
 		size := len(packed)
@@ -376,7 +413,7 @@ func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 			n1.RecvPool.Put(bufs[1])
 		}
 		if !pl.contig {
-			p.Wait(t.unpackChunk(p, n1, pl, req, tbuf, 0, size))
+			p.Wait(t.unpackChunk(p, n1, pl, req, req.ObsSpan(), -1, tbuf, 0, size))
 			mustFree(n1.Ctx, tbuf)
 		}
 		req.CompleteRecv()
@@ -391,7 +428,7 @@ func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 	r := req.Rank()
 	n1 := t.Node(r)
-	pl := planFor(req)
+	pl := t.planFor(req)
 	r.SendRTS(req)
 	e := r.World().Engine()
 	e.Spawn(fmt.Sprintf("rank%d.gpusend", r.Rank()), func(p *sim.Proc) {
@@ -409,7 +446,8 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 		}
 
 		// Stage 1: issue all device-side packs up front (row-aligned groups
-		// close to the block size), building a contiguous packed tbuf.
+		// close to the block size for the copy engine, chunk-aligned blocks
+		// for the pack kernel), building a contiguous packed tbuf.
 		var tbuf mem.Ptr
 		var packDone []*sim.Event // packDone[i] covers packed bytes up to packCut[i]
 		var packCut []int
@@ -418,7 +456,7 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 		} else {
 			tbuf = n1.Ctx.MustMalloc(size)
 			step := size
-			if pl.uniform {
+			if pl.uniform && !pl.packKernel {
 				rows := max(1, blockSize/pl.shape.Width)
 				step = rows * pl.shape.Width
 			} else if size > blockSize {
@@ -428,7 +466,7 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 				n := min(step, size-off)
 				idx := len(packDone)
 				sp := h.StartChild(parent, obs.KindPack, n1.tracks.pack, idx, n)
-				ev := t.packChunk(p, n1, pl, req, tbuf.Add(off), off, n)
+				ev := t.packChunk(p, n1, pl, req, sp, idx, tbuf.Add(off), off, n)
 				packDone = append(packDone, ev)
 				packCut = append(packCut, off+n)
 				if sp.Active() {
@@ -507,7 +545,7 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 	r := req.Rank()
 	n1 := t.Node(r)
-	pl := planFor(req)
+	pl := t.planFor(req)
 	e := r.World().Engine()
 	e.Spawn(fmt.Sprintf("rank%d.gpurecv", r.Rank()), func(p *sim.Proc) {
 		h := t.obsHub(e)
@@ -544,8 +582,11 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			if pl.contig {
 				return
 			}
+			// The copy engine unpacks whole rows; the kernel path keeps
+			// chunk alignment (arrived only moves in whole chunks), which
+			// is what its plan ranges require.
 			var cut int
-			if pl.uniform {
+			if pl.uniform && !pl.unpackKernel {
 				cut = arrived / pl.shape.Width * pl.shape.Width
 			} else {
 				cut = arrived
@@ -553,7 +594,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			if cut > unpackedThrough {
 				idx := len(unpackEvs)
 				sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, cut-unpackedThrough)
-				ev := t.unpackChunk(nil, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
+				ev := t.unpackChunk(nil, n1, pl, req, sp, idx, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
 				unpackEvs = append(unpackEvs, ev)
 				if sp.Active() {
 					ev.OnTrigger(sp.End)
@@ -628,7 +669,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			if unpackedThrough < size {
 				idx := len(unpackEvs)
 				sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, size-unpackedThrough)
-				ev := t.unpackChunk(p, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
+				ev := t.unpackChunk(p, n1, pl, req, sp, idx, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
 				unpackEvs = append(unpackEvs, ev)
 				if sp.Active() {
 					ev.OnTrigger(sp.End)

@@ -275,12 +275,17 @@ func TestBidirectionalUnderPoolPressure(t *testing.T) {
 // The paper's performance claims as executable checks.
 
 // latencyFor measures one-way latency of a vector transfer using design d.
+// Pack modes are pinned to the copy engine: the §IV-B assertions below
+// compare against the memcpy2D stage costs.
 func pipelinedLatency(t *testing.T, rows int) sim.Time {
 	t.Helper()
 	v, _ := datatype.Vector(rows, 4, 16, datatype.Byte)
 	v.MustCommit()
 	var elapsed sim.Time
-	runPair(t, cluster.Config{GPUMemBytes: 128 << 20}, func(n *cluster.Node) {
+	cfg := cluster.Config{GPUMemBytes: 128 << 20}
+	cfg.Core.PackMode = core.PackModeMemcpy2D
+	cfg.Core.UnpackMode = core.PackModeMemcpy2D
+	runPair(t, cfg, func(n *cluster.Node) {
 		r := n.Rank
 		buf := n.Ctx.MustMalloc(v.Span(1))
 		switch r.Rank() {

@@ -38,7 +38,7 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 	} else {
 		tbuf = n1.Ctx.MustMalloc(size)
 		step := size
-		if pl.uniform {
+		if pl.uniform && !pl.packKernel {
 			rows := max(1, blockSize/pl.shape.Width)
 			step = rows * pl.shape.Width
 		} else if size > blockSize {
@@ -48,7 +48,7 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 			n := min(step, size-off)
 			idx := len(packDone)
 			sp := h.StartChild(parent, obs.KindPack, n1.tracks.pack, idx, n)
-			ev := t.packChunk(p, n1, pl, req, tbuf.Add(off), off, n)
+			ev := t.packChunk(p, n1, pl, req, sp, idx, tbuf.Add(off), off, n)
 			packDone = append(packDone, ev)
 			packCut = append(packCut, off+n)
 			if sp.Active() {
@@ -144,7 +144,7 @@ func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 			continue
 		}
 		var cut int
-		if pl.uniform {
+		if pl.uniform && !pl.unpackKernel {
 			cut = arrived / pl.shape.Width * pl.shape.Width
 		} else {
 			cut = arrived
@@ -152,7 +152,7 @@ func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		if cut > unpackedThrough {
 			idx := len(unpackEvs)
 			sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, cut-unpackedThrough)
-			ev := t.unpackChunk(nil, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
+			ev := t.unpackChunk(nil, n1, pl, req, sp, idx, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
 			unpackEvs = append(unpackEvs, ev)
 			unpackedThrough = cut
 			if sp.Active() {
@@ -165,7 +165,7 @@ func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		if unpackedThrough < size {
 			idx := len(unpackEvs)
 			sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, size-unpackedThrough)
-			ev := t.unpackChunk(p, n1, pl, req, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
+			ev := t.unpackChunk(p, n1, pl, req, sp, idx, tbuf.Add(unpackedThrough), unpackedThrough, size-unpackedThrough)
 			unpackEvs = append(unpackEvs, ev)
 			if sp.Active() {
 				ev.OnTrigger(sp.End)

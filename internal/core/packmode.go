@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/gpu"
+)
+
+// PackMode selects the device engine a uniform 2D type's stage-1 pack (or
+// stage-5 unpack) runs on: the D2D copy engine via cudaMemcpy2DAsync, or
+// the compute engine via a gather/scatter pack kernel. The copy engine
+// pays a per-row charge (CostModel.DevRow); the kernel pays a higher
+// per-byte rate but no row charge, so many short rows favor the kernel
+// and few long rows favor the engine. Irregular types always use the
+// kernel — the copy engine cannot express them.
+//
+// The sender's pack and the receiver's unpack are selected independently
+// (Config.PackMode / Config.UnpackMode), so a transfer may pack with one
+// engine and unpack with the other.
+type PackMode uint8
+
+const (
+	// PackModeAuto compares the two modeled costs for the transfer's
+	// steady-state chunk shape and picks the cheaper engine, falling back
+	// to the copy engine when the compute engine is already occupied by
+	// application kernels. The default.
+	PackModeAuto PackMode = iota
+	// PackModeMemcpy2D pins the copy-engine path (the paper's original
+	// design; byte-identical to the pre-PackMode pipeline).
+	PackModeMemcpy2D
+	// PackModeKernel pins the gather/scatter pack kernel.
+	PackModeKernel
+)
+
+func (m PackMode) String() string {
+	switch m {
+	case PackModeAuto:
+		return "auto"
+	case PackModeMemcpy2D:
+		return "memcpy2d"
+	case PackModeKernel:
+		return "kernel"
+	default:
+		return fmt.Sprintf("packmode(%d)", uint8(m))
+	}
+}
+
+// ParsePackMode parses a -packmode flag value.
+func ParsePackMode(s string) (PackMode, error) {
+	switch s {
+	case "auto":
+		return PackModeAuto, nil
+	case "memcpy2d":
+		return PackModeMemcpy2D, nil
+	case "kernel":
+		return PackModeKernel, nil
+	}
+	return PackModeAuto, fmt.Errorf("core: unknown pack mode %q (want auto, memcpy2d or kernel)", s)
+}
+
+// useKernel resolves one side's engine choice for a uniform 2D transfer.
+// Auto decides per transfer, before any stage is issued, from two inputs:
+// the modeled cost crossover for the steady-state chunk shape, and the
+// compute engine's occupancy at decision time — pack kernels share
+// EngineKernel with application compute (e.g. stencil interior kernels),
+// so a busy or queued engine sends the pack to the otherwise-idle copy
+// engine rather than serializing behind compute.
+func (t *Transport) useKernel(mode PackMode, n1 *NodeGPU, shape datatype.Shape2D, size, blockSize int) bool {
+	switch mode {
+	case PackModeMemcpy2D:
+		return false
+	case PackModeKernel:
+		return true
+	}
+	// Foreign occupancy only: the transport's own pack kernels in flight
+	// (n1.kernOps) mean the engine business is pipeline traffic — e.g. the
+	// reverse direction of a bidirectional exchange — which interleaves
+	// fine at microsecond granularity. Application kernels, by contrast,
+	// hold the engine for whole compute phases.
+	eng := n1.Ctx.Device().Engine(gpu.EngineKernel)
+	if n1.kernOps == 0 && (eng.InUse() > 0 || eng.QueueLen() > 0) {
+		return false
+	}
+	chunk := min(blockSize, size)
+	rows := max(1, chunk/shape.Width)
+	return n1.Ctx.Model().KernelPackBeatsCopy(rows, shape.Width, shape.Pitch)
+}

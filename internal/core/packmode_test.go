@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"testing"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/core"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/sim"
+)
+
+func TestPackModeStringParseRoundTrip(t *testing.T) {
+	for _, m := range []core.PackMode{core.PackModeAuto, core.PackModeMemcpy2D, core.PackModeKernel} {
+		got, err := core.ParsePackMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParsePackMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := core.ParsePackMode("dma"); err == nil {
+		t.Error("ParsePackMode must reject unknown modes")
+	}
+	if s := core.PackMode(9).String(); s != "packmode(9)" {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+// shortRowLatency runs one 1 MB transfer of 4-byte rows — deep inside the
+// kernel-wins regime — under the given sender pack mode (unpack pinned to
+// memcpy2D so only the pack side varies) and returns the sender's
+// measured latency plus the sender device's kernel count. busyFor > 0
+// occupies the sender's compute engine with an application kernel of that
+// duration before the send is posted.
+func shortRowLatency(t *testing.T, mode core.PackMode, busyFor sim.Time) (sim.Time, int) {
+	t.Helper()
+	v, _ := datatype.Vector(1<<18, 4, 16, datatype.Byte) // 1 MB packed
+	v.MustCommit()
+	var elapsed sim.Time
+	cfg := cluster.Config{GPUMemBytes: 64 << 20}
+	cfg.Core.PackMode = mode
+	cfg.Core.UnpackMode = core.PackModeMemcpy2D
+	cl := runPair(t, cfg, func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(v.Span(1))
+		switch r.Rank() {
+		case 0:
+			if busyFor > 0 {
+				nsPerCell := float64(busyFor / sim.Nanosecond)
+				n.Ctx.LaunchKernel(r.Proc(), n.Ctx.NewStream(), 1, nsPerCell, nil)
+			}
+			t0 := r.Now()
+			r.Send(buf, 1, v, 1, 0)
+			r.Recv(buf, 0, datatype.Byte, 1, 1) // ack
+			elapsed = r.Now() - t0
+		case 1:
+			r.Recv(buf, 1, v, 0, 0)
+			r.Send(buf, 0, datatype.Byte, 0, 1)
+		}
+	})
+	return elapsed, cl.Nodes[0].Dev.Stats().Kernels
+}
+
+// TestAutoPicksKernelForShortRows: for a shape past the modeled
+// crossover, PackModeAuto must run pack kernels and beat the pinned
+// copy-engine pipeline end to end.
+func TestAutoPicksKernelForShortRows(t *testing.T) {
+	auto, autoKernels := shortRowLatency(t, core.PackModeAuto, 0)
+	copyT, copyKernels := shortRowLatency(t, core.PackModeMemcpy2D, 0)
+	if autoKernels == 0 {
+		t.Error("auto mode launched no pack kernels for 4-byte rows")
+	}
+	if copyKernels != 0 {
+		t.Errorf("pinned memcpy2d mode launched %d kernels", copyKernels)
+	}
+	if auto >= copyT {
+		t.Errorf("auto latency %v not below memcpy2d latency %v for short rows", auto, copyT)
+	}
+	kern, _ := shortRowLatency(t, core.PackModeKernel, 0)
+	if auto != kern {
+		t.Errorf("auto latency %v differs from pinned kernel latency %v on an idle engine", auto, kern)
+	}
+}
+
+// TestAutoFallsBackUnderApplicationKernel: with an application kernel
+// holding the compute engine for longer than the whole transfer, auto
+// must route the pack to the idle copy engine — same schedule as pinned
+// memcpy2D — instead of serializing behind compute.
+func TestAutoFallsBackUnderApplicationKernel(t *testing.T) {
+	const busy = 100 * sim.Millisecond
+	busyAuto, busyKernels := shortRowLatency(t, core.PackModeAuto, busy)
+	copyT, _ := shortRowLatency(t, core.PackModeMemcpy2D, 0)
+	if busyKernels != 1 { // the application kernel only
+		t.Errorf("busy-engine auto launched %d kernels, want only the application's 1", busyKernels)
+	}
+	if busyAuto != copyT {
+		t.Errorf("busy-engine auto latency %v, want the copy-engine schedule %v", busyAuto, copyT)
+	}
+	// Pinning the kernel mode under the same load serializes behind the
+	// application kernel — the cost auto just avoided.
+	busyKern, _ := shortRowLatency(t, core.PackModeKernel, busy)
+	if busyKern <= busy {
+		t.Errorf("pinned kernel mode under load finished in %v, expected to serialize past %v", busyKern, busy)
+	}
+}

@@ -75,6 +75,8 @@ type op struct {
 	kernNsCell  float64
 	kernBody    func()
 	isKernel    bool
+	parent      obs.Span   // kernel tasks only: pipeline span to parent under
+	chunk       int        // kernel tasks only: pipeline chunk index, or -1
 	isMarker    bool       // event record: completes instantly in stream order
 	waitOn      *sim.Event // stream barrier: stall the stream until this fires
 	memsetBytes int        // >0: a fill; costed as a device-bandwidth write
@@ -112,7 +114,7 @@ func (s *Stream) opSpan(o *op) obs.Span {
 	case o.memsetBytes > 0:
 		return h.Start(obs.KindMemset, s.name, -1, o.memsetBytes)
 	case o.isKernel:
-		return h.Start(obs.KindKernel, s.name, -1, o.kernCells)
+		return h.StartChild(o.parent, obs.KindKernel, s.name, o.chunk, o.kernCells)
 	default:
 		return h.Start(gpu.CopyKind(gpu.DirOf(o.dst, o.src)), s.name, -1, o.shape.Bytes())
 	}
@@ -221,8 +223,16 @@ func (c *Ctx) Memcpy2D(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spitch
 // the modeled duration; body applies the kernel's effect to memory at
 // completion time.
 func (c *Ctx) LaunchKernel(p *sim.Proc, s *Stream, cells int, nsPerCell float64, body func()) *sim.Event {
+	return c.LaunchKernelTask(p, s, obs.Span{}, -1, cells, nsPerCell, body)
+}
+
+// LaunchKernelTask enqueues a kernel like LaunchKernel, but traces the
+// stream op as a child of parent with the given pipeline chunk index, so
+// pack/unpack kernels nest under their transfer's stage span in the trace.
+// An inert parent and chunk -1 degrade to LaunchKernel's plain tracing.
+func (c *Ctx) LaunchKernelTask(p *sim.Proc, s *Stream, parent obs.Span, chunk, cells int, nsPerCell float64, body func()) *sim.Event {
 	c.issue(p)
-	return s.enqueue(&op{isKernel: true, kernCells: cells, kernNsCell: nsPerCell, kernBody: body})
+	return s.enqueue(&op{isKernel: true, kernCells: cells, kernNsCell: nsPerCell, kernBody: body, parent: parent, chunk: chunk})
 }
 
 // Event is a CUDA event: a marker recorded into a stream.

@@ -6,6 +6,7 @@ import (
 
 	"mv2sim/internal/gpu"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -402,5 +403,64 @@ func TestStreamWaitUnrecordedEventPanics(t *testing.T) {
 	})
 	if err := f.e.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// taskCollector records every completed obs task in simulation order.
+type taskCollector struct{ tasks []obs.Task }
+
+func (c *taskCollector) TaskStart(obs.Task)                      {}
+func (c *taskCollector) TaskStep(obs.Task, string)               {}
+func (c *taskCollector) TaskEnd(t obs.Task)                      { c.tasks = append(c.tasks, t) }
+func (c *taskCollector) CounterSample(string, sim.Time, float64) {}
+
+func TestLaunchKernelTaskTracing(t *testing.T) {
+	// A kernel launched through LaunchKernelTask must be traced as a child
+	// of the supplied pipeline span, carrying that chunk's index; a plain
+	// LaunchKernel stays a top-level, unchunked task. Stream FIFO order is
+	// unchanged either way.
+	f := newFixture()
+	col := &taskCollector{}
+	hub := obs.NewHub(f.e, col)
+	f.ctx.SetHub(hub)
+	var parentID uint64
+	order := ""
+	f.e.Spawn("app", func(p *sim.Proc) {
+		s := f.ctx.NewStream()
+		parent := hub.StartTask(obs.KindPack, obs.KindPack, "rank0.pack", 7, 128)
+		parentID = parent.Task().ID
+		first := f.ctx.LaunchKernelTask(p, s, parent, 7, 128, 2.0, func() { order += "a" })
+		second := f.ctx.LaunchKernel(p, s, 64, 1.0, func() { order += "b" })
+		p.Wait(first)
+		p.Wait(second)
+		parent.End()
+	})
+	if err := f.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order != "ab" {
+		t.Fatalf("kernel bodies ran in order %q, want FIFO \"ab\"", order)
+	}
+	var kernels []obs.Task
+	for _, tk := range col.tasks {
+		if tk.Kind == obs.KindKernel {
+			kernels = append(kernels, tk)
+		}
+	}
+	if len(kernels) != 2 {
+		t.Fatalf("traced %d kernel tasks, want 2", len(kernels))
+	}
+	child, top := kernels[0], kernels[1]
+	if child.ParentID != parentID || child.Chunk != 7 || child.Bytes != 128 {
+		t.Errorf("task kernel = {parent %d, chunk %d, bytes %d}, want {%d, 7, 128}",
+			child.ParentID, child.Chunk, child.Bytes, parentID)
+	}
+	m := f.ctx.Model()
+	if got, want := child.End-child.Start, m.KernelCost(128, 2.0); got != want {
+		t.Errorf("child kernel task span = %v, want modeled cost %v", got, want)
+	}
+	if top.ParentID != 0 || top.Chunk != -1 || top.Bytes != 64 {
+		t.Errorf("plain kernel = {parent %d, chunk %d, bytes %d}, want top-level {0, -1, 64}",
+			top.ParentID, top.Chunk, top.Bytes)
 	}
 }

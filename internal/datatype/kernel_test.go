@@ -1,0 +1,102 @@
+package datatype
+
+import (
+	"testing"
+
+	"mv2sim/internal/mem"
+)
+
+// totalSegs sums the per-chunk segment counts — the whole-stream segment
+// count a full-range descriptor must report.
+func totalSegs(p *ChunkPlan) int {
+	n := 0
+	for c := 0; c < p.Chunks(); c++ {
+		n += p.SegmentCount(c)
+	}
+	return n
+}
+
+// TestKernelDescRoundTrip lowers chunk-aligned ranges of the plan-test
+// type zoo to kernel descriptors and checks the descriptor walk is
+// byte-identical to the plan's own PackRange/UnpackRange.
+func TestKernelDescRoundTrip(t *testing.T) {
+	for name, dt := range planTestTypes(t) {
+		const count = 6
+		for _, chunkBytes := range []int{32, 128, 1 << 20} {
+			plan := dt.ChunkPlan(count, chunkBytes)
+			total := plan.Total()
+			span := dt.Span(count)
+			h := mem.NewHostSpace("h", 2*span+2*total)
+			src := h.Base()
+			mem.Fill(src, span, func(i int) byte { return byte(i*11 + 3) })
+			want := src.Add(span)
+			got := want.Add(total)
+			back := got.Add(total)
+
+			// Whole stream through one descriptor.
+			d := plan.Kernel(0, total)
+			if d.Bytes() != total {
+				t.Fatalf("%s chunk=%d: Bytes = %d, want %d", name, chunkBytes, d.Bytes(), total)
+			}
+			if segs := d.Segments(); segs != totalSegs(plan) {
+				t.Fatalf("%s chunk=%d: Segments = %d, want %d", name, chunkBytes, segs, totalSegs(plan))
+			}
+			plan.PackRange(want, src, 0, total)
+			d.Pack(got, src)
+			if !mem.Equal(got, want, total) {
+				t.Fatalf("%s chunk=%d: descriptor pack differs from PackRange", name, chunkBytes)
+			}
+			d.Unpack(back, got)
+			for _, s := range dt.SegmentsOf(count) {
+				if !mem.Equal(back.Add(s.Off), src.Add(s.Off), s.Len) {
+					t.Fatalf("%s chunk=%d: descriptor unpack corrupted segment %+v", name, chunkBytes, s)
+				}
+			}
+
+			// Per-chunk descriptors cover the stream without overlap.
+			segSum := 0
+			for off := 0; off < total; off += chunkBytes {
+				n := min(chunkBytes, total-off)
+				dc := plan.Kernel(off, n)
+				segSum += dc.Segments()
+				dc.Pack(got.Add(off), src)
+			}
+			if segSum != totalSegs(plan) {
+				t.Fatalf("%s chunk=%d: per-chunk segments sum %d, want %d", name, chunkBytes, segSum, totalSegs(plan))
+			}
+			if !mem.Equal(got, want, total) {
+				t.Fatalf("%s chunk=%d: per-chunk descriptor pack differs from PackRange", name, chunkBytes)
+			}
+		}
+	}
+}
+
+func TestKernelDescAlignment(t *testing.T) {
+	v, _ := Vector(8, 4, 8, Byte)
+	v.MustCommit()
+	plan := v.ChunkPlan(4, 32)
+	defer func() {
+		if recover() == nil {
+			t.Error("Kernel(8, 16) on a 32-byte-chunk plan should panic")
+		}
+	}()
+	plan.Kernel(8, 16)
+}
+
+func TestKernelDescEmpty(t *testing.T) {
+	v, _ := Vector(8, 4, 8, Byte)
+	v.MustCommit()
+	plan := v.ChunkPlan(4, 32)
+	var zero KernelDesc
+	if zero.Bytes() != 0 || zero.Segments() != 0 {
+		t.Error("zero KernelDesc must be empty")
+	}
+	// n == 0 skips the alignment check (an empty tail chunk is legal at
+	// any offset) and moves nothing.
+	d := plan.Kernel(7, 0)
+	if d.Bytes() != 0 || d.Segments() != 0 {
+		t.Error("empty range descriptor must report zero bytes and segments")
+	}
+	h := mem.NewHostSpace("h", 64)
+	d.Pack(h.Base(), h.Base().Add(32))
+}

@@ -114,6 +114,14 @@ type CostModel struct {
 
 	// KernelLaunch is the fixed device-side cost of starting a kernel.
 	KernelLaunch sim.Time
+
+	// PackKernelNsPerByte is the per-byte cost of the gather/scatter pack
+	// kernel (one read plus one write through global memory, ~40 GB/s
+	// effective on Fermi). Unlike the copy engine's 2D path the kernel
+	// carries no per-row charge — threads address cells, not rows — which
+	// is exactly the asymmetry that makes it win for many-short-row
+	// shapes (TEMPI, arXiv:2012.14363).
+	PackKernelNsPerByte float64
 }
 
 // DefaultModel returns the C2050/PCIe-2.0 calibration described in the
@@ -132,6 +140,8 @@ func DefaultModel() CostModel {
 		SyncOverhead:  3 * sim.Microsecond,
 		AsyncIssue:    1 * sim.Microsecond,
 		KernelLaunch:  5 * sim.Microsecond,
+
+		PackKernelNsPerByte: 0.025,
 	}
 }
 
@@ -202,4 +212,33 @@ func (m *CostModel) CopyCost(dir CopyDir, s CopyShape) sim.Time {
 // elements at nsPerCell nanoseconds each, plus launch overhead.
 func (m *CostModel) KernelCost(cells int, nsPerCell float64) sim.Time {
 	return m.KernelLaunch + sim.Time(float64(cells)*nsPerCell)
+}
+
+// PackKernelNsPerCell returns the pack kernel's per-byte cost, floored at
+// the device copy engine's byte rate: the kernel streams through the same
+// global memory, so no calibration may let it beat DevBandwidth.
+func (m *CostModel) PackKernelNsPerCell() float64 {
+	floor := 1e9 / m.DevBandwidth
+	if m.PackKernelNsPerByte > floor {
+		return m.PackKernelNsPerByte
+	}
+	return floor
+}
+
+// PackKernelCost returns the modeled duration of a gather/scatter pack
+// kernel over `bytes` packed bytes: launch overhead plus a pure per-byte
+// term, with no per-row component.
+func (m *CostModel) PackKernelCost(bytes int) sim.Time {
+	return m.KernelCost(bytes, m.PackKernelNsPerCell())
+}
+
+// KernelPackBeatsCopy reports whether the pack kernel is modeled faster
+// than the copy engine for a strided D2D pack of `rows` rows of
+// `rowBytes` bytes read at the given source pitch. The copy engine pays
+// DevRow per row; the kernel pays a higher per-byte rate but no row
+// charge, so short rows in quantity favor the kernel and long rows favor
+// the engine.
+func (m *CostModel) KernelPackBeatsCopy(rows, rowBytes, pitch int) bool {
+	shape := CopyShape{Width: rowBytes, Height: rows, DPitch: rowBytes, SPitch: pitch}
+	return m.PackKernelCost(rows*rowBytes) < m.CopyCost(D2D, shape)
 }

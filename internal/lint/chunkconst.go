@@ -16,18 +16,24 @@ import (
 // place the canonical value is defined. The HCA rail count joined the list
 // with the multi-rail transport: a hard-coded "Rails: 2" pins a host-channel
 // topology that belongs either to the calibrated default (mpi.DefaultRails)
-// or to an explicit sweep variable.
+// or to an explicit sweep variable. PackMode/UnpackMode joined with the
+// pack-engine selector: the modes are named core constants
+// (core.PackModeAuto / PackModeMemcpy2D / PackModeKernel), and a raw "1"
+// silently pins an engine choice nobody can grep for.
 var ChunkConst = &Analyzer{
 	Name: "chunkconst",
-	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit/Rails tunables",
+	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit/Rails/PackMode tunables",
 	Run:  runChunkConst,
 }
 
-// tunableNames are the field/variable names the analyzer guards.
-var tunableNames = map[string]bool{
-	"BlockSize":  true,
-	"EagerLimit": true,
-	"Rails":      true,
+// tunableNames maps each guarded field/variable name to the named
+// tunables a diagnostic should steer the author toward.
+var tunableNames = map[string]string{
+	"BlockSize":  "mpi.DefaultBlockSize / core.DefaultBlockSize",
+	"EagerLimit": "mpi.DefaultEagerLimit / core.DefaultEagerLimit",
+	"Rails":      "mpi.DefaultRails / core.DefaultRails",
+	"PackMode":   "core.PackModeAuto / PackModeMemcpy2D / PackModeKernel",
+	"UnpackMode": "core.PackModeAuto / PackModeMemcpy2D / PackModeKernel",
 }
 
 func runChunkConst(pass *Pass) error {
@@ -41,10 +47,12 @@ func runChunkConst(pass *Pass) error {
 					return false
 				}
 			case *ast.KeyValueExpr:
-				if key, ok := st.Key.(*ast.Ident); ok && tunableNames[key.Name] && isRawNumber(st.Value) {
-					pass.Reportf(st.Value.Pos(),
-						"raw literal used for %s; reference the named tunable (mpi.Default%s / core.Default%s) instead",
-						key.Name, key.Name, key.Name)
+				if key, ok := st.Key.(*ast.Ident); ok && isRawNumber(st.Value) {
+					if want, guarded := tunableNames[key.Name]; guarded {
+						pass.Reportf(st.Value.Pos(),
+							"raw literal used for %s; reference the named tunable (%s) instead",
+							key.Name, want)
+					}
 				}
 			case *ast.AssignStmt:
 				for i, lhs := range st.Lhs {
@@ -52,10 +60,10 @@ func runChunkConst(pass *Pass) error {
 						break
 					}
 					name := assignedName(lhs)
-					if tunableNames[name] && isRawNumber(st.Rhs[i]) {
+					if want, guarded := tunableNames[name]; guarded && isRawNumber(st.Rhs[i]) {
 						pass.Reportf(st.Rhs[i].Pos(),
-							"raw literal assigned to %s; reference the named tunable (mpi.Default%s / core.Default%s) instead",
-							name, name, name)
+							"raw literal assigned to %s; reference the named tunable (%s) instead",
+							name, want)
 					}
 				}
 			}

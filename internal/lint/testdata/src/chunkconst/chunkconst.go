@@ -66,3 +66,40 @@ func Sweep(sizes []int) []Config {
 	}
 	return out
 }
+
+// PackMode mirrors core.PackMode: engine selection is a named-constant
+// tunable like the block size.
+type PackMode uint8
+
+// The named mode constants — the one place raw mode values may appear.
+const (
+	PackModeAuto PackMode = iota
+	PackModeMemcpy2D
+	PackModeKernel
+)
+
+// ModeConfig mirrors core.Config's engine-selection fields.
+type ModeConfig struct {
+	PackMode   PackMode
+	UnpackMode PackMode
+}
+
+// Positive: raw numeric mode values.
+func BadModes() ModeConfig {
+	return ModeConfig{
+		PackMode:   1, // want `raw literal used for PackMode`
+		UnpackMode: 2, // want `raw literal used for UnpackMode`
+	}
+}
+
+// Positive: raw literal assigned to a mode field.
+func BadModeAssign(c *ModeConfig) {
+	c.PackMode = 2 // want `raw literal assigned to PackMode`
+}
+
+// Negative: the named constants.
+func GoodModes() ModeConfig {
+	c := ModeConfig{PackMode: PackModeMemcpy2D}
+	c.UnpackMode = PackModeKernel
+	return c
+}

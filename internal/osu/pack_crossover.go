@@ -1,0 +1,163 @@
+// Kernel-vs-memcpy2D pack crossover sweep. The copy engine charges
+// DevRow per row on top of byte bandwidth; the gather kernel charges a
+// higher per-byte rate and a larger launch cost but no row term. This
+// sweep measures both engines packing one pipeline-chunk-shaped
+// (rows × rowBytes) strided block on the device and locates the break-even
+// row count per row width — the experimental basis of core's
+// PackModeAuto heuristic.
+package osu
+
+import (
+	"fmt"
+
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/report"
+	"mv2sim/internal/sim"
+)
+
+// CrossoverPoint is one (rows, rowBytes) cell of the sweep grid.
+type CrossoverPoint struct {
+	Rows       int     `json:"rows"`
+	RowBytes   int     `json:"row_bytes"`
+	Memcpy2DUs float64 `json:"memcpy2d_us"`
+	KernelUs   float64 `json:"kernel_us"`
+	Auto       string  `json:"auto"`    // engine PackModeAuto would pick
+	AutoUs     float64 `json:"auto_us"` // its measured time
+	Best       string  `json:"best"`    // faster engine, measured
+}
+
+// CrossoverResult is the full sweep: the measured grid plus the break-even
+// row count per row width (the smallest row count at which the kernel
+// wins; -1 when the copy engine wins at every row count).
+type CrossoverResult struct {
+	PitchFactor   int              `json:"pitch_factor"`
+	Grid          []CrossoverPoint `json:"grid"`
+	BreakEvenRows map[int]int      `json:"break_even_rows"`
+}
+
+// packPoint measures one grid cell: the device-side D2D pack of a
+// rows × rowBytes strided block, once on the copy engine and once on the
+// compute engine. Virtual time is deterministic, so one run per engine is
+// exact.
+func packPoint(rows, rowBytes, pitch int, model gpu.CostModel) (cpy, kern sim.Time, err error) {
+	e := sim.New()
+	dev := gpu.New(e, 0, gpu.Config{MemBytes: rows*pitch + rows*rowBytes + (1 << 20), Model: model})
+	ctx := cuda.NewCtx(e, dev)
+	src, err := ctx.Malloc(rows * pitch)
+	if err != nil {
+		return 0, 0, fmt.Errorf("osu: crossover source alloc: %w", err)
+	}
+	tbuf, err := ctx.Malloc(rows * rowBytes)
+	if err != nil {
+		return 0, 0, fmt.Errorf("osu: crossover tbuf alloc: %w", err)
+	}
+	e.Spawn("bench", func(p *sim.Proc) {
+		s := ctx.NewStream()
+		t0 := p.Now()
+		p.Wait(ctx.Memcpy2DAsync(p, tbuf, rowBytes, src, pitch, rowBytes, rows, s))
+		cpy = p.Now() - t0
+		t0 = p.Now()
+		p.Wait(ctx.LaunchKernel(p, s, rows*rowBytes, dev.Model().PackKernelNsPerCell(), nil))
+		kern = p.Now() - t0
+	})
+	if err := e.Run(); err != nil {
+		return 0, 0, fmt.Errorf("osu: pack crossover (%dx%d): %w", rows, rowBytes, err)
+	}
+	e.Shutdown()
+	if err := ctx.Free(tbuf); err != nil {
+		return 0, 0, err
+	}
+	if err := ctx.Free(src); err != nil {
+		return 0, 0, err
+	}
+	if err := checkDeviceClean(dev); err != nil {
+		return 0, 0, err
+	}
+	return cpy, kern, nil
+}
+
+// CrossoverBreakEven returns the smallest row count at which the kernel
+// pack is modeled faster than the copy engine for the given row width, or
+// -1 if the copy engine wins at every row count up to 1M rows.
+func CrossoverBreakEven(rowBytes, pitch int, model *gpu.CostModel) int {
+	const maxRows = 1 << 20
+	if !model.KernelPackBeatsCopy(maxRows, rowBytes, pitch) {
+		return -1
+	}
+	lo, hi := 1, maxRows
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if model.KernelPackBeatsCopy(mid, rowBytes, pitch) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// PackCrossover runs the sweep over the rows × rowBytes grid. Source rows
+// are strided at pitchFactor × rowBytes, mirroring a vector type packed
+// out of a wider matrix. The zero model means the default calibration.
+func PackCrossover(rowsList, rowBytesList []int, pitchFactor int, model gpu.CostModel) (*CrossoverResult, error) {
+	if pitchFactor < 2 {
+		pitchFactor = 2
+	}
+	res := &CrossoverResult{PitchFactor: pitchFactor, BreakEvenRows: map[int]int{}}
+	m := model
+	if m.PCIeBandwidth == 0 {
+		m = gpu.DefaultModel()
+	}
+	for _, rowBytes := range rowBytesList {
+		pitch := pitchFactor * rowBytes
+		for _, rows := range rowsList {
+			cpy, kern, err := packPoint(rows, rowBytes, pitch, model)
+			if err != nil {
+				return nil, err
+			}
+			pt := CrossoverPoint{
+				Rows:       rows,
+				RowBytes:   rowBytes,
+				Memcpy2DUs: cpy.Micros(),
+				KernelUs:   kern.Micros(),
+			}
+			pt.Best = "memcpy2d"
+			if kern < cpy {
+				pt.Best = "kernel"
+			}
+			// The heuristic core's PackModeAuto applies on an idle engine.
+			pt.Auto, pt.AutoUs = "memcpy2d", pt.Memcpy2DUs
+			if m.KernelPackBeatsCopy(rows, rowBytes, pitch) {
+				pt.Auto, pt.AutoUs = "kernel", pt.KernelUs
+			}
+			res.Grid = append(res.Grid, pt)
+		}
+		res.BreakEvenRows[rowBytes] = CrossoverBreakEven(rowBytes, pitchFactor*rowBytes, &m)
+	}
+	return res, nil
+}
+
+// Table renders the sweep as rows×widths grids of per-engine times with
+// the auto pick marked.
+func (r *CrossoverResult) Table() *report.Table {
+	t := report.NewTable("Pack crossover: memcpy2D vs kernel (us, * = auto pick)",
+		"rows", "rowB", "memcpy2d", "kernel", "best", "break-even")
+	for _, pt := range r.Grid {
+		c, k := " ", " "
+		if pt.Auto == "memcpy2d" {
+			c = "*"
+		} else {
+			k = "*"
+		}
+		be := fmt.Sprint(r.BreakEvenRows[pt.RowBytes])
+		if r.BreakEvenRows[pt.RowBytes] < 0 {
+			be = "never"
+		}
+		t.Add(fmt.Sprint(pt.Rows), fmt.Sprint(pt.RowBytes),
+			fmt.Sprintf("%.3f%s", pt.Memcpy2DUs, c),
+			fmt.Sprintf("%.3f%s", pt.KernelUs, k),
+			pt.Best, be)
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+package osu
+
+import (
+	"testing"
+
+	"mv2sim/internal/gpu"
+)
+
+// TestPackCrossoverSweep runs a reduced sweep grid and checks the
+// acceptance properties of the auto heuristic against the measured
+// engines: the kernel must win beyond the per-width break-even (and lose
+// below it), and the auto pick must stay within 5% of the per-shape best.
+func TestPackCrossoverSweep(t *testing.T) {
+	res, err := PackCrossover(
+		[]int{16, 64, 101, 256, 4096},
+		[]int{4, 64, 1024, 4096},
+		4, gpu.CostModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range res.Grid {
+		best := pt.Memcpy2DUs
+		if pt.KernelUs < best {
+			best = pt.KernelUs
+		}
+		if pt.AutoUs > best*1.05 {
+			t.Errorf("%dx%d: auto picked %s (%.3fus), more than 5%% off the best %.3fus",
+				pt.Rows, pt.RowBytes, pt.Auto, pt.AutoUs, best)
+		}
+		be := res.BreakEvenRows[pt.RowBytes]
+		switch {
+		case be < 0:
+			if pt.Best != "memcpy2d" {
+				t.Errorf("%dx%d: kernel measured faster but the model says it never wins", pt.Rows, pt.RowBytes)
+			}
+		case pt.Rows >= be:
+			if pt.Best != "kernel" {
+				t.Errorf("%dx%d: memcpy2d measured faster at/beyond break-even %d", pt.Rows, pt.RowBytes, be)
+			}
+		default:
+			if pt.Best != "memcpy2d" {
+				t.Errorf("%dx%d: kernel measured faster below break-even %d", pt.Rows, pt.RowBytes, be)
+			}
+		}
+	}
+	// The calibrated break-even for the paper's 4-byte elements: the
+	// kernel's 1us launch gap divided by the ~9.94ns/row copy-engine
+	// premium. Wide 4KB rows never cross.
+	if be := res.BreakEvenRows[4]; be != 101 {
+		t.Errorf("4-byte-row break-even = %d rows, want 101", be)
+	}
+	if be := res.BreakEvenRows[4096]; be != -1 {
+		t.Errorf("4KB-row break-even = %d, want never (-1)", be)
+	}
+}

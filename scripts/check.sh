@@ -35,6 +35,23 @@ if [ -z "${TRACE_OUT:-}" ]; then
     rm -f "$tracefile"
 fi
 
+echo "== pack-mode gate"
+# -packmode memcpy2d must reproduce the pre-PackMode pipeline byte for
+# byte (the committed golden), and the auto/kernel modes must emit valid,
+# well-ordered traces.
+pm=$(mktemp /tmp/mv2sim-packmode.XXXXXX.txt)
+go run ./cmd/pipetrace -packmode memcpy2d > "$pm"
+cmp "$pm" scripts/testdata/pipetrace_memcpy2d.golden || {
+    echo "-packmode memcpy2d drifted from the golden pipeline output"; exit 1;
+}
+rm -f "$pm"
+for mode in auto kernel; do
+    mt=$(mktemp /tmp/mv2sim-packmode.XXXXXX.json)
+    go run ./cmd/pipetrace -packmode "$mode" -chrome "$mt" > /dev/null
+    go run ./cmd/tracecheck "$mt"
+    rm -f "$mt"
+done
+
 echo "== multi-rail trace gate"
 # The striped pipeline must stay deterministic and correctly named: at each
 # rail count the trace must be well-ordered with dense per-rail tracks, and
