@@ -41,8 +41,8 @@ func main() {
 	fmt.Println(t)
 	if *railSweep {
 		// Wide rows so the pack engine is cheap and the wire is the
-		// bottleneck — the regime where rail striping pays. The default
-		// 4-byte-element vector is pack-bound and rail-insensitive.
+		// bottleneck — the regime where rail striping pays. The wide-row
+		// shape stays on the copy engine at every PackMode.
 		sweep := osu.VectorConfig{ElemBytes: 8 << 10, PitchBytes: 16 << 10}
 		big := sizes[len(sizes)-1]
 		rt, err := osu.RailsSweep(big, *window, []int{1, 2, 4}, sweep)
@@ -53,5 +53,20 @@ func main() {
 		fmt.Println(rt)
 		fmt.Println("Wide-row (8K element) vector: wire-bound, so striping raises throughput")
 		fmt.Println("until the single per-direction PCIe copy engine saturates.")
+
+		// The narrow 4-byte-row shape under the selected pack mode. Pinned
+		// to memcpy2d this shape is pack-bound and rail-insensitive; under
+		// auto the kernel pack leaves the wire as the bottleneck, so rails
+		// pay here too.
+		narrow := osu.VectorConfig{}
+		narrow.Cluster.Core.PackMode = mode
+		narrow.Cluster.Core.UnpackMode = mode
+		nt, err := osu.RailsSweep(big, *window, []int{1, 2, 4}, narrow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Println(nt)
+		fmt.Printf("Narrow-row (4-byte element) vector under -packmode %s.\n", *packMode)
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"mv2sim/internal/core"
 	"mv2sim/internal/obs"
+	"mv2sim/internal/obs/critpath"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 	"mv2sim/internal/sim"
@@ -30,6 +31,7 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations per point (median reported)")
 	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
 	traceOut := flag.String("trace", "", "also run one traced 4 MB MV2-GPU-NC transfer and write Chrome trace JSON")
+	doctor := flag.Bool("doctor", false, "also run one 4 MB MV2-GPU-NC transfer with the critical-path doctor attached and print the stall report")
 	packMode := flag.String("packmode", "auto", "MV2-GPU-NC pack/unpack engine: auto, memcpy2d or kernel")
 	flag.Parse()
 
@@ -91,5 +93,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("Chrome trace of one 4 MB MV2-GPU-NC transfer: %s (%d events)\n", *traceOut, chrome.Events())
+	}
+
+	if *doctor {
+		col := critpath.NewCollector()
+		met := obs.NewMetricsTracer()
+		dcfg := cfg
+		dcfg.Iters = 1
+		dcfg.Cluster.Tracers = []obs.Tracer{col, met}
+		if _, err := osu.VectorLatency(osu.DesignMV2GPUNC, 4<<20, dcfg); err != nil {
+			log.Fatal(err)
+		}
+		// The barrier before the timed exchange shows up as small eager
+		// transfers; the 4 MB rendezvous transfer is the one to diagnose.
+		for _, a := range col.Analyze() {
+			if a.Transfer.Send.Bytes != 4<<20 {
+				continue
+			}
+			critpath.WriteReport(os.Stdout, fmt.Sprintf("osulat_4M_%s", *packMode), a,
+				met.Table("Stage latency percentiles"))
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
+	"mv2sim/internal/obs/critpath"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 	"mv2sim/internal/shoc"
@@ -32,19 +33,23 @@ import (
 )
 
 // benchResults is the machine-readable summary written as BENCH_repro.json:
-// the Figure 5(b) latency curves, the Table II/III stencil medians, and the
-// per-resource utilization of the five-stage pipeline at 4 MB.
+// the Figure 5(b) latency curves, the Table II/III stencil medians, the
+// per-resource utilization of the five-stage pipeline at 4 MB, and the
+// pipeline doctor's stall attribution of the same point.
 type benchResults struct {
 	Scale              int                           `json:"scale"`
 	Iters              int                           `json:"iters"`
 	Figure5bLatencyUs  map[string]map[string]float64 `json:"figure5b_latency_us"`
 	Stencil2DMedianSec map[string][]shoc.TableRow    `json:"stencil2d_median_sec"`
 	PipelineResources  []resourceUtil                `json:"pipeline_utilization_4mb"`
+	Pipedoctor4MB      critpath.BenchResult          `json:"pipedoctor_4mb"`
 }
 
-// resourceUtil is one row of the pipeline utilization table.
+// resourceUtil is one row of the pipeline utilization table. Rail lanes of
+// a striped resource are aggregated into one row (Rails > 1).
 type resourceUtil struct {
 	Resource    string  `json:"resource"`
+	Rails       int     `json:"rails"`
 	BusyUs      float64 `json:"busy_us"`
 	Utilization float64 `json:"utilization"`
 }
@@ -149,16 +154,27 @@ func main() {
 	banner("Figure 3: pipeline stage trace (1 MB vector)")
 	fmt.Println(pipelineTrace())
 
-	banner("Pipeline resource utilization (4 MB vector, Figure 5(b) largest point)")
-	util := utilizationReport()
+	banner("Pipeline resource utilization (4 MB vector, Figure 5(b) largest point, rails=2)")
+	util, stats, _, _ := pipelineRun(2)
 	t := report.NewTable("Per-resource busy time over the transfer window",
-		"resource", "busy (us)", "utilization")
+		"resource", "rails", "busy (us)", "utilization")
 	for _, u := range util {
-		t.Add(u.Resource, fmt.Sprintf("%.1f", u.BusyUs), fmt.Sprintf("%.0f%%", 100*u.Utilization))
+		t.Add(u.Resource, fmt.Sprintf("%d", u.Rails),
+			fmt.Sprintf("%.1f", u.BusyUs), fmt.Sprintf("%.0f%%", 100*u.Utilization))
 	}
 	fmt.Println(t)
+	fmt.Println(stats.ResourceTable("Per-resource task stats (rail lanes aggregated, then split)"))
 	fmt.Println("The DMA engines and HCA all stay busy concurrently: the paper's overlap argument, quantified.")
 	bench.PipelineResources = util
+
+	banner("Pipeline doctor: stall attribution and (n+2)*T(N/n) model (4 MB point)")
+	_, _, doc, block := pipelineRun(mpi.DefaultRails)
+	label := fmt.Sprintf("figure5b_4M_rails%d_auto", mpi.DefaultRails)
+	critpath.WriteReport(os.Stdout, label, doc, nil)
+	if !doc.Exact() {
+		log.Fatalf("repro: doctor attribution sums to %v, wall is %v", doc.Sum(), doc.Wall())
+	}
+	bench.Pipedoctor4MB = critpath.Bench(label, 4<<20, block, doc.Rails, "auto", doc)
 
 	banner("Extensions beyond the paper's figures")
 	fmt.Println("Library-level pack-location ablation (1 MB vector, pitch 16):")
@@ -305,13 +321,18 @@ func writeWallclock(path string) {
 	fmt.Printf("Wall-clock microbenchmarks: %s\n", path)
 }
 
-// utilizationReport runs one traced 4 MB MV2-GPU-NC vector transfer and
-// reports how busy each pipeline resource was between the first and last
-// traced activity: both GPUs' copy and compute engines (the pack/unpack
-// stages land on either, depending on PackMode), both ends of the wire,
-// and the staging pools' vbuf holds.
-func utilizationReport() []resourceUtil {
+// pipelineRun runs one traced 4 MB MV2-GPU-NC vector transfer at the
+// given rail count with the busy-time, per-resource stats and
+// critical-path tracers attached. It reports how busy each pipeline
+// resource was between the first and last traced activity — both GPUs'
+// copy and compute engines (the pack/unpack stages land on either,
+// depending on PackMode) and both ends of the wire — with rail lanes of
+// a striped resource aggregated into one row, plus the stats tracer,
+// the doctor's analysis and the block size the pipeline used.
+func pipelineRun(rails int) ([]resourceUtil, *obs.StatsTracer, *critpath.Analysis, int) {
 	busy := obs.NewBusyTimeTracer()
+	stats := obs.NewStatsTracer()
+	col := critpath.NewCollector()
 	rows := (4 << 20) / 4
 	vec, err := datatype.Vector(rows, 1, 4, datatype.Float32)
 	if err != nil {
@@ -320,7 +341,8 @@ func utilizationReport() []resourceUtil {
 	vec.MustCommit()
 	ccfg := cluster.Config{
 		GPUMemBytes: 2*rows*16 + (64 << 20),
-		Tracers:     []obs.Tracer{busy},
+		Rails:       rails,
+		Tracers:     []obs.Tracer{busy, stats, col},
 	}
 	cl := cluster.New(ccfg)
 	err = cl.Run(func(n *cluster.Node) {
@@ -343,9 +365,16 @@ func utilizationReport() []resourceUtil {
 		log.Fatal(err)
 	}
 
+	// Rail lanes ("hca0.tx.r0", "hca0.tx.r1", ...) are lanes of one
+	// logical resource: aggregate each group so rails>1 runs don't
+	// double-list the striped stages. Utilization is per lane.
+	groups := map[string]obs.RailGroup{}
+	for _, g := range obs.GroupRails(busy.Wheres()) {
+		groups[g.Base] = g
+	}
 	from, to := busy.Window()
 	var out []resourceUtil
-	for _, where := range []string{
+	for _, base := range []string{
 		"gpu0.d2dEngine",    // stage 1: pack (sender, PackModeMemcpy2D)
 		"gpu0.kernelEngine", // stage 1: pack (sender, kernel engine — auto's pick here)
 		"gpu0.d2hEngine",    // stage 2: D2H staging
@@ -355,13 +384,31 @@ func utilizationReport() []resourceUtil {
 		"gpu1.d2dEngine",    // stage 5: unpack (receiver, PackModeMemcpy2D)
 		"gpu1.kernelEngine", // stage 5: unpack (receiver, kernel engine)
 	} {
+		tracks := []string{base}
+		if g, ok := groups[base]; ok {
+			tracks = g.Tracks
+		}
+		var busyTotal sim.Time
+		for _, tr := range tracks {
+			busyTotal += busy.Busy(tr)
+		}
+		util := 0.0
+		if to > from {
+			util = float64(busyTotal) / float64((to-from)*sim.Time(len(tracks)))
+		}
 		out = append(out, resourceUtil{
-			Resource:    where,
-			BusyUs:      busy.Busy(where).Micros(),
-			Utilization: busy.Utilization(where, from, to),
+			Resource:    base,
+			Rails:       len(tracks),
+			BusyUs:      busyTotal.Micros(),
+			Utilization: util,
 		})
 	}
-	return out
+
+	as := col.Analyze()
+	if len(as) != 1 {
+		log.Fatalf("repro: pipeline run analyzed %d transfers, want 1", len(as))
+	}
+	return out, stats, as[0], cl.World.Config().BlockSize
 }
 
 // must exits nonzero on any benchmark failure — including the end-of-run

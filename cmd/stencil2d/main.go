@@ -24,6 +24,8 @@ import (
 	"os"
 
 	"mv2sim/internal/obs"
+	"mv2sim/internal/obs/critpath"
+	"mv2sim/internal/report"
 	"mv2sim/internal/shoc"
 )
 
@@ -34,7 +36,41 @@ func main() {
 	iters := flag.Int("iters", 3, "timed iterations (median reported)")
 	breakdown := flag.Bool("breakdown", false, "run the Figure 6 communication breakdown instead")
 	traceOut := flag.String("trace", "", "run one traced NC iteration on the 2x4 grid and write Chrome trace JSON")
+	doctor := flag.Bool("doctor", false, "run one NC iteration on the 2x4 grid with the critical-path doctor attached and print the stall report for the slowest halo transfer")
 	flag.Parse()
+
+	if *doctor {
+		col := critpath.NewCollector()
+		g := shoc.PaperGrids(*scale)[2] // 2x4
+		p := shoc.ScaledParams(g, shoc.F32, shoc.NC, *scale, 1)
+		p.Cluster.Tracers = []obs.Tracer{col}
+		if _, err := shoc.Run(p); err != nil {
+			log.Fatal(err)
+		}
+		analyses := col.Analyze()
+		// Prefer the slowest chunked (rendezvous-pipelined) transfer so the
+		// model check applies; at small -scale every halo fits the eager
+		// path and the slowest overall is shown instead.
+		var worst *critpath.Analysis
+		for _, a := range analyses {
+			switch {
+			case worst == nil:
+				worst = a
+			case (a.Chunks > 0) != (worst.Chunks > 0):
+				if a.Chunks > 0 {
+					worst = a
+				}
+			case a.Wall() > worst.Wall():
+				worst = a
+			}
+		}
+		if worst == nil {
+			log.Fatal("stencil2d: no transfers analyzed")
+		}
+		fmt.Printf("Analyzed %d halo transfers of one Stencil2D-NC iteration (2x4 grid); slowest shown.\n\n", len(analyses))
+		critpath.WriteReport(os.Stdout, fmt.Sprintf("stencil2d_2x4_%s", report.ByteSize(worst.Transfer.Send.Bytes)), worst, nil)
+		return
+	}
 
 	if *traceOut != "" {
 		chrome := obs.NewChromeTracer()

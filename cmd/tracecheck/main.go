@@ -1,9 +1,17 @@
 // Command tracecheck validates a Chrome trace_event JSON file produced by
-// the obs.ChromeTracer: the document parses, contains events, every event
-// carries the required fields, and completion timestamps never run
-// backwards (events are emitted in simulation order, so a regression here
-// means the tracer or the engine lost determinism). CI runs it against a
-// freshly generated pipetrace trace.
+// the obs.ChromeTracer:
+//
+//   - the document parses and contains events with the required fields;
+//   - completion timestamps never run backwards, globally and per track
+//     (events are emitted in simulation order, so a regression here means
+//     the tracer or the engine lost determinism);
+//   - every task that names a parent lies inside its parent's interval
+//     (sub-tasks are created and completed while the enclosing span is
+//     open — a violation means an instrumentation layer leaked a span);
+//   - multi-rail track naming is consistent and dense.
+//
+// CI runs it against freshly generated pipetrace traces at every rail
+// count and pack mode.
 //
 // Usage:
 //
@@ -27,9 +35,20 @@ type traceEvent struct {
 	Pid  *int     `json:"pid"`
 	Tid  *int     `json:"tid"`
 	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
 	Ts   *float64 `json:"ts"`
 	Dur  *float64 `json:"dur"`
+	Args struct {
+		ID     uint64 `json:"id"`
+		Parent uint64 `json:"parent"`
+		Name   string `json:"name"` // thread_name metadata payload
+	} `json:"args"`
 }
+
+// halfNs is the comparison slack: timestamps are nanosecond-precision
+// decimals rendered in microseconds, so derived times can differ from the
+// exact value by a binary float epsilon.
+const halfNs = 0.0005
 
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
@@ -52,49 +71,110 @@ func main() {
 		fail("%s: no trace events", os.Args[1])
 	}
 
-	var lastDone float64
-	counts := map[string]int{}
-	tracks := map[int]string{}
-	for i, ev := range doc.TraceEvents {
+	counts, tracks, lastDone, err := checkOrder(doc.TraceEvents)
+	if err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+	if err := checkContainment(doc.TraceEvents); err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+	if err := checkRailTracks(tracks); err != nil {
+		fail("%s: %v", os.Args[1], err)
+	}
+
+	fmt.Printf("%s: OK — %d events (%d spans, %d instants, %d counter samples) on %d tracks, %.1f us simulated\n",
+		os.Args[1], len(doc.TraceEvents)-counts["M"], counts["X"], counts["i"], counts["C"], len(tracks), lastDone)
+}
+
+// checkOrder validates per-event fields and completion-time monotonicity,
+// both globally and per track. It returns the per-phase event counts, the
+// tid→name track map and the final completion time.
+func checkOrder(events []traceEvent) (counts map[string]int, tracks map[int]string, lastDone float64, err error) {
+	counts = map[string]int{}
+	tracks = map[int]string{}
+	lastPerTrack := map[int]float64{}
+	for i, ev := range events {
 		counts[ev.Ph]++
 		if ev.Ph == "" || ev.Name == "" || ev.Pid == nil {
-			fail("event %d: missing required field (ph=%q name=%q)", i, ev.Ph, ev.Name)
+			return nil, nil, 0, fmt.Errorf("event %d: missing required field (ph=%q name=%q)", i, ev.Ph, ev.Name)
 		}
 		if ev.Ph == "M" {
-			if ev.Tid != nil {
-				tracks[*ev.Tid] = ev.Name
+			// The track's name travels in args.name; the event's own name is
+			// the metadata key "thread_name".
+			if ev.Tid != nil && ev.Args.Name != "" {
+				tracks[*ev.Tid] = ev.Args.Name
 			}
 			continue
 		}
 		if ev.Ts == nil || *ev.Ts < 0 {
-			fail("event %d (%s %q): missing or negative ts", i, ev.Ph, ev.Name)
+			return nil, nil, 0, fmt.Errorf("event %d (%s %q): missing or negative ts", i, ev.Ph, ev.Name)
 		}
 		// Events are emitted at completion time; that time must be
 		// monotone non-decreasing across the file.
 		done := *ev.Ts
 		if ev.Ph == "X" {
 			if ev.Dur == nil || *ev.Dur < 0 {
-				fail("event %d (X %q): missing or negative dur", i, ev.Name)
+				return nil, nil, 0, fmt.Errorf("event %d (X %q): missing or negative dur", i, ev.Name)
 			}
 			done += *ev.Dur
 		}
-		// Timestamps are nanosecond-precision decimals; ts+dur can differ
-		// from the exact end by a binary float epsilon, so compare with
-		// half-a-nanosecond slack.
-		const halfNs = 0.0005
 		if done < lastDone-halfNs {
-			fail("event %d (%s %q): completion time %.3f us precedes %.3f us — trace is not in simulation order",
+			return nil, nil, 0, fmt.Errorf("event %d (%s %q): completion time %.3f us precedes %.3f us — trace is not in simulation order",
 				i, ev.Ph, ev.Name, done, lastDone)
 		}
 		if done > lastDone {
 			lastDone = done
 		}
+		// The same invariant must hold within each track independently: a
+		// track whose events run backwards relative to its own history has
+		// lost ordering even if the interleaved global sequence hides it.
+		if ev.Tid != nil {
+			if last, ok := lastPerTrack[*ev.Tid]; ok && done < last-halfNs {
+				return nil, nil, 0, fmt.Errorf("event %d (%s %q): completion time %.3f us precedes %.3f us on track %d",
+					i, ev.Ph, ev.Name, done, last, *ev.Tid)
+			}
+			if done > lastPerTrack[*ev.Tid] {
+				lastPerTrack[*ev.Tid] = done
+			}
+		}
 	}
+	return counts, tracks, lastDone, nil
+}
 
-	checkRailTracks(tracks)
-
-	fmt.Printf("%s: OK — %d events (%d spans, %d instants, %d counter samples) on %d tracks, %.1f us simulated\n",
-		os.Args[1], len(doc.TraceEvents)-counts["M"], counts["X"], counts["i"], counts["C"], len(tracks), lastDone)
+// checkContainment validates the parent links the tracer emits: every
+// task naming a parent must lie within the parent's [ts, ts+dur] interval.
+// Dependency markers (cat "dep") reference tasks, not parents, and are
+// skipped; instants referencing an X task's own id (TaskStep milestones)
+// carry no parent and are skipped by construction.
+func checkContainment(events []traceEvent) error {
+	type interval struct {
+		lo, hi float64
+		name   string
+	}
+	spans := map[uint64]interval{}
+	for _, ev := range events {
+		if ev.Ph == "X" && ev.Ts != nil && ev.Dur != nil && ev.Args.ID != 0 {
+			spans[ev.Args.ID] = interval{*ev.Ts, *ev.Ts + *ev.Dur, ev.Name}
+		}
+	}
+	for i, ev := range events {
+		if (ev.Ph != "X" && ev.Ph != "i") || ev.Cat == "dep" || ev.Args.Parent == 0 || ev.Ts == nil {
+			continue
+		}
+		parent, ok := spans[ev.Args.Parent]
+		if !ok {
+			return fmt.Errorf("event %d (%s %q): parent task %d has no span event", i, ev.Ph, ev.Name, ev.Args.Parent)
+		}
+		lo, hi := *ev.Ts, *ev.Ts
+		if ev.Ph == "X" && ev.Dur != nil {
+			hi = lo + *ev.Dur
+		}
+		if lo < parent.lo-halfNs || hi > parent.hi+halfNs {
+			return fmt.Errorf("event %d (%s %q): interval [%.3f, %.3f] us escapes parent %q [%.3f, %.3f] us",
+				i, ev.Ph, ev.Name, lo, hi, parent.name, parent.lo, parent.hi)
+		}
+	}
+	return nil
 }
 
 var railSuffix = regexp.MustCompile(`^(.+)\.r(\d+)$`)
@@ -104,7 +184,7 @@ var railSuffix = regexp.MustCompile(`^(.+)\.r(\d+)$`)
 // rail 0 (".r0", ".r1", ...), with the indices dense. Mixing a bare track
 // with rail-suffixed siblings, or skipping a rail index, means a layer
 // disagreed about the configured rail count.
-func checkRailTracks(tracks map[int]string) {
+func checkRailTracks(tracks map[int]string) error {
 	bare := map[string]bool{}
 	rails := map[string][]bool{}
 	for _, name := range tracks {
@@ -116,7 +196,7 @@ func checkRailTracks(tracks map[int]string) {
 				rails[base] = append(rails[base], false)
 			}
 			if rails[base][idx] {
-				fail("track %q: duplicate rail index", name)
+				return fmt.Errorf("track %q: duplicate rail index", name)
 			}
 			rails[base][idx] = true
 		} else {
@@ -125,12 +205,13 @@ func checkRailTracks(tracks map[int]string) {
 	}
 	for base, seen := range rails {
 		if bare[base] {
-			fail("track %q exists both bare and rail-suffixed (%q...) — rail naming must not mix", base, base+".r0")
+			return fmt.Errorf("track %q exists both bare and rail-suffixed (%q...) — rail naming must not mix", base, base+".r0")
 		}
 		for idx, ok := range seen {
 			if !ok {
-				fail("track %q has %d rail tracks but %q is missing — rail indices must be dense", base, len(seen), fmt.Sprintf("%s.r%d", base, idx))
+				return fmt.Errorf("track %q has %d rail tracks but %q is missing — rail indices must be dense", base, len(seen), fmt.Sprintf("%s.r%d", base, idx))
 			}
 		}
 	}
+	return nil
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// ev builds a traceEvent from a JSON literal, reusing the real decoder so
+// the tests exercise the same field mapping as main.
+func ev(t *testing.T, js string) traceEvent {
+	t.Helper()
+	var e traceEvent
+	if err := json.Unmarshal([]byte(js), &e); err != nil {
+		t.Fatalf("bad test event %s: %v", js, err)
+	}
+	return e
+}
+
+func TestCheckOrderAccepts(t *testing.T) {
+	events := []traceEvent{
+		ev(t, `{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"rank0.mpi"}}`),
+		ev(t, `{"ph":"X","pid":1,"tid":1,"name":"a","ts":0,"dur":5,"args":{"id":1}}`),
+		ev(t, `{"ph":"i","pid":1,"tid":1,"name":"b","ts":5,"args":{"id":2}}`),
+		ev(t, `{"ph":"X","pid":1,"tid":1,"name":"c","ts":2,"dur":3,"args":{"id":3}}`),
+	}
+	counts, tracks, last, err := checkOrder(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["X"] != 2 || counts["i"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if tracks[1] != "rank0.mpi" {
+		t.Fatalf("tracks = %v", tracks)
+	}
+	if last != 5 {
+		t.Fatalf("last = %v", last)
+	}
+}
+
+func TestCheckOrderRejectsGlobalRegression(t *testing.T) {
+	events := []traceEvent{
+		ev(t, `{"ph":"X","pid":1,"tid":1,"name":"a","ts":0,"dur":10,"args":{"id":1}}`),
+		ev(t, `{"ph":"X","pid":1,"tid":2,"name":"b","ts":1,"dur":2,"args":{"id":2}}`),
+	}
+	if _, _, _, err := checkOrder(events); err == nil || !strings.Contains(err.Error(), "simulation order") {
+		t.Fatalf("err = %v, want simulation-order failure", err)
+	}
+}
+
+func TestCheckOrderRejectsPerTrackRegression(t *testing.T) {
+	// Interleaved across two tracks the global sequence is monotone only
+	// if track 1's second event is in order; here it regresses.
+	events := []traceEvent{
+		ev(t, `{"ph":"i","pid":1,"tid":1,"name":"a","ts":10,"args":{"id":1}}`),
+		ev(t, `{"ph":"i","pid":1,"tid":1,"name":"b","ts":4,"args":{"id":2}}`),
+	}
+	if _, _, _, err := checkOrder(events); err == nil {
+		t.Fatal("per-track regression not caught")
+	}
+}
+
+func TestCheckOrderRejectsMissingFields(t *testing.T) {
+	for _, js := range []string{
+		`{"ph":"X","pid":1,"tid":1,"ts":0,"dur":1}`,             // no name
+		`{"ph":"X","pid":1,"tid":1,"name":"a","ts":0}`,          // X without dur
+		`{"ph":"i","pid":1,"tid":1,"name":"a"}`,                 // no ts
+		`{"ph":"X","pid":1,"tid":1,"name":"a","ts":-1,"dur":1}`, // negative ts
+	} {
+		if _, _, _, err := checkOrder([]traceEvent{ev(t, js)}); err == nil {
+			t.Errorf("accepted invalid event %s", js)
+		}
+	}
+}
+
+func TestCheckContainment(t *testing.T) {
+	good := []traceEvent{
+		ev(t, `{"ph":"X","pid":1,"tid":1,"name":"send","ts":0,"dur":100,"args":{"id":1}}`),
+		ev(t, `{"ph":"X","pid":1,"tid":2,"name":"d2h","ts":10,"dur":20,"args":{"id":2,"parent":1}}`),
+		ev(t, `{"ph":"i","pid":1,"tid":1,"name":"fin","cat":"fin","ts":40,"args":{"id":3,"parent":1}}`),
+		ev(t, `{"ph":"i","pid":1,"tid":2,"name":"wire","cat":"dep","ts":0,"args":{"task":9,"on":8}}`), // dep markers exempt
+	}
+	if err := checkContainment(good); err != nil {
+		t.Fatal(err)
+	}
+
+	escapes := []traceEvent{
+		ev(t, `{"ph":"X","pid":1,"tid":1,"name":"send","ts":0,"dur":100,"args":{"id":1}}`),
+		ev(t, `{"ph":"X","pid":1,"tid":2,"name":"d2h","ts":90,"dur":20,"args":{"id":2,"parent":1}}`),
+	}
+	if err := checkContainment(escapes); err == nil || !strings.Contains(err.Error(), "escapes parent") {
+		t.Fatalf("err = %v, want containment failure", err)
+	}
+
+	orphan := []traceEvent{
+		ev(t, `{"ph":"X","pid":1,"tid":2,"name":"d2h","ts":0,"dur":20,"args":{"id":2,"parent":7}}`),
+	}
+	if err := checkContainment(orphan); err == nil || !strings.Contains(err.Error(), "no span event") {
+		t.Fatalf("err = %v, want orphan-parent failure", err)
+	}
+}
+
+func TestCheckRailTracks(t *testing.T) {
+	ok := map[int]string{1: "rank0.d2h.r0", 2: "rank0.d2h.r1", 3: "rank0.pack"}
+	if err := checkRailTracks(ok); err != nil {
+		t.Fatal(err)
+	}
+	mixed := map[int]string{1: "rank0.d2h", 2: "rank0.d2h.r0"}
+	if err := checkRailTracks(mixed); err == nil {
+		t.Fatal("mixed bare+suffixed naming not caught")
+	}
+	sparse := map[int]string{1: "rank0.d2h.r0", 2: "rank0.d2h.r2"}
+	if err := checkRailTracks(sparse); err == nil {
+		t.Fatal("sparse rail indices not caught")
+	}
+}

@@ -49,14 +49,15 @@ func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 		chunkSent[c] = sent
 		startRow := c * rowsPerChunk
 		d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h[rail], c, n)
-		d2h := n1.Ctx.Memcpy2DAsync(p,
+		d2h := n1.Ctx.Memcpy2DAsyncTask(p,
 			vbuf.Ptr, pl.shape.Width,
 			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
-			pl.shape.Width, n/pl.shape.Width, n1.d2hStreams[rail])
+			pl.shape.Width, n/pl.shape.Width, n1.d2hStreams[rail], d2hSp, c)
 		d2h.OnTrigger(func() {
 			d2hSp.End()
 			rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
-			rdma := r.RDMAChunkRail(req, slot, vbuf.Ptr, n, rail)
+			rdmaSp.DependsOn(d2hSp, obs.DepStage)
+			rdma := r.RDMAChunkRailSpan(req, slot, vbuf.Ptr, n, rail, rdmaSp)
 			rdma.OnTrigger(func() {
 				rdmaSp.End()
 				n1.Pool.Put(vbuf)
@@ -117,10 +118,10 @@ func (t *Transport) recvHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 		n := chunkLen(c)
 		startRow := c * rowsPerChunk
 		h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d[rail], c, n)
-		ev := n1.Ctx.Memcpy2DAsync(p,
+		ev := n1.Ctx.Memcpy2DAsyncTask(p,
 			req.Buf().Add(pl.shape.Off+startRow*pl.shape.Pitch), pl.shape.Pitch,
 			vbuf.Ptr, pl.shape.Width,
-			pl.shape.Width, n/pl.shape.Width, n1.h2dStreams[rail])
+			pl.shape.Width, n/pl.shape.Width, n1.h2dStreams[rail], h2dSp, c)
 		h2dDone[c] = ev
 		ev.OnTrigger(func() {
 			h2dSp.End()

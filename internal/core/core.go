@@ -262,7 +262,7 @@ func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Reques
 		if off%w != 0 || n%w != 0 {
 			panic(fmt.Sprintf("core: pack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
 		}
-		return n1.Ctx.Memcpy2DAsync(p, dst, w, src.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, w, n/w, n1.packStream)
+		return n1.Ctx.Memcpy2DAsyncTask(p, dst, w, src.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, w, n/w, n1.packStream, sp, chunk)
 	}
 	// Kernel path: a gather kernel walks the cached chunk plan's segments
 	// on the compute engine (callers keep off/n chunk-aligned).
@@ -284,7 +284,7 @@ func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Requ
 		if off%w != 0 || n%w != 0 {
 			panic(fmt.Sprintf("core: unpack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
 		}
-		return n1.Ctx.Memcpy2DAsync(p, dst.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, src, w, w, n/w, n1.unpackStream)
+		return n1.Ctx.Memcpy2DAsyncTask(p, dst.Add(pl.shape.Off+off/w*pl.shape.Pitch), pl.shape.Pitch, src, w, w, n/w, n1.unpackStream, sp, chunk)
 	}
 	d := pl.cp.Kernel(off, n)
 	n1.kernOps++
@@ -331,7 +331,7 @@ func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 		var evs [2]*sim.Event
 		issue := func(b, off int) {
 			n := min(chunk, size-off)
-			evs[b] = n1.Ctx.MemcpyAsync(p, bufs[b].Ptr, tbuf.Add(off), n, n1.d2hStreams[0])
+			evs[b] = n1.Ctx.MemcpyAsyncTask(p, bufs[b].Ptr, tbuf.Add(off), n, n1.d2hStreams[0], req.ObsSpan(), -1)
 		}
 		issue(0, 0)
 		b := 0
@@ -398,7 +398,7 @@ func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 			}
 			p.Sleep(r.HostCopyCost(n))
 			copy(bufs[b].Ptr.Bytes(n), packed[off:off+n])
-			evs[b] = n1.Ctx.MemcpyAsync(p, tbuf.Add(off), bufs[b].Ptr, n, n1.h2dStreams[0])
+			evs[b] = n1.Ctx.MemcpyAsyncTask(p, tbuf.Add(off), bufs[b].Ptr, n, n1.h2dStreams[0], req.ObsSpan(), -1)
 			if nbuf == 2 {
 				b = 1 - b
 			}
@@ -451,6 +451,7 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 		var tbuf mem.Ptr
 		var packDone []*sim.Event // packDone[i] covers packed bytes up to packCut[i]
 		var packCut []int
+		var packSpans []obs.Span // packSpans[i] is packDone[i]'s stage task, for dep edges
 		if pl.contig {
 			tbuf = req.Buf().Add(pl.shape.Off) // stage straight out of the user buffer
 		} else {
@@ -469,21 +470,24 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 				ev := t.packChunk(p, n1, pl, req, sp, idx, tbuf.Add(off), off, n)
 				packDone = append(packDone, ev)
 				packCut = append(packCut, off+n)
+				packSpans = append(packSpans, sp)
 				if sp.Active() {
 					ev.OnTrigger(sp.End)
 				}
 			}
 		}
-		packReady := func(throughByte int) *sim.Event {
+		// packIdx returns the index of the pack whose completion covers all
+		// packed bytes below throughByte, or -1 when there is no pack stage.
+		packIdx := func(throughByte int) int {
 			if pl.contig {
-				return nil
+				return -1
 			}
 			for i, cut := range packCut {
 				if cut >= throughByte {
-					return packDone[i]
+					return i
 				}
 			}
-			return packDone[len(packDone)-1]
+			return len(packDone) - 1
 		}
 
 		// Rendezvous handshake: by now the RTS is long gone; wait for the
@@ -509,18 +513,23 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 			off := c * chunkBytes
 			n := min(chunkBytes, size-off)
 			slot := req.AwaitSlot(p, c)
-			if ev := packReady(off + n); ev != nil {
-				p.Wait(ev)
+			pi := packIdx(off + n)
+			if pi >= 0 {
+				p.Wait(packDone[pi])
 			}
 			vbuf := n1.Pool.GetRail(p, rail)
 			sent := e.NewEvent(fmt.Sprintf("rank%d.chunk%d.sent", r.Rank(), c))
 			chunkSent[c] = sent
 			d2hSp := h.StartChild(parent, obs.KindD2H, n1.tracks.d2h[rail], c, n)
-			d2h := n1.Ctx.MemcpyAsync(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStreams[rail])
+			if pi >= 0 {
+				d2hSp.DependsOn(packSpans[pi], obs.DepPack)
+			}
+			d2h := n1.Ctx.MemcpyAsyncTask(p, vbuf.Ptr, tbuf.Add(off), n, n1.d2hStreams[rail], d2hSp, c)
 			d2h.OnTrigger(func() {
 				d2hSp.End()
 				rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
-				rdma := r.RDMAChunkRail(req, slot, vbuf.Ptr, n, rail)
+				rdmaSp.DependsOn(d2hSp, obs.DepStage)
+				rdma := r.RDMAChunkRailSpan(req, slot, vbuf.Ptr, n, rail, rdmaSp)
 				rdma.OnTrigger(func() {
 					rdmaSp.End()
 					n1.Pool.Put(vbuf)
@@ -578,7 +587,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 		arrived := 0
 		unpackedThrough := 0
 		var unpackEvs []*sim.Event
-		advanceUnpack := func() {
+		advanceUnpack := func(trigger obs.Span) {
 			if pl.contig {
 				return
 			}
@@ -594,6 +603,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			if cut > unpackedThrough {
 				idx := len(unpackEvs)
 				sp := h.StartChild(parent, obs.KindUnpack, n1.tracks.unpack, idx, cut-unpackedThrough)
+				sp.DependsOn(trigger, obs.DepStage)
 				ev := t.unpackChunk(nil, n1, pl, req, sp, idx, tbuf.Add(unpackedThrough), unpackedThrough, cut-unpackedThrough)
 				unpackEvs = append(unpackEvs, ev)
 				if sp.Active() {
@@ -649,7 +659,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			off := c * chunkBytes
 			rail := c % n1.rails
 			h2dSp := h.StartChild(parent, obs.KindH2D, n1.tracks.h2d[rail], c, n)
-			ev := n1.Ctx.MemcpyAsync(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStreams[rail])
+			ev := n1.Ctx.MemcpyAsyncTask(p, tbuf.Add(off), vbuf.Ptr, n, n1.h2dStreams[rail], h2dSp, c)
 			h2dDone[c] = ev
 			ev.OnTrigger(func() {
 				h2dSp.End()
@@ -659,7 +669,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 					prefixChunks++
 				}
 				arrived = min(prefixChunks*chunkBytes, size)
-				advanceUnpack()
+				advanceUnpack(h2dSp)
 			})
 		}
 		p.WaitAll(h2dDone...)

@@ -33,6 +33,7 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 	tbuf := req.Buf()
 	var packDone []*sim.Event
 	var packCut []int
+	var packSpans []obs.Span
 	if pl.contig {
 		tbuf = req.Buf().Add(pl.shape.Off)
 	} else {
@@ -51,21 +52,22 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 			ev := t.packChunk(p, n1, pl, req, sp, idx, tbuf.Add(off), off, n)
 			packDone = append(packDone, ev)
 			packCut = append(packCut, off+n)
+			packSpans = append(packSpans, sp)
 			if sp.Active() {
 				ev.OnTrigger(sp.End)
 			}
 		}
 	}
-	packReady := func(throughByte int) *sim.Event {
+	packIdx := func(throughByte int) int {
 		if pl.contig {
-			return nil
+			return -1
 		}
 		for i, cut := range packCut {
 			if cut >= throughByte {
-				return packDone[i]
+				return i
 			}
 		}
-		return packDone[len(packDone)-1]
+		return len(packDone) - 1
 	}
 
 	total, chunkBytes := req.AwaitCTS(p)
@@ -78,13 +80,17 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		off := c * chunkBytes
 		n := min(chunkBytes, size-off)
 		slot := req.AwaitSlot(p, c)
-		if ev := packReady(off + n); ev != nil {
-			p.Wait(ev)
+		pi := packIdx(off + n)
+		if pi >= 0 {
+			p.Wait(packDone[pi])
 		}
 		sent := e.NewEvent(fmt.Sprintf("rank%d.gdrchunk%d", r.Rank(), c))
 		chunkSent[c] = sent
 		sp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
-		rdma := r.RDMAChunkRail(req, slot, tbuf.Add(off), n, rail)
+		if pi >= 0 {
+			sp.DependsOn(packSpans[pi], obs.DepPack)
+		}
+		rdma := r.RDMAChunkRailSpan(req, slot, tbuf.Add(off), n, rail, sp)
 		if sp.Active() {
 			rdma.OnTrigger(sp.End)
 		}

@@ -52,14 +52,15 @@ func (t *PipelineTrace) TaskStart(obs.Task) {}
 func (t *PipelineTrace) TaskStep(obs.Task, string) {}
 
 // TaskEnd records the completion of a pipeline-stage task. Only the five
-// chunked stage kinds are kept: the ib layer reuses the rdma_write kind
-// for its own (chunk-less) link tasks, so the chunk index doubles as the
+// chunked stage kinds on rank-owned tracks are kept: the ib layer reuses
+// the rdma_write kind for its own link tasks (on "hcaN.*" tracks, now
+// chunk-tagged for the critical-path analyzer), so the track prefix is the
 // transport-task discriminator.
 func (t *PipelineTrace) TaskEnd(task obs.Task) {
 	if t == nil {
 		return
 	}
-	if stage, ok := stageOfKind[task.Kind]; ok && task.Chunk >= 0 {
+	if stage, ok := stageOfKind[task.Kind]; ok && task.Chunk >= 0 && strings.HasPrefix(task.Where, "rank") {
 		t.Events = append(t.Events, StageEvent{stage, task.Chunk, task.End})
 	}
 }

@@ -75,8 +75,8 @@ type op struct {
 	kernNsCell  float64
 	kernBody    func()
 	isKernel    bool
-	parent      obs.Span   // kernel tasks only: pipeline span to parent under
-	chunk       int        // kernel tasks only: pipeline chunk index, or -1
+	parent      obs.Span   // pipeline span to parent the op task under (may be inert)
+	chunk       int        // pipeline chunk index, or -1
 	isMarker    bool       // event record: completes instantly in stream order
 	waitOn      *sim.Event // stream barrier: stall the stream until this fires
 	memsetBytes int        // >0: a fill; costed as a device-bandwidth write
@@ -92,6 +92,7 @@ type Stream struct {
 	q       *sim.Queue[*op]
 	pending int
 	drained *sim.Event // recreated whenever pending drops to 0 with waiters
+	lastOp  obs.Task   // previous traced op, for FIFO-serialization edges
 }
 
 // NewStream creates a stream with its own worker (cudaStreamCreate).
@@ -116,7 +117,7 @@ func (s *Stream) opSpan(o *op) obs.Span {
 	case o.isKernel:
 		return h.StartChild(o.parent, obs.KindKernel, s.name, o.chunk, o.kernCells)
 	default:
-		return h.Start(gpu.CopyKind(gpu.DirOf(o.dst, o.src)), s.name, -1, o.shape.Bytes())
+		return h.StartChild(o.parent, gpu.CopyKind(gpu.DirOf(o.dst, o.src)), s.name, o.chunk, o.shape.Bytes())
 	}
 }
 
@@ -124,6 +125,12 @@ func (s *Stream) run(p *sim.Proc) {
 	for {
 		o := s.q.Get(p)
 		sp := s.opSpan(o)
+		if sp.Active() {
+			// FIFO order: this op could not dequeue before the previous
+			// traced op on the stream completed.
+			sp.DependsOnTask(s.lastOp, obs.DepSerial)
+			s.lastOp = sp.Task()
+		}
 		switch {
 		case o.waitOn != nil:
 			// cudaStreamWaitEvent: the stream stalls here until the event
@@ -139,11 +146,11 @@ func (s *Stream) run(p *sim.Proc) {
 			if !o.memsetDst.IsDevice() {
 				ns = 1e9 / s.ctx.Model().HostBandwidth
 			}
-			s.ctx.dev.ExecKernel(p, o.memsetBytes, ns, o.kernBody)
+			s.ctx.dev.ExecKernelTask(p, sp, -1, o.memsetBytes, ns, o.kernBody)
 		case o.isKernel:
-			s.ctx.dev.ExecKernel(p, o.kernCells, o.kernNsCell, o.kernBody)
+			s.ctx.dev.ExecKernelTask(p, sp, o.chunk, o.kernCells, o.kernNsCell, o.kernBody)
 		default:
-			s.ctx.dev.ExecCopy(p, o.dst, o.shape.DPitch, o.src, o.shape.SPitch, o.shape.Width, o.shape.Height)
+			s.ctx.dev.ExecCopyTask(p, sp, o.chunk, o.dst, o.shape.DPitch, o.src, o.shape.SPitch, o.shape.Width, o.shape.Height)
 		}
 		sp.End()
 		o.done.Trigger()
@@ -193,15 +200,29 @@ func (c *Ctx) issue(p *sim.Proc) {
 // MemcpyAsync enqueues a contiguous n-byte copy on the stream and returns
 // its completion event (cudaMemcpyAsync).
 func (c *Ctx) MemcpyAsync(p *sim.Proc, dst, src mem.Ptr, n int, s *Stream) *sim.Event {
+	return c.MemcpyAsyncTask(p, dst, src, n, s, obs.Span{}, -1)
+}
+
+// MemcpyAsyncTask is MemcpyAsync with the stream-op task parented to an
+// enclosing pipeline-stage span and tagged with its chunk index, so stage
+// tasks decompose into stream-queue wait, engine wait and pure copy time
+// in the trace. An inert parent and chunk -1 degrade to plain tracing.
+func (c *Ctx) MemcpyAsyncTask(p *sim.Proc, dst, src mem.Ptr, n int, s *Stream, parent obs.Span, chunk int) *sim.Event {
 	c.issue(p)
-	return s.enqueue(&op{dst: dst, src: src, shape: gpu.Shape1D(n)})
+	return s.enqueue(&op{dst: dst, src: src, shape: gpu.Shape1D(n), parent: parent, chunk: chunk})
 }
 
 // Memcpy2DAsync enqueues a 2D strided copy: height rows of width bytes,
 // with destination/source pitches (cudaMemcpy2DAsync).
 func (c *Ctx) Memcpy2DAsync(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spitch, width, height int, s *Stream) *sim.Event {
+	return c.Memcpy2DAsyncTask(p, dst, dpitch, src, spitch, width, height, s, obs.Span{}, -1)
+}
+
+// Memcpy2DAsyncTask is Memcpy2DAsync with stage-span parenting and a chunk
+// tag, like MemcpyAsyncTask.
+func (c *Ctx) Memcpy2DAsyncTask(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spitch, width, height int, s *Stream, parent obs.Span, chunk int) *sim.Event {
 	c.issue(p)
-	return s.enqueue(&op{dst: dst, src: src, shape: gpu.CopyShape{Width: width, Height: height, DPitch: dpitch, SPitch: spitch}})
+	return s.enqueue(&op{dst: dst, src: src, shape: gpu.CopyShape{Width: width, Height: height, DPitch: dpitch, SPitch: spitch}, parent: parent, chunk: chunk})
 }
 
 // Memcpy performs a blocking contiguous copy (cudaMemcpy): issue on the
@@ -249,7 +270,7 @@ func (c *Ctx) NewEvent() *Event { return &Event{c: c} }
 // Re-recording resets the event to the new position.
 func (ev *Event) Record(p *sim.Proc, s *Stream) {
 	ev.c.issue(p)
-	ev.ev = s.enqueue(&op{isMarker: true})
+	ev.ev = s.enqueue(&op{isMarker: true, chunk: -1})
 }
 
 // Query reports whether the recorded marker has completed
@@ -286,7 +307,7 @@ func (c *Ctx) MemsetAsync(p *sim.Proc, dst mem.Ptr, b byte, n int, s *Stream) *s
 		for i := range buf {
 			buf[i] = b
 		}
-	}, memsetBytes: n, memsetDst: dst})
+	}, memsetBytes: n, memsetDst: dst, chunk: -1})
 }
 
 // Memset performs a blocking fill (cudaMemset).
@@ -305,5 +326,5 @@ func (c *Ctx) StreamWaitEvent(p *sim.Proc, s *Stream, ev *Event) {
 		panic("cuda: StreamWaitEvent on unrecorded event")
 	}
 	c.issue(p)
-	s.enqueue(&op{waitOn: ev.ev})
+	s.enqueue(&op{waitOn: ev.ev, chunk: -1})
 }

@@ -193,6 +193,15 @@ func (d *Device) CheckAllocator() error { return d.alloc.CheckInvariants() }
 // cross-device copy (GPU peer-to-peer) is not part of the simulated
 // cluster, matching the paper's one-GPU-per-node setup.
 func (d *Device) ExecCopy(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spitch, width, height int) {
+	d.ExecCopyTask(p, obs.Span{}, -1, dst, dpitch, src, spitch, width, height)
+}
+
+// ExecCopyTask is ExecCopy with the engine-occupancy task parented to an
+// enclosing span (typically the cuda stream op) and tagged with a pipeline
+// chunk index, so the critical-path analyzer can split a stage's elapsed
+// time into engine-queueing (before the engine task starts) and pure
+// transfer work (the engine task itself).
+func (d *Device) ExecCopyTask(p *sim.Proc, parent obs.Span, chunk int, dst mem.Ptr, dpitch int, src mem.Ptr, spitch, width, height int) {
 	d.checkOwned(dst)
 	d.checkOwned(src)
 	dir := DirOf(dst, src)
@@ -205,7 +214,7 @@ func (d *Device) ExecCopy(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spi
 		k := EngineFor(dir)
 		eng := d.engines[k]
 		eng.Acquire(p)
-		sp := d.hub.Start(CopyKind(dir), d.engineTrack[k], -1, shape.Bytes())
+		sp := d.hub.StartChild(parent, CopyKind(dir), d.engineTrack[k], chunk, shape.Bytes())
 		p.Sleep(cost)
 		sp.End()
 		eng.Release()
@@ -218,10 +227,16 @@ func (d *Device) ExecCopy(p *sim.Proc, dst mem.Ptr, dpitch int, src mem.Ptr, spi
 // ExecKernel occupies the compute engine for the kernel's modeled duration
 // and then runs body, which performs the kernel's real effect on memory.
 func (d *Device) ExecKernel(p *sim.Proc, cells int, nsPerCell float64, body func()) {
+	d.ExecKernelTask(p, obs.Span{}, -1, cells, nsPerCell, body)
+}
+
+// ExecKernelTask is ExecKernel with the engine-occupancy task parented and
+// chunk-tagged like ExecCopyTask.
+func (d *Device) ExecKernelTask(p *sim.Proc, parent obs.Span, chunk, cells int, nsPerCell float64, body func()) {
 	cost := d.model.KernelCost(cells, nsPerCell)
 	eng := d.engines[EngineKernel]
 	eng.Acquire(p)
-	sp := d.hub.Start(obs.KindKernel, d.engineTrack[EngineKernel], -1, cells)
+	sp := d.hub.StartChild(parent, obs.KindKernel, d.engineTrack[EngineKernel], chunk, cells)
 	p.Sleep(cost)
 	sp.End()
 	eng.Release()

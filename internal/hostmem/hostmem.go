@@ -55,8 +55,9 @@ type Pool struct {
 	railHeld    []int
 	railMaxHeld []int
 
-	hub     *obs.Hub
-	freeCtr string // occupancy gauge name
+	hub       *obs.Hub
+	freeCtr   string // occupancy gauge name
+	waitTrack string // track for pool-exhaustion wait tasks
 }
 
 // NewPool carves count chunks of chunkSize bytes out of host space at base
@@ -69,7 +70,7 @@ func NewPool(e *sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, c
 	if base.IsDevice() {
 		panic("hostmem: vbuf pool must live in host memory")
 	}
-	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count, freeCtr: name + ".free"}
+	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count, freeCtr: name + ".free", waitTrack: name + ".wait"}
 	for i := 0; i < count; i++ {
 		ptr := base.Add(i * chunkSize)
 		v := &Vbuf{Ptr: ptr, Region: hca.Register(ptr, chunkSize), Index: i, pool: p, free: true}
@@ -104,14 +105,27 @@ func (p *Pool) Get(proc *sim.Proc) *Vbuf {
 	return p.GetRail(proc, 0)
 }
 
-// GetRail is Get with the hold accounted to the given pipeline rail.
+// GetRail is Get with the hold accounted to the given pipeline rail. When
+// the pool is exhausted, the blocked interval is traced as a vbuf_wait
+// task on "<pool>.wait", and the eventual hold records an explicit
+// dependency edge on it — the signal the critical-path analyzer uses to
+// attribute pipeline stall to pool back-pressure rather than handshaking.
 func (p *Pool) GetRail(proc *sim.Proc, rail int) *Vbuf {
+	var waitSp obs.Span
 	for len(p.freeList) == 0 {
+		if !waitSp.Active() {
+			waitSp = p.hub.Start(obs.KindVbufWait, p.waitTrack, -1, p.chunkSize)
+		}
 		ev := p.e.NewEvent(p.name + ".vbuf")
 		p.waiters = append(p.waiters, ev)
 		proc.Wait(ev)
 	}
-	return p.take(rail)
+	v := p.take(rail)
+	if waitSp.Active() {
+		waitSp.End()
+		v.span.DependsOn(waitSp, obs.DepVbufWait)
+	}
+	return v
 }
 
 // TryGet returns a vbuf if one is immediately available, accounted to

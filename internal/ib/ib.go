@@ -244,7 +244,14 @@ func (h *HCA) wireTime(n int) sim.Time {
 // the remote side once the bytes have fully arrived. kind classifies the
 // operation for tracing. railIdx selects which of the sender's (and,
 // symmetrically, the receiver's) rails the transfer serializes on.
-func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, deliver func(rx *HCA)) *sim.Event {
+//
+// parent/chunk thread pipeline identity into the trace: the tx task is a
+// child of parent (typically the sender's rdma stage span) tagged with the
+// chunk index, and the rx task — which cannot be contained in the sender's
+// span because it outlives local completion — carries the same chunk tag
+// plus an explicit wire dependency edge back to the tx task, which is how
+// the critical-path analyzer crosses ranks.
+func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, parent obs.Span, chunk int, deliver func(rx *HCA)) *sim.Event {
 	rx := h.f.hcas[dst]
 	if rx == nil {
 		panic(fmt.Sprintf("ib: no HCA for destination node %d", dst))
@@ -257,7 +264,7 @@ func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, deliver fu
 	h.seq++
 	h.f.e.Spawn(fmt.Sprintf("hca%d->%d.%d", h.node, dst, h.seq), func(p *sim.Proc) {
 		txRail.sendLink.Acquire(p)
-		tx := h.f.hub.Start(kind, txRail.txTrack, -1, nbytes)
+		tx := h.f.hub.StartChild(parent, kind, txRail.txTrack, chunk, nbytes)
 		p.Sleep(h.wireTime(nbytes))
 		tx.End()
 		txRail.sendLink.Release()
@@ -269,7 +276,8 @@ func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, deliver fu
 		// Ingress serialization: the receive link is occupied while the
 		// payload streams in. Short control messages cost only their
 		// header-size time.
-		in := h.f.hub.Start(kind, rxRail.rxTrack, -1, nbytes)
+		in := h.f.hub.Start(kind, rxRail.rxTrack, chunk, nbytes)
+		in.DependsOnTask(tx.Task(), obs.DepWire)
 		p.Sleep(sim.DurationOf(nbytes, h.f.model.Bandwidth) / 8)
 		in.End()
 		rxRail.recvLink.Release()
@@ -299,7 +307,7 @@ func (h *HCA) PostSendRail(dst int, msg Message, payload []byte, railIdx int) *s
 		snap = append([]byte(nil), payload...)
 	}
 	h.stats.SendsPosted++
-	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, railIdx, func(rx *HCA) {
+	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, railIdx, obs.Span{}, -1, func(rx *HCA) {
 		if rx.handler == nil {
 			panic(fmt.Sprintf("ib: message for node %d dropped: no handler", rx.node))
 		}
@@ -321,9 +329,16 @@ func (h *HCA) RDMAWrite(dst int, src mem.Ptr, n int, rkey uint32, roff int) *sim
 // RDMAWriteRail is RDMAWrite on an explicit rail. The FIN-after-data
 // invariant holds only against sends posted on the same rail.
 func (h *HCA) RDMAWriteRail(dst int, src mem.Ptr, n int, rkey uint32, roff, railIdx int) *sim.Event {
+	return h.RDMAWriteRailTask(dst, src, n, rkey, roff, railIdx, obs.Span{}, -1)
+}
+
+// RDMAWriteRailTask is RDMAWriteRail with the wire tasks parented to an
+// enclosing pipeline-stage span and tagged with a chunk index (see
+// transmit). An inert parent and chunk -1 degrade to plain tracing.
+func (h *HCA) RDMAWriteRailTask(dst int, src mem.Ptr, n int, rkey uint32, roff, railIdx int, parent obs.Span, chunk int) *sim.Event {
 	snap := append([]byte(nil), src.Bytes(n)...)
 	h.stats.RDMAWrites++
-	return h.transmit(dst, n, obs.KindRDMA, railIdx, func(rx *HCA) {
+	return h.transmit(dst, n, obs.KindRDMA, railIdx, parent, chunk, func(rx *HCA) {
 		reg, ok := rx.regions[rkey]
 		if !ok {
 			panic(fmt.Sprintf("ib: RDMA write to unknown rkey %d on node %d", rkey, rx.node))

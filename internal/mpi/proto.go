@@ -258,11 +258,19 @@ func (r *Rank) RDMAChunk(q *Request, s Slot, src mem.Ptr, n int) *sim.Event {
 // data. FINs from different rails may arrive in any interleaving; the
 // receiver must not assume chunk order.
 func (r *Rank) RDMAChunkRail(q *Request, s Slot, src mem.Ptr, n, rail int) *sim.Event {
+	return r.RDMAChunkRailSpan(q, s, src, n, rail, obs.Span{})
+}
+
+// RDMAChunkRailSpan is RDMAChunkRail with the chunk's wire tasks and FIN
+// marker parented under the sender's rdma stage span, so the critical-path
+// analyzer can follow chunk identity across the fabric. An inert span
+// degrades to plain tracing.
+func (r *Rank) RDMAChunkRailSpan(q *Request, s Slot, src mem.Ptr, n, rail int, sp obs.Span) *sim.Event {
 	if n != s.Len {
 		panic(fmt.Sprintf("mpi: chunk %d length %d does not match slot length %d", s.Chunk, n, s.Len))
 	}
-	ev := r.hca.RDMAWriteRail(q.peer, src, n, s.Rkey, s.Off, rail)
-	r.w.hub.Instant(obs.KindFIN, r.obsTrack, s.Chunk, n)
+	ev := r.hca.RDMAWriteRailTask(q.peer, src, n, s.Rkey, s.Off, rail, sp, s.Chunk)
+	r.w.hub.InstantChild(sp, obs.KindFIN, r.obsTrack, s.Chunk, n)
 	r.hca.PostSendRail(q.peer, finMsg{q.peerID, s.Chunk}, nil, rail)
 	return ev
 }

@@ -91,6 +91,17 @@ func (c *ChromeTracer) TaskEnd(t Task) {
 		chromePid, tid, quote(t.What), quote(t.Kind), tsMicros(t.Start), dur, args.String()))
 }
 
+// TaskDepends serializes a dependency edge as a thread-scoped instant in
+// category "dep" with args {task, on}: task t could not proceed before
+// task `on` completed. Perfetto shows them as markers on the dependent
+// task's track; cmd/pipedoctor re-ingests them to rebuild the transfer
+// DAG from a trace file.
+func (c *ChromeTracer) TaskDepends(t Task, onID uint64, label string) {
+	c.lines = append(c.lines, fmt.Sprintf(
+		`{"ph":"i","pid":%d,"tid":%d,"name":%s,"cat":"dep","ts":%s,"s":"t","args":{"task":%d,"on":%d}}`,
+		chromePid, c.tid(t.Where), quote(label), tsMicros(t.Start), t.ID, onID))
+}
+
 // CounterSample emits a "C" counter event; Perfetto plots each counter
 // name as a graph track.
 func (c *ChromeTracer) CounterSample(name string, at sim.Time, value float64) {

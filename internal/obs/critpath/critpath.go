@@ -1,0 +1,180 @@
+// Package critpath is the critical-path and stall-attribution engine over
+// the obs task stream: it rebuilds each transfer's dependency DAG from the
+// tasks and explicit dependency edges the instrumented stack emits,
+// extracts the binding chain of stage tasks (the critical path), and
+// attributes every nanosecond of the transfer's wall clock to exactly one
+// bucket — stage work (pack/D2H/wire/H2D/unpack), resource queueing
+// (copy engine, kernel engine, rail, vbuf pool) or protocol control
+// (handshake, FIN). The attribution telescopes over the walk, so the
+// bucket sum equals the wall clock exactly, by construction.
+//
+// The DAG edges come from three sources:
+//
+//   - explicit obs.DepTracer edges (pack→D2H, D2H→RDMA, tx→rx wire,
+//     H2D→unpack, vbuf-wait→hold, stream FIFO order);
+//   - parent containment (a stage span's stream op and its engine task);
+//   - chunk identity across ranks (the receiver's H2D of chunk c follows
+//     the rx wire task of chunk c).
+//
+// cmd/pipedoctor drives it live or from a ChromeTracer JSON file.
+package critpath
+
+import (
+	"sort"
+	"strings"
+
+	"mv2sim/internal/obs"
+	"mv2sim/internal/sim"
+)
+
+// Edge is one recorded dependency: the owning task could not proceed
+// before task On completed. Label is one of the obs.Dep* constants.
+type Edge struct {
+	On    uint64
+	Label string
+}
+
+// Collector gathers the task stream for offline analysis. It implements
+// obs.Tracer and obs.DepTracer, so it plugs straight into a cluster's
+// Tracers list; Ingest builds one from a ChromeTracer JSON file instead.
+type Collector struct {
+	tasks    []obs.Task
+	byID     map[uint64]obs.Task
+	children map[uint64][]uint64
+	deps     map[uint64][]Edge
+	rdeps    map[uint64][]uint64 // reverse: task IDs depending on key
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		byID:     map[uint64]obs.Task{},
+		children: map[uint64][]uint64{},
+		deps:     map[uint64][]Edge{},
+		rdeps:    map[uint64][]uint64{},
+	}
+}
+
+// TaskStart is a no-op; tasks are recorded complete at TaskEnd.
+func (c *Collector) TaskStart(obs.Task) {}
+
+// TaskStep is a no-op.
+func (c *Collector) TaskStep(obs.Task, string) {}
+
+// TaskEnd records a completed task.
+func (c *Collector) TaskEnd(t obs.Task) { c.AddTask(t) }
+
+// CounterSample is a no-op; gauges carry no dependency structure.
+func (c *Collector) CounterSample(string, sim.Time, float64) {}
+
+// TaskDepends records an explicit dependency edge.
+func (c *Collector) TaskDepends(t obs.Task, onID uint64, label string) {
+	c.AddDep(t.ID, onID, label)
+}
+
+// AddTask records a completed task (ingestion entry point).
+func (c *Collector) AddTask(t obs.Task) {
+	c.tasks = append(c.tasks, t)
+	c.byID[t.ID] = t
+	if t.ParentID != 0 {
+		c.children[t.ParentID] = append(c.children[t.ParentID], t.ID)
+	}
+}
+
+// AddDep records a dependency edge by task IDs (ingestion entry point).
+func (c *Collector) AddDep(taskID, onID uint64, label string) {
+	c.deps[taskID] = append(c.deps[taskID], Edge{On: onID, Label: label})
+	c.rdeps[onID] = append(c.rdeps[onID], taskID)
+}
+
+// Tasks returns the recorded tasks in completion order.
+func (c *Collector) Tasks() []obs.Task { return c.tasks }
+
+// Task resolves a task by ID.
+func (c *Collector) Task(id uint64) (obs.Task, bool) {
+	t, ok := c.byID[id]
+	return t, ok
+}
+
+// Deps returns the explicit dependency edges recorded for a task.
+func (c *Collector) Deps(id uint64) []Edge { return c.deps[id] }
+
+// childTasks returns a task's children sorted by start time then ID, a
+// deterministic order independent of completion interleaving.
+func (c *Collector) childTasks(id uint64) []obs.Task {
+	ids := c.children[id]
+	out := make([]obs.Task, 0, len(ids))
+	for _, cid := range ids {
+		out = append(out, c.byID[cid])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Transfer is one paired point-to-point transfer: the sender's request
+// task and the matching receiver's.
+type Transfer struct {
+	Send obs.Task
+	Recv obs.Task
+}
+
+// Transfers pairs send request tasks with receive request tasks: requests
+// are matched in start order by byte count, the way a deterministic
+// simulation run lays them out. Unmatched requests (e.g. a traced
+// half-run) are dropped.
+func (c *Collector) Transfers() []Transfer {
+	var sends, recvs []obs.Task
+	for _, t := range c.tasks {
+		switch t.Kind {
+		case obs.KindSendRndv, obs.KindSendEager, obs.KindSendSelf:
+			sends = append(sends, t)
+		case obs.KindRecv:
+			recvs = append(recvs, t)
+		}
+	}
+	byStart := func(ts []obs.Task) {
+		sort.Slice(ts, func(i, j int) bool {
+			if ts[i].Start != ts[j].Start {
+				return ts[i].Start < ts[j].Start
+			}
+			return ts[i].ID < ts[j].ID
+		})
+	}
+	byStart(sends)
+	byStart(recvs)
+	used := make([]bool, len(recvs))
+	var out []Transfer
+	for _, s := range sends {
+		for i, r := range recvs {
+			if used[i] || r.Bytes != s.Bytes {
+				continue
+			}
+			used[i] = true
+			out = append(out, Transfer{Send: s, Recv: r})
+			break
+		}
+	}
+	return out
+}
+
+// rxWireTask reports whether the task is a receive-side wire task (data
+// streaming in on an HCA rx link).
+func rxWireTask(t obs.Task) bool {
+	base, _, _ := obs.SplitRail(t.Where)
+	return t.Kind == obs.KindRDMA && strings.HasSuffix(base, ".rx")
+}
+
+// senderStage reports whether a stage kind runs before the wire crossing
+// (used to pick the control bucket for unexplained gaps).
+func senderStage(kind string) bool {
+	switch kind {
+	case obs.KindPack, obs.KindD2H, obs.KindRDMA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package critpath
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"mv2sim/internal/obs"
+	"mv2sim/internal/sim"
+)
+
+// chromeEvent mirrors the subset of Chrome's trace_event schema that
+// obs.ChromeTracer emits. Chunk is a pointer so an absent field (contig
+// task) is distinguishable from chunk 0.
+type chromeEvent struct {
+	Ph   string  `json:"ph"`
+	Tid  int     `json:"tid"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Args struct {
+		ID     uint64 `json:"id"`
+		Parent uint64 `json:"parent"`
+		Chunk  *int   `json:"chunk"`
+		Bytes  int    `json:"bytes"`
+		Task   uint64 `json:"task"`
+		On     uint64 `json:"on"`
+		Name   string `json:"name"` // thread_name metadata payload
+	} `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// nanos converts a trace_event microsecond timestamp back to the virtual
+// nanosecond it was rendered from. The emitter prints three decimals, so
+// the round-trip is exact.
+func nanos(us float64) sim.Time {
+	return sim.Time(math.Round(us * 1e3))
+}
+
+// Ingest rebuilds a Collector from a ChromeTracer JSON document, so
+// pipedoctor can analyze a trace file captured by any traced command
+// instead of re-running the simulation.
+//
+// The mapping undoes ChromeTracer's encoding: "M" thread_name events
+// recover the tid→track map, "X" events become span tasks, "i" events in
+// category "dep" become dependency edges, and remaining "i" events become
+// instant tasks — except those whose args.id names an "X" task, which are
+// TaskStep milestones, not tasks, and are dropped.
+func Ingest(r io.Reader) (*Collector, error) {
+	var doc chromeDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("critpath: parse trace: %w", err)
+	}
+	tracks := map[int]string{}
+	spanIDs := map[uint64]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "thread_name":
+			tracks[ev.Tid] = ev.Args.Name
+		case ev.Ph == "X":
+			spanIDs[ev.Args.ID] = true
+		}
+	}
+	c := NewCollector()
+	task := func(ev chromeEvent) obs.Task {
+		chunk := -1
+		if ev.Args.Chunk != nil {
+			chunk = *ev.Args.Chunk
+		}
+		return obs.Task{
+			ID:       ev.Args.ID,
+			ParentID: ev.Args.Parent,
+			Kind:     ev.Cat,
+			What:     ev.Name,
+			Where:    tracks[ev.Tid],
+			Chunk:    chunk,
+			Bytes:    ev.Args.Bytes,
+			Start:    nanos(ev.Ts),
+			End:      nanos(ev.Ts) + nanos(ev.Dur),
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			c.AddTask(task(ev))
+		case "i":
+			if ev.Cat == "dep" {
+				c.AddDep(ev.Args.Task, ev.Args.On, ev.Name)
+				continue
+			}
+			if ev.Args.ID == 0 || spanIDs[ev.Args.ID] {
+				continue // TaskStep milestone of a span task, not a task
+			}
+			c.AddTask(task(ev))
+		}
+	}
+	return c, nil
+}

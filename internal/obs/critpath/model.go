@@ -1,0 +1,147 @@
+package critpath
+
+import (
+	"fmt"
+
+	"mv2sim/internal/sim"
+)
+
+// DivergenceThreshold is the fraction beyond which the measured critical
+// path is flagged as diverging from the analytic pipeline model — the 10%
+// band the acceptance experiments allow before declaring the pipeline is
+// not behaving like the paper's Figure 3.
+const DivergenceThreshold = 0.10
+
+// shallowPipelineChunks is the depth below which chunking, not any single
+// stage, limits the transfer: with so few chunks the fill/drain phases
+// dominate and the right knob is the block size.
+const shallowPipelineChunks = 2
+
+// ModelCheck compares a transfer's measured wall clock against the
+// paper's pipeline model: a transfer of N bytes in n chunks through a
+// pipeline whose slowest stage takes T(N/n) per chunk needs
+// (n+2)*T(N/n) — fill, n-1 bottleneck slots, drain (section V-B).
+type ModelCheck struct {
+	Chunks int
+	Rails  int
+	// PerChunk is the measured mean per-chunk time of each stage, with
+	// wire time divided by the rail count (rails drain chunks in
+	// parallel; the GPU engines do not).
+	PerChunk map[string]sim.Time
+	// Bottleneck names the slowest stage; BottleneckTime is its T(N/n).
+	Bottleneck     string
+	BottleneckTime sim.Time
+	// Predicted is (n+2)*T(N/n); Measured the transfer wall clock.
+	Predicted sim.Time
+	Measured  sim.Time
+	// Divergence is (Measured-Predicted)/Predicted; Flagged when its
+	// magnitude exceeds DivergenceThreshold, with Responsible naming the
+	// non-work bucket holding the most wall clock.
+	Divergence  float64
+	Flagged     bool
+	Responsible string
+	// Verdict is "<stage>-bound"; Recommend names the tunable most likely
+	// to move the bottleneck.
+	Verdict   string
+	Recommend string
+}
+
+// stageOrder is the pipeline order for deterministic bottleneck
+// tie-breaking and report layout.
+var stageOrder = []string{BucketPack, BucketD2H, BucketWire, BucketH2D, BucketUnpack}
+
+// Model evaluates the analytic pipeline model against the analysis. It
+// returns ok=false for transfers without a traced pipeline (eager path,
+// host rendezvous), which have no chunk structure to model.
+func (a *Analysis) Model() (*ModelCheck, bool) {
+	if a.Chunks == 0 {
+		return nil, false
+	}
+	m := &ModelCheck{
+		Chunks:   a.Chunks,
+		Rails:    a.Rails,
+		PerChunk: map[string]sim.Time{},
+		Measured: a.Wall(),
+	}
+	n := sim.Time(a.Chunks)
+	for _, st := range stageOrder {
+		tot, ok := a.StageTotals[st]
+		if !ok {
+			continue
+		}
+		per := tot / n
+		if st == BucketWire && a.Rails > 1 {
+			per /= sim.Time(a.Rails)
+		}
+		m.PerChunk[st] = per
+		if per > m.BottleneckTime {
+			m.BottleneckTime = per
+			m.Bottleneck = st
+		}
+	}
+	if m.BottleneckTime == 0 {
+		return nil, false
+	}
+	m.Predicted = sim.Time(a.Chunks+2) * m.BottleneckTime
+	m.Divergence = float64(m.Measured-m.Predicted) / float64(m.Predicted)
+	m.Flagged = m.Divergence > DivergenceThreshold || m.Divergence < -DivergenceThreshold
+	if m.Flagged {
+		m.Responsible = a.dominantStall()
+	}
+	m.Verdict = m.Bottleneck + "-bound"
+	m.Recommend = recommend(m)
+	return m, true
+}
+
+// dominantStall returns the non-work bucket holding the most wall clock —
+// where the time the model did not predict actually went.
+func (a *Analysis) dominantStall() string {
+	stalls := []string{
+		BucketCopyQueue, BucketKernelQueue, BucketRailQueue, BucketVbufWait,
+		BucketHandshake, BucketFIN,
+	}
+	best, bestV := "none", sim.Time(0)
+	for _, b := range stalls {
+		if v := a.Buckets[b]; v > bestV {
+			best, bestV = b, v
+		}
+	}
+	return best
+}
+
+// recommend maps the limiting stage to the tunable most likely to help.
+func recommend(m *ModelCheck) string {
+	if m.Chunks <= shallowPipelineChunks {
+		return "BlockSize (pipeline too shallow to overlap stages)"
+	}
+	switch m.Bottleneck {
+	case BucketPack, BucketUnpack:
+		return "PackMode (datatype processing limits the pipeline)"
+	case BucketWire:
+		return "Rails (wire bandwidth limits the pipeline)"
+	default:
+		return "BlockSize (PCIe staging limits the pipeline)"
+	}
+}
+
+// String renders a one-line summary.
+func (m *ModelCheck) String() string {
+	flag := ""
+	if m.Flagged {
+		flag = fmt.Sprintf(" FLAGGED (stall: %s)", m.Responsible)
+	}
+	return fmt.Sprintf("%s: n=%d T=%.1fus predicted=%.1fus measured=%.1fus divergence=%+.1f%%%s",
+		m.Verdict, m.Chunks, m.BottleneckTime.Micros(),
+		m.Predicted.Micros(), m.Measured.Micros(), 100*m.Divergence, flag)
+}
+
+// SortedPerChunk returns the per-chunk stage times in pipeline order.
+func (m *ModelCheck) SortedPerChunk() []string {
+	var keys []string
+	for _, st := range stageOrder {
+		if _, ok := m.PerChunk[st]; ok {
+			keys = append(keys, st)
+		}
+	}
+	return keys
+}

@@ -1,0 +1,148 @@
+package critpath
+
+import (
+	"fmt"
+	"io"
+
+	"mv2sim/internal/report"
+)
+
+// WriteReport renders the standard doctor report for one analysis —
+// header, stall attribution, and the pipeline-model check when the
+// transfer was chunked — so commands embedding the doctor (-doctor
+// flags) produce the same output as cmd/pipedoctor. extra, if non-nil,
+// is printed between the breakdown and the model check (the stage
+// latency percentile table slots in there).
+func WriteReport(w io.Writer, label string, a *Analysis, extra fmt.Stringer) {
+	fmt.Fprintf(w, "==== %s: wall %.3f us, %d chunks, %d rail(s) ====\n\n",
+		label, a.Wall().Micros(), a.Chunks, a.Rails)
+	fmt.Fprintln(w, a.BreakdownTable("Stall attribution (every ns in exactly one bucket)"))
+	if extra != nil {
+		fmt.Fprintln(w, extra.String())
+	}
+	if m, ok := a.Model(); ok {
+		fmt.Fprintln(w, m.ModelTable("Pipeline model check: (n+2)*T(N/n)"))
+		fmt.Fprintln(w, m)
+		fmt.Fprintln(w)
+	} else {
+		fmt.Fprintln(w, "No chunked pipeline in this transfer (eager path); model check skipped.")
+		fmt.Fprintln(w)
+	}
+}
+
+// BreakdownTable renders the stall attribution as bucket / µs / share of
+// wall clock, in canonical bucket order, ending with the exact sum.
+func (a *Analysis) BreakdownTable(title string) *report.Table {
+	t := report.NewTable(title, "bucket", "us", "share")
+	wall := a.Wall()
+	for _, b := range BucketOrder {
+		v, ok := a.Buckets[b]
+		if !ok {
+			continue
+		}
+		share := "-"
+		if wall > 0 {
+			share = fmt.Sprintf("%.1f%%", 100*float64(v)/float64(wall))
+		}
+		t.Add(b, fmt.Sprintf("%.3f", v.Micros()), share)
+	}
+	t.Add("total", fmt.Sprintf("%.3f", a.Sum().Micros()),
+		fmt.Sprintf("exact=%v", a.Exact()))
+	return t
+}
+
+// ModelTable renders the analytic model check: per-chunk stage times, the
+// bottleneck, and the (n+2)*T(N/n) prediction against the measurement.
+func (m *ModelCheck) ModelTable(title string) *report.Table {
+	t := report.NewTable(title, "quantity", "value")
+	t.Add("chunks (n)", fmt.Sprintf("%d", m.Chunks))
+	t.Add("rails", fmt.Sprintf("%d", m.Rails))
+	for _, st := range m.SortedPerChunk() {
+		t.Add("T_"+st+"(N/n)", fmt.Sprintf("%.3f us", m.PerChunk[st].Micros()))
+	}
+	t.Add("bottleneck", m.Bottleneck)
+	t.Add("predicted (n+2)*T", fmt.Sprintf("%.3f us", m.Predicted.Micros()))
+	t.Add("measured wall", fmt.Sprintf("%.3f us", m.Measured.Micros()))
+	t.Add("divergence", fmt.Sprintf("%+.1f%%", 100*m.Divergence))
+	if m.Flagged {
+		t.Add("FLAGGED", fmt.Sprintf("diverges >%.0f%%; largest stall: %s",
+			100*DivergenceThreshold, m.Responsible))
+	}
+	t.Add("verdict", m.Verdict)
+	t.Add("recommend", m.Recommend)
+	return t
+}
+
+// BenchResult is one machine-readable pipedoctor measurement, the record
+// written (one per configuration) into BENCH_critpath.json.
+type BenchResult struct {
+	Label    string `json:"label"`
+	Msg      int    `json:"msg_bytes"`
+	Block    int    `json:"block_bytes"`
+	Rails    int    `json:"rails"`
+	PackMode string `json:"packmode"`
+
+	WallUs    float64            `json:"wall_us"`
+	Chunks    int                `json:"chunks"`
+	BucketsUs map[string]float64 `json:"buckets_us"`
+	SumUs     float64            `json:"sum_us"`
+	SumsExact bool               `json:"sums_exact"`
+
+	Bottleneck  string  `json:"bottleneck,omitempty"`
+	PredictedUs float64 `json:"predicted_us,omitempty"`
+	Divergence  float64 `json:"divergence,omitempty"`
+	Flagged     bool    `json:"flagged"`
+	Responsible string  `json:"responsible,omitempty"`
+	Recommend   string  `json:"recommend,omitempty"`
+	Verdict     string  `json:"verdict,omitempty"`
+}
+
+// Bench converts an analysis (and its model check, if the transfer has a
+// chunked pipeline) into the JSON record.
+func Bench(label string, msg, block, rails int, packMode string, a *Analysis) BenchResult {
+	b := BenchResult{
+		Label:     label,
+		Msg:       msg,
+		Block:     block,
+		Rails:     rails,
+		PackMode:  packMode,
+		WallUs:    a.Wall().Micros(),
+		Chunks:    a.Chunks,
+		BucketsUs: map[string]float64{},
+		SumUs:     a.Sum().Micros(),
+		SumsExact: a.Exact(),
+	}
+	for k, v := range a.Buckets {
+		b.BucketsUs[k] = v.Micros()
+	}
+	if m, ok := a.Model(); ok {
+		b.Bottleneck = m.Bottleneck
+		b.PredictedUs = m.Predicted.Micros()
+		b.Divergence = m.Divergence
+		b.Flagged = m.Flagged
+		b.Responsible = m.Responsible
+		b.Recommend = m.Recommend
+		b.Verdict = m.Verdict
+	}
+	return b
+}
+
+// PathTable renders the critical path itself: each binding step with its
+// incoming gap attribution.
+func (a *Analysis) PathTable(title string) *report.Table {
+	t := report.NewTable(title, "task", "where", "chunk", "start (us)", "dur (us)", "gap-in", "via")
+	for _, s := range a.Path {
+		gap := "-"
+		if s.Gap > 0 {
+			gap = fmt.Sprintf("%.3f", s.Gap.Micros())
+		}
+		via := s.EdgeLabel
+		if via == "" {
+			via = "-"
+		}
+		t.Add(s.Task.Kind, s.Task.Where, fmt.Sprintf("%d", s.Task.Chunk),
+			fmt.Sprintf("%.3f", s.Task.Start.Micros()),
+			fmt.Sprintf("%.3f", (s.Task.End-s.Task.Start).Micros()), gap, via)
+	}
+	return t
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mv2sim/internal/report"
+	"mv2sim/internal/sim"
+)
+
+// histBuckets is the number of power-of-two duration buckets a Histogram
+// keeps: bucket i counts durations in [2^i, 2^(i+1)) ns, which spans
+// sub-nanosecond to ~292 years — every virtual duration the simulator can
+// produce.
+const histBuckets = 64
+
+// Histogram accumulates a duration distribution in fixed power-of-two
+// buckets: O(1) memory regardless of sample count, no allocation after
+// construction, and deterministic quantile estimates (linear interpolation
+// within the hit bucket, clamped to the observed min/max). Like the rest
+// of the package it is only ever driven from tracer callbacks, so a
+// disabled hub costs nothing.
+type Histogram struct {
+	count    uint64
+	sum      sim.Time
+	min, max sim.Time
+	buckets  [histBuckets]uint64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d sim.Time) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d)) - 1
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketOf(d)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() sim.Time { return h.sum }
+
+// Min returns the smallest observation (zero when empty).
+func (h *Histogram) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Mean returns the average observation (zero when empty).
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1): it walks the
+// cumulative bucket counts to the target rank and interpolates linearly
+// within the hit bucket. Exact for distributions narrower than one bucket;
+// within a factor of two otherwise, clamped to [Min, Max].
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.count)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			lo := sim.Time(0)
+			if i > 0 {
+				lo = sim.Time(1) << uint(i)
+			}
+			hi := h.max
+			if i < histBuckets-2 {
+				hi = sim.Time(1) << uint(i+1)
+			}
+			frac := (rank - cum) / float64(c)
+			v := lo + sim.Time(frac*float64(hi-lo))
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += float64(c)
+	}
+	return h.max
+}
+
+// MetricsTracer is the percentile registry: one Histogram of task
+// durations per kind — the five pipeline stages, the wire operations, and
+// the whole-transfer request kinds (send_rndv, recv, ...) all get their
+// own distribution, so p50/p95/p99 per stage and per transfer read
+// straight out of it. Instant tasks carry no duration and are skipped.
+type MetricsTracer struct {
+	order []string
+	hists map[string]*Histogram
+}
+
+// NewMetricsTracer creates an empty registry.
+func NewMetricsTracer() *MetricsTracer {
+	return &MetricsTracer{hists: map[string]*Histogram{}}
+}
+
+// TaskStart is a no-op; durations are known at TaskEnd.
+func (m *MetricsTracer) TaskStart(Task) {}
+
+// TaskStep is a no-op.
+func (m *MetricsTracer) TaskStep(Task, string) {}
+
+// TaskEnd records the task's duration under its kind.
+func (m *MetricsTracer) TaskEnd(t Task) {
+	if t.Instant() {
+		return
+	}
+	h := m.hists[t.Kind]
+	if h == nil {
+		h = NewHistogram()
+		m.hists[t.Kind] = h
+		m.order = append(m.order, t.Kind)
+	}
+	h.Observe(t.End - t.Start)
+}
+
+// CounterSample is a no-op: gauges carry no duration.
+func (m *MetricsTracer) CounterSample(string, sim.Time, float64) {}
+
+// Kinds returns the observed kinds in first-seen order.
+func (m *MetricsTracer) Kinds() []string { return append([]string(nil), m.order...) }
+
+// Hist returns the histogram for a kind, or nil when unobserved.
+func (m *MetricsTracer) Hist(kind string) *Histogram { return m.hists[kind] }
+
+// Table renders the registry as a percentile table.
+func (m *MetricsTracer) Table(title string) *report.Table {
+	t := report.NewTable(title, "kind", "count", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)")
+	for _, k := range m.order {
+		h := m.hists[k]
+		t.Add(k,
+			fmt.Sprintf("%d", h.Count()),
+			fmt.Sprintf("%.1f", h.Quantile(0.50).Micros()),
+			fmt.Sprintf("%.1f", h.Quantile(0.95).Micros()),
+			fmt.Sprintf("%.1f", h.Quantile(0.99).Micros()),
+			fmt.Sprintf("%.1f", h.Max().Micros()))
+	}
+	return t
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zeroed: %+v", h)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []sim.Time{100, 200, 300, 400} {
+		h.Observe(d)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Min() != 100 || h.Max() != 400 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 250 {
+		t.Fatalf("mean = %d", h.Mean())
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	for i := sim.Time(1); i <= 1000; i++ {
+		h.Observe(i * 100)
+	}
+	if got := h.Quantile(0); got != h.Min() {
+		t.Fatalf("q0 = %d, want min %d", got, h.Min())
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Fatalf("q1 = %d, want max %d", got, h.Max())
+	}
+	// Power-of-two buckets guarantee a factor-of-two bound on interior
+	// quantiles; the true p50 of this uniform distribution is 50_050ns.
+	p50 := h.Quantile(0.5)
+	if p50 < 25_000 || p50 > 100_100 {
+		t.Fatalf("p50 = %d outside the factor-2 band of 50050", p50)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95, 0.99} {
+		if v := h.Quantile(q); v < h.Min() || v > h.Max() {
+			t.Fatalf("q%.2f = %d outside [min,max]", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileNarrow(t *testing.T) {
+	// A distribution narrower than one bucket is reported exactly.
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(12_345)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 12_345 {
+			t.Fatalf("q%.2f = %d, want 12345", q, got)
+		}
+	}
+}
+
+func TestHistogramExtremeDurations(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5) // clamps to zero
+	h.Observe(0)
+	h.Observe(sim.Time(1) << 62)
+	if h.Min() != 0 || h.Max() != sim.Time(1)<<62 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if v := h.Quantile(0.99); v < 0 || v > h.Max() {
+		t.Fatalf("q99 = %d out of range", v)
+	}
+}
+
+func TestHistogramObserveAllocatesNothing(t *testing.T) {
+	h := NewHistogram()
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(4096)
+		_ = h.Quantile(0.95)
+	})
+	if allocs != 0 {
+		t.Errorf("Observe+Quantile: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestMetricsTracerPerKind(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMetricsTracer()
+	h := NewHub(clk, m)
+
+	for i := 0; i < 3; i++ {
+		clk.t = sim.Time(i * 1000)
+		sp := h.Start(KindD2H, "rank0.d2h", i, 65536)
+		clk.t += 500
+		sp.End()
+	}
+	clk.t = 10_000
+	h.Instant(KindFIN, "rank0.mpi", 0, 0) // instants carry no duration
+
+	if got := m.Kinds(); len(got) != 1 || got[0] != KindD2H {
+		t.Fatalf("kinds = %v", got)
+	}
+	d2h := m.Hist(KindD2H)
+	if d2h == nil || d2h.Count() != 3 {
+		t.Fatalf("d2h hist = %+v", d2h)
+	}
+	if d2h.Min() != 500 || d2h.Max() != 500 {
+		t.Fatalf("d2h min/max = %d/%d, want 500", d2h.Min(), d2h.Max())
+	}
+	if m.Hist(KindFIN) != nil {
+		t.Fatal("instant task grew a histogram")
+	}
+	tbl := m.Table("stages").String()
+	if !strings.Contains(tbl, KindD2H) || !strings.Contains(tbl, "p95") {
+		t.Fatalf("table missing content:\n%s", tbl)
+	}
+}

@@ -57,11 +57,32 @@ const (
 	KindSend     = "send"
 	KindRDMARead = "rdma_read"
 
-	// Staging pool (internal/hostmem): one task per vbuf hold.
-	KindVbuf = "vbuf"
+	// Staging pool (internal/hostmem): one task per vbuf hold, plus one
+	// task per interval a requester spent blocked on an empty pool.
+	KindVbuf     = "vbuf"
+	KindVbufWait = "vbuf_wait"
 
 	// Engine process lifetime (internal/sim hook).
 	KindProc = "proc"
+)
+
+// Dependency-edge labels recorded through Span.DependsOn. The critical-path
+// analyzer (internal/obs/critpath) keys its gap classification on them.
+const (
+	// DepPack: a D2H stage could not start before this pack task finished.
+	DepPack = "pack"
+	// DepStage: the next pipeline stage of the same chunk (d2h→rdma,
+	// h2d→unpack).
+	DepStage = "stage"
+	// DepWire: the receive-side wire task of a transfer depends on its
+	// transmit-side task (internal/ib).
+	DepWire = "wire"
+	// DepSerial: FIFO serialization behind the previous task on the same
+	// stream, link or engine (internal/cuda stream order).
+	DepSerial = "serial"
+	// DepVbufWait: the holder of a staging vbuf had to wait for the pool
+	// to refill first (internal/hostmem).
+	DepVbufWait = "vbuf_wait"
 )
 
 // Clock reports the current virtual time; *sim.Engine satisfies it.
@@ -103,6 +124,15 @@ type Tracer interface {
 	TaskStep(t Task, what string)
 	TaskEnd(t Task)
 	CounterSample(name string, at sim.Time, value float64)
+}
+
+// DepTracer is the optional Tracer extension receiving explicit dependency
+// edges: task t could not proceed before the task with ID onID completed.
+// Edges arrive while t is still open (t.End unset) and reference tasks by
+// ID only; implementations resolve times from their own task tables.
+// Tracers that don't implement it simply never see the edges.
+type DepTracer interface {
+	TaskDepends(t Task, onID uint64, label string)
 }
 
 // Hub fans task records out to the registered tracers and allocates task
@@ -169,14 +199,32 @@ func (h *Hub) start(parentID uint64, kind, what, where string, chunk, bytes int)
 // Instant records a zero-duration marker task (protocol control messages:
 // RTS, CTS, FIN). Tracers see it as a single TaskEnd with Start == End.
 func (h *Hub) Instant(kind, where string, chunk, bytes int) {
+	h.InstantChild(Span{}, kind, where, chunk, bytes)
+}
+
+// InstantChild records an instant marker parented to an open span (e.g. a
+// chunk's FIN under its RDMA stage), and returns the marker's task record
+// so callers can reference it in dependency edges. An inert parent yields a
+// top-level marker; a disabled hub returns the zero Task.
+func (h *Hub) InstantChild(parent Span, kind, where string, chunk, bytes int) Task {
 	if !h.Enabled() {
-		return
+		return Task{}
 	}
 	h.nextID++
 	now := h.clock.Now()
-	t := Task{ID: h.nextID, Kind: kind, What: kind, Where: where, Chunk: chunk, Bytes: bytes, Start: now, End: now}
+	t := Task{ID: h.nextID, ParentID: parent.task.ID, Kind: kind, What: kind, Where: where, Chunk: chunk, Bytes: bytes, Start: now, End: now}
 	for _, tr := range h.tracers {
 		tr.TaskEnd(t)
+	}
+	return t
+}
+
+// depends fans a dependency edge out to the tracers that care.
+func (h *Hub) depends(t Task, onID uint64, label string) {
+	for _, tr := range h.tracers {
+		if d, ok := tr.(DepTracer); ok {
+			d.TaskDepends(t, onID, label)
+		}
 	}
 }
 
@@ -206,6 +254,22 @@ func (s Span) Active() bool { return s.hub != nil }
 
 // Task returns the span's task record (End unset until the span closes).
 func (s Span) Task() Task { return s.task }
+
+// DependsOn records that this span could not proceed before `on`
+// completed. Either side being inert makes it a no-op, so instrumentation
+// sites need no guards.
+func (s Span) DependsOn(on Span, label string) {
+	s.DependsOnTask(on.task, label)
+}
+
+// DependsOnTask is DependsOn against a task record (e.g. one returned by
+// InstantChild, or a task that has already ended).
+func (s Span) DependsOnTask(on Task, label string) {
+	if s.hub == nil || on.ID == 0 {
+		return
+	}
+	s.hub.depends(s.task, on.ID, label)
+}
 
 // Step records an intermediate milestone on the open span.
 func (s Span) Step(what string) {

@@ -1,0 +1,70 @@
+package obs
+
+// Multi-rail pipelines suffix striped resource tracks with ".rK"
+// ("rank0.d2h.r1", "hca0.tx.r0", ...). A rail track is one lane of a
+// single logical resource, not an independent resource: reports must
+// aggregate rail siblings back under their base name or rails>1 runs
+// double-list every striped stage. SplitRail and GroupRails are the shared
+// helpers for that.
+
+// SplitRail splits a rail-suffixed track name into its base resource and
+// rail index. ok is false for bare (unsuffixed) names, which report
+// themselves as base with rail 0.
+func SplitRail(where string) (base string, rail int, ok bool) {
+	i := len(where) - 1
+	for i >= 0 && where[i] >= '0' && where[i] <= '9' {
+		i--
+	}
+	if i < 1 || i == len(where)-1 || where[i] != 'r' || where[i-1] != '.' {
+		return where, 0, false
+	}
+	n := 0
+	for _, c := range where[i+1:] {
+		n = n*10 + int(c-'0')
+	}
+	return where[:i-1], n, true
+}
+
+// RailGroup is one logical resource and the rail tracks that make it up.
+// Bare tracks form single-member groups with Tracks[0] == Base.
+type RailGroup struct {
+	Base   string
+	Tracks []string // in rail order for suffixed groups
+}
+
+// GroupRails collapses a track list into per-resource groups, preserving
+// the first-seen order of the base names. Suffixed members are ordered by
+// rail index within their group.
+func GroupRails(wheres []string) []RailGroup {
+	idx := map[string]int{}
+	var out []RailGroup
+	for _, w := range wheres {
+		base, rail, ok := SplitRail(w)
+		if !ok {
+			base, rail = w, 0
+		}
+		gi, seen := idx[base]
+		if !seen {
+			gi = len(out)
+			idx[base] = gi
+			out = append(out, RailGroup{Base: base})
+		}
+		g := &out[gi]
+		for len(g.Tracks) <= rail {
+			g.Tracks = append(g.Tracks, "")
+		}
+		g.Tracks[rail] = w
+	}
+	// Drop any holes left by sparse rail indices (tracecheck rejects those
+	// in real traces, but reports should not crash on them).
+	for i := range out {
+		dst := out[i].Tracks[:0]
+		for _, tr := range out[i].Tracks {
+			if tr != "" {
+				dst = append(dst, tr)
+			}
+		}
+		out[i].Tracks = dst
+	}
+	return out
+}

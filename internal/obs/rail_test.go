@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSplitRail(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		base string
+		rail int
+		ok   bool
+	}{
+		{"rank0.d2h.r0", "rank0.d2h", 0, true},
+		{"rank0.d2h.r1", "rank0.d2h", 1, true},
+		{"hca3.tx.r12", "hca3.tx", 12, true},
+		{"rank0.d2h", "rank0.d2h", 0, false},
+		{"hca0.tx", "hca0.tx", 0, false},
+		{"rank0.rdma.r", "rank0.rdma.r", 0, false}, // no digits
+		{"r1", "r1", 0, false},                     // no dot before the suffix
+		{"node0.rxvbufs", "node0.rxvbufs", 0, false},
+	} {
+		base, rail, ok := SplitRail(tc.in)
+		if base != tc.base || rail != tc.rail || ok != tc.ok {
+			t.Errorf("SplitRail(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.in, base, rail, ok, tc.base, tc.rail, tc.ok)
+		}
+	}
+}
+
+func TestGroupRails(t *testing.T) {
+	got := GroupRails([]string{
+		"rank0.pack",
+		"rank0.d2h.r0",
+		"rank0.rdma.r0",
+		"rank0.d2h.r1",
+		"rank0.rdma.r1",
+		"gpu0.d2hEngine",
+	})
+	want := []RailGroup{
+		{Base: "rank0.pack", Tracks: []string{"rank0.pack"}},
+		{Base: "rank0.d2h", Tracks: []string{"rank0.d2h.r0", "rank0.d2h.r1"}},
+		{Base: "rank0.rdma", Tracks: []string{"rank0.rdma.r0", "rank0.rdma.r1"}},
+		{Base: "gpu0.d2hEngine", Tracks: []string{"gpu0.d2hEngine"}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GroupRails =\n%+v\nwant\n%+v", got, want)
+	}
+}
+
+func TestGroupRailsSparse(t *testing.T) {
+	// A hole in the rail indices must not leave empty track names behind.
+	got := GroupRails([]string{"x.r0", "x.r2"})
+	want := []RailGroup{{Base: "x", Tracks: []string{"x.r0", "x.r2"}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("GroupRails = %+v, want %+v", got, want)
+	}
+}
+
+func TestResourceTableAggregatesRails(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewStatsTracer()
+	h := NewHub(clk, s)
+	for rail := 0; rail < 2; rail++ {
+		for i := 0; i < 3; i++ {
+			sp := h.Start(KindD2H, fmt.Sprintf("rank0.d2h.r%d", rail), i, 1000)
+			clk.t += 250
+			sp.End()
+		}
+	}
+	sp := h.Start(KindPack, "rank0.pack", 0, 500)
+	clk.t += 100
+	sp.End()
+
+	tbl := s.ResourceTable("resources").String()
+	lines := strings.Split(tbl, "\n")
+	var aggregated, split int
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "rank0.d2h "):
+			aggregated++
+			if !strings.Contains(l, "6") { // 6 tasks summed across both rails
+				t.Errorf("aggregated row lost tasks: %q", l)
+			}
+		case strings.HasPrefix(l, "  rank0.d2h.r"):
+			split++
+		}
+	}
+	if aggregated != 1 {
+		t.Fatalf("want exactly 1 aggregated rank0.d2h row, got %d in:\n%s", aggregated, tbl)
+	}
+	if split != 2 {
+		t.Fatalf("want 2 split rail rows, got %d in:\n%s", split, tbl)
+	}
+}

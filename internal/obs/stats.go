@@ -9,10 +9,15 @@ import (
 )
 
 // StatsTracer aggregates per-kind counts, durations and byte volumes — a
-// paper-style summary table of everything that happened in a run.
+// paper-style summary table of everything that happened in a run. It also
+// aggregates per resource track (Where), with rail-suffixed tracks
+// reported both split and summed under their base resource, so rails>1
+// runs don't present each rail as an independent resource.
 type StatsTracer struct {
-	order []string
-	kinds map[string]*kindStats
+	order      []string
+	kinds      map[string]*kindStats
+	whereOrder []string
+	wheres     map[string]*kindStats
 }
 
 type kindStats struct {
@@ -24,7 +29,7 @@ type kindStats struct {
 
 // NewStatsTracer creates an empty aggregator.
 func NewStatsTracer() *StatsTracer {
-	return &StatsTracer{kinds: map[string]*kindStats{}}
+	return &StatsTracer{kinds: map[string]*kindStats{}, wheres: map[string]*kindStats{}}
 }
 
 // TaskStart is a no-op; durations are known at TaskEnd.
@@ -33,7 +38,7 @@ func (s *StatsTracer) TaskStart(Task) {}
 // TaskStep is a no-op.
 func (s *StatsTracer) TaskStep(Task, string) {}
 
-// TaskEnd accumulates the task under its kind.
+// TaskEnd accumulates the task under its kind and its resource track.
 func (s *StatsTracer) TaskEnd(t Task) {
 	ks := s.kinds[t.Kind]
 	if ks == nil {
@@ -45,6 +50,16 @@ func (s *StatsTracer) TaskEnd(t Task) {
 	ks.total += t.End - t.Start
 	ks.bytes += int64(t.Bytes)
 	ks.durs = append(ks.durs, t.End-t.Start)
+
+	ws := s.wheres[t.Where]
+	if ws == nil {
+		ws = &kindStats{}
+		s.wheres[t.Where] = ws
+		s.whereOrder = append(s.whereOrder, t.Where)
+	}
+	ws.count++
+	ws.total += t.End - t.Start
+	ws.bytes += int64(t.Bytes)
 }
 
 // CounterSample is a no-op: gauges carry no duration.
@@ -102,6 +117,65 @@ func (s *StatsTracer) Breakdown() *trace.Breakdown {
 		b.Add(k, s.kinds[k].total)
 	}
 	return b
+}
+
+// Wheres returns the observed resource tracks in first-seen order.
+func (s *StatsTracer) Wheres() []string { return append([]string(nil), s.whereOrder...) }
+
+// WhereCount returns the number of tasks recorded on a track.
+func (s *StatsTracer) WhereCount(where string) int {
+	if ws := s.wheres[where]; ws != nil {
+		return ws.count
+	}
+	return 0
+}
+
+// WhereTotal returns the summed task duration recorded on a track.
+func (s *StatsTracer) WhereTotal(where string) sim.Time {
+	if ws := s.wheres[where]; ws != nil {
+		return ws.total
+	}
+	return 0
+}
+
+// WhereBytes returns the summed byte volume recorded on a track.
+func (s *StatsTracer) WhereBytes(where string) int64 {
+	if ws := s.wheres[where]; ws != nil {
+		return ws.bytes
+	}
+	return 0
+}
+
+// ResourceTable renders per-resource statistics: one aggregated row per
+// logical resource (rail-suffixed tracks summed under their base name,
+// with the lane count shown), followed by the per-rail split rows for
+// multi-rail resources.
+func (s *StatsTracer) ResourceTable(title string) *report.Table {
+	t := report.NewTable(title, "resource", "rails", "count", "total (us)", "bytes")
+	for _, g := range GroupRails(s.whereOrder) {
+		var count int
+		var total sim.Time
+		var bytes int64
+		for _, tr := range g.Tracks {
+			count += s.WhereCount(tr)
+			total += s.WhereTotal(tr)
+			bytes += s.WhereBytes(tr)
+		}
+		t.Add(g.Base,
+			fmt.Sprintf("%d", len(g.Tracks)),
+			fmt.Sprintf("%d", count),
+			fmt.Sprintf("%.1f", total.Micros()),
+			fmt.Sprintf("%d", bytes))
+		if len(g.Tracks) > 1 {
+			for _, tr := range g.Tracks {
+				t.Add("  "+tr, "",
+					fmt.Sprintf("%d", s.WhereCount(tr)),
+					fmt.Sprintf("%.1f", s.WhereTotal(tr).Micros()),
+					fmt.Sprintf("%d", s.WhereBytes(tr)))
+			}
+		}
+	}
+	return t
 }
 
 // Table renders the per-kind statistics as a report table.

@@ -66,4 +66,24 @@ for rails in 2 4; do
     rm -f "$ra" "$rb"
 done
 
+echo "== auto-pack trace validation gate"
+# tracecheck's containment and per-track monotonicity checks over the
+# striped auto-pack pipeline (rails=2, packmode=auto) — the configuration
+# that exercises both the kernel pack engine and rail-suffixed tracks.
+at=$(mktemp /tmp/mv2sim-autorails.XXXXXX.json)
+go run ./cmd/pipetrace -rails 2 -packmode auto -chrome "$at" > /dev/null
+go run ./cmd/tracecheck "$at"
+rm -f "$at"
+
+echo "== pipedoctor gate"
+# The critical-path doctor on the Figure 5(b) 4 MB point (the pinned
+# memcpy2d pipeline): the stall attribution must sum exactly to the wall
+# clock, the flag state must be consistent with the measured divergence,
+# and -strict fails the gate if the (n+2)*T(N/n) model diverges >10%.
+pd="${PIPEDOCTOR_OUT:-$(mktemp /tmp/mv2sim-critpath.XXXXXX.json)}"
+go run ./cmd/pipedoctor -msg $((4<<20)) -packmode memcpy2d -strict -bench "$pd" > /dev/null
+if [ -z "${PIPEDOCTOR_OUT:-}" ]; then
+    rm -f "$pd"
+fi
+
 echo "OK"
