@@ -1,12 +1,17 @@
 // Command mv2lint is the multichecker for the repository's custom static
-// analyzers (internal/lint): procblock, eventpair, allocfree, errfree and
-// chunkconst. It loads and type-checks the module with the standard
-// library only — no network, no pre-built export data — so it runs
-// anywhere the repo builds.
+// analyzers (internal/lint): procblock, eventpair, spanend, allocfree,
+// errfree, chunkconst and detrand. It loads and type-checks the module
+// with the standard library only — no network, no pre-built export data —
+// so it runs anywhere the repo builds.
 //
 // Usage:
 //
 //	mv2lint [flags] [./... | import/path ...]
+//
+// Machine-readable reports: -json and -sarif write the findings to the
+// given path ("-" for stdout) in addition to the human-readable listing;
+// -github emits GitHub Actions ::error annotations. Reports are written
+// even when there are no findings, so CI always has an artifact.
 //
 // Exit status: 0 clean, 1 findings, 2 load or usage errors. Suppress a
 // false positive with a directive on the flagged line or the line above:
@@ -17,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,6 +34,9 @@ func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	tests := flag.Bool("tests", false, "also lint _test.go files")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.String("json", "", "write findings as JSON to this path (\"-\" for stdout)")
+	sarifOut := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this path (\"-\" for stdout)")
+	github := flag.Bool("github", false, "emit GitHub Actions ::error annotations on stdout")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -89,9 +98,46 @@ func main() {
 		}
 		fmt.Printf("%s: %s (%s)\n", rel, d.Message, d.Analyzer)
 	}
+	if *github {
+		lint.WriteGitHub(os.Stdout, root, diags)
+	}
+	writeReport(*jsonOut, func(w io.Writer) error {
+		return lint.WriteJSON(w, root, diags)
+	})
+	writeReport(*sarifOut, func(w io.Writer) error {
+		return lint.WriteSARIF(w, root, analyzers, diags)
+	})
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "mv2lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// writeReport writes one report to path ("" = off, "-" = stdout).
+func writeReport(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
+	}
+	if path == "-" {
+		if err := write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "mv2lint: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mv2lint: %v\n", err)
+		os.Exit(2)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mv2lint: %v\n", err)
+		os.Exit(2)
 	}
 }
 

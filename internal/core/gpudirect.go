@@ -37,6 +37,7 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 	if pl.contig {
 		tbuf = req.Buf().Add(pl.shape.Off)
 	} else {
+		//lint:ignore allocfree freed after the chunk loop under the same !pl.contig guard that allocated it; the flow analysis is path-insensitive and cannot correlate the branches
 		tbuf = n1.Ctx.MustMalloc(size)
 		step := size
 		if pl.uniform && !pl.packKernel {

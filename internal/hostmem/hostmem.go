@@ -121,8 +121,10 @@ func (p *Pool) GetRail(proc *sim.Proc, rail int) *Vbuf {
 		proc.Wait(ev)
 	}
 	v := p.take(rail)
+	// End unconditionally: End on a never-started span is a no-op, and
+	// this way the wait span closes on every path out of the loop.
+	waitSp.End()
 	if waitSp.Active() {
-		waitSp.End()
 		v.span.DependsOn(waitSp, obs.DepVbufWait)
 	}
 	return v

@@ -5,19 +5,27 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"mv2sim/internal/lint/cfg"
 )
 
 // AllocFree enforces device-memory ownership discipline in library code.
 //
-// Check 1 (leaks): a mem.Ptr obtained from Device.Malloc/MustMalloc or
-// Ctx.Malloc/MustMalloc in an internal/ package must either be freed in
-// the same function (a call whose name contains "Free" receives it) or
-// visibly transfer ownership: returned, stored into a field/slice/map, or
-// passed to a function that may keep it. Simulator API calls (methods on
-// cuda.Ctx, cuda.Stream, gpu.Device, mpi.Rank and mem.Ptr) borrow their
-// pointer arguments and do not count as ownership transfer. An allocation
-// with no Free and no transfer is a leak: simulated device memory is only
-// reclaimed by the allocator, never by the garbage collector.
+// Check 1 (leaks, flow-sensitive): a mem.Ptr obtained from
+// Device.Malloc/MustMalloc or Ctx.Malloc/MustMalloc in an internal/
+// package must reach a release on EVERY non-panicking path to the
+// function's exit: a call whose name contains "Free" (immediate or
+// deferred), or a call to an in-tree helper whose cross-package fact says
+// it frees that parameter on every path. Ownership may instead visibly
+// transfer — returned, stored into a field/slice/map, captured by a
+// closure, or passed to a function that may keep it (fact: Moves) — after
+// which the function owes nothing. Borrowing uses (simulator copies,
+// kernel launches, sends, and in-tree helpers with a Borrows fact) leave
+// the obligation standing. For the two-value form `p, err := Malloc(n)`,
+// paths that return the paired error owe no release: the allocation
+// failed. The flow analysis catches the early-return leak the old
+// syntactic check could not see: freed on the happy path, leaked on an
+// error return between Malloc and Free.
 //
 // Check 2 (error propagation): MustMalloc and panic(err) are conveniences
 // for main packages and for simulation-process bodies, where the engine
@@ -28,7 +36,7 @@ import (
 // panic wrappers.
 var AllocFree = &Analyzer{
 	Name: "allocfree",
-	Doc:  "flags leaked device allocations and panic-instead-of-error in library code",
+	Doc:  "flags device allocations that miss a Free on some path, and panic-instead-of-error in library code",
 	Run:  runAllocFree,
 }
 
@@ -53,7 +61,7 @@ func runAllocFree(pass *Pass) error {
 }
 
 // ---------------------------------------------------------------------------
-// Check 1: leaked allocations
+// Check 1: allocations must reach a Free on every path
 
 // isAllocCall reports whether call allocates device memory.
 func isAllocCall(info *types.Info, call *ast.CallExpr) bool {
@@ -76,118 +84,23 @@ var borrowingReceivers = map[[2]string]bool{
 	{memPath, "Space"}:   true,
 }
 
-type allocState struct {
-	obj   types.Object
-	pos   ast.Node
-	freed bool
-	moved bool // ownership visibly transferred (or aliased: give up)
-}
-
 func checkLeaks(pass *Pass, fn *ast.FuncDecl) {
 	info := pass.TypesInfo
-	allocs := map[types.Object]*allocState{}
-
-	// Collect locals whose value comes from a device allocation,
-	// including conditional re-assignment of a pre-declared variable.
-	ast.Inspect(fn, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
-			return true
+	rules := ptrUseRules{facts: pass.Facts}
+	for _, body := range functionBodies(fn) {
+		obls := collectObligations(info, body, func(call *ast.CallExpr) bool {
+			return isAllocCall(info, call)
+		})
+		if len(obls) == 0 {
+			continue
 		}
-		for i, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			call, ok := as.Rhs[i].(*ast.CallExpr)
-			if !ok || !isAllocCall(info, call) {
-				continue
-			}
-			obj := objOfIdent(info, id)
-			if obj == nil || allocs[obj] != nil {
-				continue
-			}
-			allocs[obj] = &allocState{obj: obj, pos: call}
-		}
-		return true
-	})
-	if len(allocs) == 0 {
-		return
-	}
-
-	ast.Inspect(fn, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.ReturnStmt:
-			markMentionedAlloc(info, st, allocs, func(a *allocState) { a.moved = true })
-			return false
-		case *ast.CallExpr:
-			classifyCallUse(info, st, allocs)
-			return true
-		case *ast.AssignStmt:
-			// Copying the pointer into another variable, field, slice or
-			// map transfers (or untrackably aliases) ownership. Pointers
-			// that appear only as arguments of a call on the RHS are
-			// classified by that call (classifyCallUse), not here.
-			for _, rhs := range st.Rhs {
-				if !mentionsAllocDirect(info, rhs, allocs) {
-					continue
-				}
-				if call, ok := rhs.(*ast.CallExpr); ok && isAllocCall(info, call) {
-					continue // the defining assignment itself
-				}
-				markMentionedAllocDirect(info, rhs, allocs, func(a *allocState) { a.moved = true })
-			}
-			return true
-		case *ast.CompositeLit, *ast.UnaryExpr:
-			if mentionsAllocDirect(info, n, allocs) {
-				markMentionedAllocDirect(info, n, allocs, func(a *allocState) { a.moved = true })
-			}
-			return true
-		}
-		return true
-	})
-
-	for _, a := range allocs {
-		if !a.freed && !a.moved {
-			pass.Reportf(a.pos.Pos(),
-				"device allocation assigned to %s is never freed and never escapes this function (missing Free)",
-				a.obj.Name())
+		g := cfg.New(body)
+		for _, o := range flowSurvivors(g, info, obls, rules) {
+			pass.Reportf(o.call.Pos(),
+				"device allocation assigned to %s is not freed on every path through this function (missing Free on some path to return)",
+				o.obj.Name())
 		}
 	}
-}
-
-// classifyCallUse updates alloc states for pointers appearing directly in
-// a call's arguments: freeing calls mark them freed, borrowing simulator
-// calls leave them alone, anything else is treated as ownership transfer.
-// Mentions inside nested calls are left to the nested call's own
-// classification (`p.Wait(ctx.MemcpyAsync(p, dst, tbuf, ...))` classifies
-// tbuf against MemcpyAsync, not Wait).
-func classifyCallUse(info *types.Info, call *ast.CallExpr, allocs map[types.Object]*allocState) {
-	mentioned := false
-	for _, a := range call.Args {
-		if mentionsAllocDirect(info, a, allocs) {
-			mentioned = true
-		}
-	}
-	if !mentioned {
-		return
-	}
-	mark := func(f func(*allocState)) {
-		for _, a := range call.Args {
-			markMentionedAllocDirect(info, a, allocs, f)
-		}
-	}
-	name := calleeName(call)
-	if strings.Contains(strings.ToLower(name), "free") {
-		mark(func(st *allocState) { st.freed = true })
-		return
-	}
-	if mi, ok := methodCall(info, call); ok {
-		if borrowingReceivers[[2]string{mi.pkgPath, mi.typeName}] {
-			return
-		}
-	}
-	mark(func(st *allocState) { st.moved = true })
 }
 
 // calleeName extracts the called function or method name.
@@ -199,62 +112,6 @@ func calleeName(call *ast.CallExpr) string {
 		return f.Sel.Name
 	}
 	return ""
-}
-
-func mentionsAlloc(info *types.Info, node ast.Node, allocs map[types.Object]*allocState) bool {
-	found := false
-	ast.Inspect(node, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && allocs[objOfIdent(info, id)] != nil {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// mentionsAllocDirect is mentionsAlloc restricted to direct mentions:
-// uses hidden inside a nested call expression are classified against that
-// call instead, and uses inside a function literal are classified by the
-// statements of the literal body as the traversal reaches them.
-func mentionsAllocDirect(info *types.Info, node ast.Node, allocs map[types.Object]*allocState) bool {
-	found := false
-	ast.Inspect(node, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.CallExpr, *ast.FuncLit:
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok && allocs[objOfIdent(info, id)] != nil {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-func markMentionedAllocDirect(info *types.Info, node ast.Node, allocs map[types.Object]*allocState, f func(*allocState)) {
-	ast.Inspect(node, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.CallExpr, *ast.FuncLit:
-			return false
-		}
-		if id, ok := n.(*ast.Ident); ok {
-			if st := allocs[objOfIdent(info, id)]; st != nil {
-				f(st)
-			}
-		}
-		return true
-	})
-}
-
-func markMentionedAlloc(info *types.Info, node ast.Node, allocs map[types.Object]*allocState, f func(*allocState)) {
-	ast.Inspect(node, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if st := allocs[objOfIdent(info, id)]; st != nil {
-				f(st)
-			}
-		}
-		return true
-	})
 }
 
 // ---------------------------------------------------------------------------

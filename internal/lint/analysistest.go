@@ -46,7 +46,10 @@ func RunGolden(t testingT, srcRoot string, a *Analyzer, pkgPath string) {
 	if err != nil {
 		t.Fatalf("load %s: %v", pkgPath, err)
 	}
-	diags, err := Run(pkgs, []*Analyzer{a})
+	// The facts universe is everything the loader pulled in, so cross-
+	// package facts about stub helpers resolve exactly as they do in the
+	// real module.
+	diags, err := RunWithUniverse(loader.Packages(), pkgs, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, pkgPath, err)
 	}

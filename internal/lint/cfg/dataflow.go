@@ -1,0 +1,72 @@
+package cfg
+
+// A Problem defines a forward dataflow analysis over a Graph. F is the
+// fact lattice element; Merge must be commutative and associative with
+// Bottom as identity, and Transfer must be monotone for the fixpoint
+// iteration to terminate.
+type Problem[F any] interface {
+	// Entry is the boundary fact flowing into the Entry block.
+	Entry() F
+	// Bottom is the identity element for Merge, used to initialize
+	// unvisited blocks (and blocks with no predecessors).
+	Bottom() F
+	// Merge joins the facts of two incoming edges.
+	Merge(a, b F) F
+	// Transfer pushes a fact through a block's nodes.
+	Transfer(b *Block, in F) F
+	// Equal reports whether two facts are the same (fixpoint test).
+	Equal(a, b F) bool
+}
+
+// A Result holds the per-block fixpoint facts of a Forward solve.
+type Result[F any] struct {
+	In  map[*Block]F
+	Out map[*Block]F
+}
+
+// Forward solves p over g with a worklist iteration and returns the
+// per-block In/Out facts at the fixpoint.
+func Forward[F any](g *Graph, p Problem[F]) Result[F] {
+	in := make(map[*Block]F, len(g.Blocks))
+	out := make(map[*Block]F, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = p.Bottom()
+		out[b] = p.Bottom()
+	}
+
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		var newIn F
+		if b == g.Entry {
+			newIn = p.Entry()
+		} else {
+			newIn = p.Bottom()
+			for _, pr := range b.Preds {
+				newIn = p.Merge(newIn, out[pr])
+			}
+		}
+		in[b] = newIn
+		newOut := p.Transfer(b, newIn)
+		if p.Equal(newOut, out[b]) {
+			continue
+		}
+		out[b] = newOut
+		for _, s := range b.Succs {
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return Result[F]{In: in, Out: out}
+}

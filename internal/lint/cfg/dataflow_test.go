@@ -1,0 +1,126 @@
+package cfg
+
+import "testing"
+
+// boolProblem tracks one boolean fact: "a call to gen has executed".
+// merge and bottom parameterize may- (OR, false) versus must- (AND, true)
+// analyses, mirroring how the lint package uses the solver.
+type boolProblem struct {
+	gen    string
+	merge  func(a, b bool) bool
+	bottom bool
+}
+
+func (p *boolProblem) Entry() bool          { return false }
+func (p *boolProblem) Bottom() bool         { return p.bottom }
+func (p *boolProblem) Merge(a, b bool) bool { return p.merge(a, b) }
+func (p *boolProblem) Equal(a, b bool) bool { return a == b }
+func (p *boolProblem) Transfer(b *Block, in bool) bool {
+	out := in
+	for _, n := range b.Nodes {
+		if nodeCalls(n, p.gen) {
+			out = true
+		}
+	}
+	return out
+}
+
+func may(gen string) *boolProblem {
+	return &boolProblem{gen: gen, merge: func(a, b bool) bool { return a || b }, bottom: false}
+}
+
+func must(gen string) *boolProblem {
+	return &boolProblem{gen: gen, merge: func(a, b bool) bool { return a && b }, bottom: true}
+}
+
+// TestMustMergeAtJoin: a release on only one branch is not a release on
+// every path — the AND-merge at the join must lose the fact.
+func TestMustMergeAtJoin(t *testing.T) {
+	g := build(t, `
+	if cond {
+		release()
+	}
+	after()
+`)
+	res := Forward[bool](g, must("release"))
+	if res.In[g.Exit] {
+		t.Errorf("one-branch release survived an all-paths merge: %s", g)
+	}
+
+	both := build(t, `
+	if cond {
+		release()
+	} else {
+		release()
+	}
+	after()
+`)
+	res = Forward[bool](both, must("release"))
+	if !res.In[both.Exit] {
+		t.Errorf("release on both branches lost at the join: %s", both)
+	}
+}
+
+// TestMayMergeAtJoin: the dual — a leak on any path is a leak.
+func TestMayMergeAtJoin(t *testing.T) {
+	g := build(t, `
+	if cond {
+		mark()
+	}
+	after()
+`)
+	res := Forward[bool](g, may("mark"))
+	if !res.In[g.Exit] {
+		t.Errorf("one-branch fact dropped by the union merge: %s", g)
+	}
+}
+
+// TestLoopFixpoint: a fact generated inside a loop body must flow around
+// the back edge into the loop head — the worklist has to re-process the
+// head after the body's out-fact changes.
+func TestLoopFixpoint(t *testing.T) {
+	g := build(t, `
+	for i := 0; i < n; i++ {
+		mark()
+	}
+	after()
+`)
+	res := Forward[bool](g, may("mark"))
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if !res.In[head] {
+		t.Errorf("back-edge fact never reached the loop head: %s", g)
+	}
+	if !res.In[g.Exit] {
+		t.Errorf("loop fact lost on the exit path: %s", g)
+	}
+	// Zero-iteration path: the must-variant cannot prove the call ran.
+	mres := Forward[bool](g, must("mark"))
+	if mres.In[g.Exit] {
+		t.Errorf("must-analysis claims a loop body always runs: %s", g)
+	}
+}
+
+// TestEarlyReturnSplitsFacts: facts differ per program point — the early
+// return path reaches Exit without the fact while the fallthrough path
+// carries it.
+func TestEarlyReturnSplitsFacts(t *testing.T) {
+	g := build(t, `
+	if cond {
+		return
+	}
+	mark()
+`)
+	res := Forward[bool](g, may("mark"))
+	if !res.In[g.Exit] {
+		t.Errorf("fallthrough fact lost: %s", g)
+	}
+	mres := Forward[bool](g, must("mark"))
+	if mres.In[g.Exit] {
+		t.Errorf("must-analysis ignores the early return: %s", g)
+	}
+}

@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetRand statically guards trace determinism: two runs of the simulator
+// with the same configuration and seed must produce byte-identical
+// traces, or the golden-trace gates and cross-run diffing fall apart.
+// The analyzer flags the sources of run-to-run variation that Go makes
+// easy to introduce by accident, in internal/ library code (cmd/ and
+// examples may legitimately read the wall clock or print host state;
+// _test.go files are exempt — tests seed their own randomness):
+//
+//  1. Map iteration that drives sim-visible work. Go randomizes map
+//     iteration order per run, so a `for k := range m` whose body
+//     (including one level of local closures) calls a sim-visible API —
+//     engine scheduling, obs task/counter records, fabric posts, vbuf
+//     pool accounting, trace breakdowns, printing; directly or
+//     transitively through in-tree helpers (the SimVisible fact) —
+//     reorders those effects every run.
+//  2. Map iteration that accumulates into an outer slice without a later
+//     sort.*/slices.* call on that slice in the same function: the
+//     slice's element order is randomized even though nothing sim-visible
+//     happens inside the loop.
+//  3. Wall-clock reads (time.Now/Since/Until/Sleep/After/Tick/NewTimer/
+//     NewTicker): simulated time comes from the engine, not the host.
+//  4. Importing math/rand: randomness must be threaded from the run
+//     configuration's seed, not package-global generators.
+//  5. Raw `go` statements: goroutine interleaving is scheduled by the Go
+//     runtime, not the engine; simulated concurrency uses Engine.Spawn.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flags nondeterminism in simulator library code: map-order-dependent effects, wall-clock reads, math/rand, raw goroutines",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	if !isInternalLib(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		checkRandImports(pass, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkHostEffects(pass, fn)
+			checkMapRanges(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkRandImports flags math/rand imports (rule 4).
+func checkRandImports(pass *Pass, file *ast.File) {
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"%s in simulator library code makes runs nondeterministic; thread a seeded *rand.Rand from the run configuration instead", path)
+		}
+	}
+}
+
+// wallClockFuncs are the time package entry points that read or wait on
+// the host clock. Pure constructors and arithmetic (time.Duration,
+// time.Unix, t.Add) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+// checkHostEffects flags wall-clock reads (rule 3) and raw goroutines
+// (rule 5) anywhere in fn.
+func checkHostEffects(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement in simulator library code: goroutine interleaving is scheduled by the Go runtime, not the engine; use Engine.Spawn for simulated concurrency")
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.TypesInfo, n)
+			if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "time" &&
+				callee.Type().(*types.Signature).Recv() == nil && wallClockFuncs[callee.Name()] {
+				pass.Reportf(n.Pos(),
+					"time.%s reads the host clock in simulator library code; simulated time comes from the engine (Proc.Now / Engine.Now)", callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags map iterations whose bodies have order-sensitive
+// effects (rules 1 and 2).
+func checkMapRanges(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	closures := localClosures(info, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(rng.X); t == nil {
+			return true
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		// Rule 1: sim-visible call reachable from the loop body.
+		if why, found := findSimVisible(pass, rng.Body, closures); found {
+			pass.Reportf(rng.Pos(),
+				"map iteration order is randomized per run but this loop drives sim-visible work (%s); iterate sorted keys or a slice instead", why)
+			return true
+		}
+
+		// Rule 2: appends to an outer slice with no later sort.
+		for _, obj := range outerAppends(info, rng, closures) {
+			if !sortedLater(info, fn, obj) {
+				pass.Reportf(rng.Pos(),
+					"map iteration appends to %s in randomized order and %s is never sorted afterwards; sort it or iterate sorted keys", obj.Name(), obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// localClosures maps local variables bound to function literals
+// (`consider := func(...) {...}`) so map-range checks can look one level
+// into helper closures called from the loop body.
+func localClosures(info *types.Info, fn *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if lit, ok := as.Rhs[i].(*ast.FuncLit); ok {
+				if obj := objOfIdent(info, id); obj != nil {
+					out[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findSimVisible scans body (and one level of called local closures) for
+// a call that transitively reaches sim-visible state.
+func findSimVisible(pass *Pass, body ast.Node, closures map[types.Object]*ast.FuncLit) (string, bool) {
+	why, found := "", false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+			if v, w := pass.Facts.SimVisible(callee); v {
+				why, found = w, true
+				return false
+			}
+		}
+		// A call to a local closure: look inside it (one level).
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if lit := closures[objOfIdent(pass.TypesInfo, id)]; lit != nil {
+				if w, f := findSimVisible(pass, lit.Body, nil); f {
+					why, found = id.Name+" → "+w, true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return why, found
+}
+
+// outerAppends returns the objects of slices declared outside rng that
+// the loop body (or a called local closure) appends to.
+func outerAppends(info *types.Info, rng *ast.RangeStmt, closures map[types.Object]*ast.FuncLit) []types.Object {
+	seen := map[types.Object]bool{}
+	var out []types.Object
+	var scan func(body ast.Node, inline bool)
+	scan = func(body ast.Node, inline bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					call, ok := rhs.(*ast.CallExpr)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					fun, ok := call.Fun.(*ast.Ident)
+					if !ok || fun.Name != "append" {
+						continue
+					}
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := objOfIdent(info, id)
+					// Only slices that outlive the loop body matter; a
+					// slice declared inside the loop is rebuilt per key.
+					if obj != nil && !seen[obj] && obj.Pos() < rng.Pos() {
+						seen[obj] = true
+						out = append(out, obj)
+					}
+				}
+			case *ast.CallExpr:
+				if !inline {
+					return true
+				}
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if lit := closures[objOfIdent(info, id)]; lit != nil {
+						scan(lit.Body, false)
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(rng.Body, true)
+	return out
+}
+
+// sortedLater reports whether fn contains a sort.* or slices.* call that
+// mentions obj — the loop's randomized append order is repaired before
+// the slice is consumed. The check is position-insensitive within fn:
+// sorting before the loop would be pointless, so in practice a match is
+// the post-loop sort.
+func sortedLater(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			if mentionsObj(info, a, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

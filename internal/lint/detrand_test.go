@@ -1,0 +1,13 @@
+package lint
+
+import "testing"
+
+func TestDetRand(t *testing.T) {
+	RunGolden(t, Testdata(), DetRand, "detrand/internal/libd")
+}
+
+// TestDetRandCmdExempt verifies the cmd/ carve-out: the same constructs
+// that are findings in library code are clean in a main package.
+func TestDetRandCmdExempt(t *testing.T) {
+	RunGolden(t, Testdata(), DetRand, "detrand/cmd/appd")
+}

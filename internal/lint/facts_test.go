@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/types"
+	"testing"
+)
+
+// TestPtrParamFacts pins the cross-package fact lattice on the helper
+// functions in the allocfree golden package: fill only borrows its
+// buffers, discard frees its parameter on every path.
+func TestPtrParamFacts(t *testing.T) {
+	facts, pkg := loadFacts(t, "allocfree/internal/liba")
+
+	fill := lookupFunc(t, pkg, "fill")
+	// fill(p *sim.Proc, ctx *cuda.Ctx, dst, src mem.Ptr): both pointer
+	// params are only passed to Memcpy, which borrows.
+	for _, i := range []int{2, 3} {
+		if got := facts.PtrParam(fill, i); got != ParamBorrows {
+			t.Errorf("PtrParam(fill, %d) = %v, want ParamBorrows", i, got)
+		}
+	}
+
+	discard := lookupFunc(t, pkg, "discard")
+	if got := facts.PtrParam(discard, 1); got != ParamReleases {
+		t.Errorf("PtrParam(discard, 1) = %v, want ParamReleases", got)
+	}
+}
+
+// TestSpanParamFacts: finish ends its span on every path, maybeFinish
+// only on one, observe never touches End.
+func TestSpanParamFacts(t *testing.T) {
+	facts, pkg := loadFacts(t, "spanend")
+
+	cases := []struct {
+		fn   string
+		want ParamFact
+	}{
+		{"finish", ParamReleases},
+		{"maybeFinish", ParamMoves}, // conditional End: not provable, conservative
+		{"observe", ParamBorrows},
+		{"endLater", ParamReleases},
+	}
+	for _, tc := range cases {
+		fn := lookupFunc(t, pkg, tc.fn)
+		if got := facts.SpanParam(fn, 0); got != tc.want {
+			t.Errorf("SpanParam(%s, 0) = %v, want %v", tc.fn, got, tc.want)
+		}
+	}
+}
+
+// TestSimVisibleFact: the transitive reachability behind detrand rule 1.
+func TestSimVisibleFact(t *testing.T) {
+	facts, pkg := loadFacts(t, "detrand/internal/libd")
+
+	record := lookupFunc(t, pkg, "record")
+	if v, why := facts.SimVisible(record); !v || why == "" {
+		t.Errorf("SimVisible(record) = %v, %q; want true with a why-chain", v, why)
+	}
+	window := lookupFunc(t, pkg, "window")
+	if v, _ := facts.SimVisible(window); v {
+		t.Errorf("SimVisible(window) = true; duration arithmetic touches nothing sim-visible")
+	}
+}
+
+func loadFacts(t *testing.T, path string) (*Facts, *Package) {
+	t.Helper()
+	loader := NewTreeLoader(Testdata())
+	pkgs, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("load %s: %v", path, err)
+	}
+	return NewFacts(loader.Packages()), pkgs[0]
+}
+
+func lookupFunc(t *testing.T, pkg *Package, name string) *types.Func {
+	t.Helper()
+	obj := pkg.Types.Scope().Lookup(name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		t.Fatalf("%s is not a func in %s (got %T)", name, pkg.Types.Path(), obj)
+	}
+	return fn
+}

@@ -49,6 +49,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Facts answers cross-package questions about functions anywhere in
+	// the loaded universe ("does this callee free its pointer param?"),
+	// so analyzers can see through helpers instead of forcing
+	// //lint:ignore suppressions at every call site.
+	Facts *Facts
 
 	diags []Diagnostic
 }
@@ -75,12 +80,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // Analyzers lists every analyzer in the suite, in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{ProcBlock, EventPair, SpanEnd, AllocFree, ErrFree, ChunkConst}
+	return []*Analyzer{ProcBlock, EventPair, SpanEnd, AllocFree, ErrFree, ChunkConst, DetRand}
 }
 
 // Run applies the analyzers to every package and returns the surviving
-// diagnostics (after //lint:ignore suppression), sorted by position.
+// diagnostics (after //lint:ignore suppression), sorted by position. The
+// cross-package Facts universe is the analyzed packages themselves; use
+// RunWithUniverse when helper packages outside the analyzed set should be
+// visible to fact queries.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithUniverse(pkgs, pkgs, analyzers)
+}
+
+// RunWithUniverse is Run with an explicit Facts universe: facts are
+// computed over universe (typically every package the loader touched,
+// including dependencies of the analyzed set), while diagnostics are
+// produced only for pkgs.
+func RunWithUniverse(universe, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFacts(universe)
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		ignores := collectIgnores(pkg.Fset, pkg.Files)
@@ -91,6 +108,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return out, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
@@ -110,9 +128,25 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
+	// De-duplicate identical findings: the same position can be analyzed
+	// twice when a package is loaded both as itself and as the in-package
+	// half of its test variant.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
 }
 
 // ---------------------------------------------------------------------------

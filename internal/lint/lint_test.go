@@ -21,8 +21,9 @@ func TestSuppression(t *testing.T) {
 	// The same package must produce findings when suppression is ignored:
 	// prove the directives are load-bearing, not that the code is clean.
 	var raw int
+	facts := NewFacts(loader.Packages())
 	for _, a := range Analyzers() {
-		pass := &Pass{Analyzer: a, Fset: pkgs[0].Fset, Files: pkgs[0].Files, Pkg: pkgs[0].Types, TypesInfo: pkgs[0].Info}
+		pass := &Pass{Analyzer: a, Fset: pkgs[0].Fset, Files: pkgs[0].Files, Pkg: pkgs[0].Types, TypesInfo: pkgs[0].Info, Facts: facts}
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s: %v", a.Name, err)
 		}
@@ -36,7 +37,7 @@ func TestSuppression(t *testing.T) {
 // TestAnalyzerNames pins the analyzer set: scripts/check.sh and the docs
 // reference these names.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"procblock", "eventpair", "spanend", "allocfree", "errfree", "chunkconst"}
+	want := []string{"procblock", "eventpair", "spanend", "allocfree", "errfree", "chunkconst", "detrand"}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

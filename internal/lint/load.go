@@ -90,6 +90,21 @@ func newLoader(includeTests bool) *Loader {
 // Fset returns the loader's file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
+// Packages returns every in-tree package the loader has loaded so far —
+// the requested packages and their transitive in-tree dependencies —
+// sorted by import path. This is the natural Facts universe: helper
+// functions live in dependencies that may not themselves be analyzed.
+func (l *Loader) Packages() []*Package {
+	var out []*Package
+	for _, e := range l.pkgs {
+		if e.pkg != nil {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // modulePath extracts the module path from a go.mod file.
 func modulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

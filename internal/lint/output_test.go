@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "allocfree",
+			Pos:      token.Position{Filename: "/repo/internal/osu/osu.go", Line: 94, Column: 14},
+			Message:  "device allocation assigned to src is not freed on every path through this function (missing Free on some path to return)",
+		},
+		{
+			Analyzer: "detrand",
+			Pos:      token.Position{Filename: "/repo/internal/core/core.go", Line: 12, Column: 2},
+			Message:  "line one\nline two: 100%",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/repo", sampleDiags()); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d findings, want 2", len(got))
+	}
+	if got[0].Analyzer != "allocfree" || got[0].File != "internal/osu/osu.go" ||
+		got[0].Line != 94 || got[0].Column != 14 {
+		t.Errorf("first finding mangled: %+v", got[0])
+	}
+	if got[1].Message != "line one\nline two: 100%" {
+		t.Errorf("message not preserved: %q", got[1].Message)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	// CI consumes the report unconditionally: no findings must still be a
+	// valid (empty) JSON array, not empty output.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "/repo", nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var got []json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("empty report is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(got) != 0 {
+		t.Errorf("empty report has %d entries", len(got))
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, "/repo", Analyzers(), sampleDiags()); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid SARIF JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "mv2lint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(Analyzers()) {
+		t.Errorf("got %d rules, want one per analyzer (%d)", len(run.Tool.Driver.Rules), len(Analyzers()))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "allocfree" || r.Level != "error" {
+		t.Errorf("result 0 ruleId/level = %q/%q", r.RuleID, r.Level)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/osu/osu.go" ||
+		loc.Region.StartLine != 94 || loc.Region.StartColumn != 14 {
+		t.Errorf("result 0 location mangled: %+v", loc)
+	}
+}
+
+func TestWriteGitHub(t *testing.T) {
+	var buf bytes.Buffer
+	WriteGitHub(&buf, "/repo", sampleDiags())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d annotation lines, want 2:\n%s", len(lines), buf.String())
+	}
+	want0 := "::error file=internal/osu/osu.go,line=94,col=14,title=mv2lint/allocfree::"
+	if !strings.HasPrefix(lines[0], want0) {
+		t.Errorf("line 0 = %q, want prefix %q", lines[0], want0)
+	}
+	// Newlines and percent signs must be percent-escaped or the workflow
+	// command is truncated.
+	if !strings.Contains(lines[1], "line one%0Aline two: 100%25") {
+		t.Errorf("message not escaped: %q", lines[1])
+	}
+}
+
+func TestRelPathOutsideRoot(t *testing.T) {
+	// Files outside the root (stdlib, GOPATH) keep their absolute path
+	// rather than acquiring a confusing ../.. prefix.
+	if got := relPath("/repo", "/usr/lib/go/src/fmt/print.go"); strings.HasPrefix(got, "..") {
+		t.Errorf("relPath escaped the root: %q", got)
+	}
+	if got := relPath("/repo", "/repo/internal/osu/osu.go"); got != "internal/osu/osu.go" {
+		t.Errorf("relPath = %q", got)
+	}
+}

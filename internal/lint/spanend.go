@@ -2,25 +2,30 @@ package lint
 
 import (
 	"go/ast"
-	"go/types"
+
+	"mv2sim/internal/lint/cfg"
 )
 
-// SpanEnd flags obs.Span values that are started but never ended in the
-// enclosing function.
+// SpanEnd flags obs.Span values that are not ended on every path through
+// the function that started them.
 //
 // A task span opened with Hub.Start/StartTask/StartChild stays open until
 // Span.End runs; a span that is never ended leaves a task permanently
 // "in flight", which skews BusyTimeTracer utilization and drops the task
 // from Chrome traces entirely (only TaskEnd emits an event). The analyzer
-// tracks spans created locally in a function; if no End call on the same
-// variable appears anywhere in the function — including inside closures,
-// where pipeline code typically ends spans from OnTrigger callbacks — the
-// start is reported. Spans that escape (returned, stored, passed to other
-// calls, or whose End is passed as a method value) are assumed to be ended
-// elsewhere.
+// propagates each locally-started span through the function's CFG: an
+// End call (immediate, deferred, or handed off as a method value — the
+// ev.OnTrigger(sp.End) idiom), a mention inside a closure, or a call to
+// an in-tree helper whose fact says it ends its span parameter all
+// discharge the obligation on that path; obs package calls (StartChild,
+// DependsOn, Step, Instant*) merely borrow the span. A span still open
+// on some path to a return — the classic early error return between
+// Start and End — is reported at the Start call. Panicking paths are
+// exempt: the engine turns them into Run errors and the trace is
+// discarded.
 var SpanEnd = &Analyzer{
 	Name: "spanend",
-	Doc:  "flags obs.Span starts with no End on any path in the function",
+	Doc:  "flags obs.Span starts whose End does not run on every path in the function",
 	Run:  runSpanEnd,
 }
 
@@ -37,13 +42,6 @@ func runSpanEnd(pass *Pass) error {
 	return nil
 }
 
-type spanState struct {
-	obj     types.Object
-	start   *ast.CallExpr // the Hub.Start* call that opened it
-	ended   bool
-	escaped bool
-}
-
 // isHubStart reports whether mi is a span-opening obs.Hub method. Matching
 // by Start prefix keeps the analyzer aligned with future Start* variants.
 func isHubStart(mi methodInfo) bool {
@@ -53,99 +51,20 @@ func isHubStart(mi methodInfo) bool {
 
 func checkSpanEnds(pass *Pass, fn *ast.FuncDecl) {
 	info := pass.TypesInfo
-	spans := map[types.Object]*spanState{}
-
-	// Collect locals created by Hub.Start/StartTask/StartChild.
-	ast.Inspect(fn, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Rhs) != len(as.Lhs) {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			id, ok := lhs.(*ast.Ident)
-			if !ok {
-				continue
-			}
-			call, ok := as.Rhs[i].(*ast.CallExpr)
-			if !ok {
-				continue
-			}
+	rules := spanUseRules{facts: pass.Facts}
+	for _, body := range functionBodies(fn) {
+		obls := collectObligations(info, body, func(call *ast.CallExpr) bool {
 			mi, ok := methodCall(info, call)
-			if !ok || !isHubStart(mi) {
-				continue
-			}
-			if obj := objOfIdent(info, id); obj != nil {
-				spans[obj] = &spanState{obj: obj, start: call}
-			}
-		}
-		return true
-	})
-	if len(spans) == 0 {
-		return
-	}
-
-	// Classify every use of each span object.
-	escape := func(st *spanState) { st.escaped = true }
-	ast.Inspect(fn, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.ReturnStmt:
-			markSpansMentioned(info, n, spans, escape)
-		case *ast.AssignStmt:
-			// A span assigned onward (struct field or another variable)
-			// escapes this analysis. Call RHSes are left to the CallExpr
-			// case below, which knows obs's own methods don't consume the
-			// span.
-			for _, rhs := range n.Rhs {
-				if _, ok := rhs.(*ast.CallExpr); ok {
-					continue
-				}
-				markSpansMentioned(info, rhs, spans, escape)
-			}
-		case *ast.CallExpr:
-			mi, ok := methodCall(info, n)
-			if ok && mi.pkgPath == obsPath && mi.typeName == "Span" {
-				if id, ok := mi.recv.(*ast.Ident); ok {
-					if st := spans[objOfIdent(info, id)]; st != nil {
-						if mi.method == "End" {
-							st.ended = true
-						}
-						// Step/Active/Task are observations, not completions.
-						return true
-					}
-				}
-			}
-			if ok && isHubStart(mi) {
-				return true
-			}
-			// Any other call mentioning the span lets it escape: passing
-			// sp.End as a method value (ev.OnTrigger(sp.End)), handing the
-			// span to a helper, or capturing it in a closure argument.
-			for _, a := range n.Args {
-				markSpansMentioned(info, a, spans, escape)
-			}
-		}
-		return true
-	})
-
-	for _, st := range spans {
-		if st.ended || st.escaped {
+			return ok && isHubStart(mi)
+		})
+		if len(obls) == 0 {
 			continue
 		}
-		pass.Reportf(st.start.Pos(),
-			"span %s is started but never ended in this function (Span.End must run on every path)",
-			st.obj.Name())
-	}
-}
-
-// markSpansMentioned applies f to the state of every tracked span object
-// referenced anywhere under node.
-func markSpansMentioned(info *types.Info, node ast.Node, spans map[types.Object]*spanState, f func(*spanState)) {
-	ast.Inspect(node, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok {
-			if st := spans[objOfIdent(info, id)]; st != nil {
-				f(st)
-			}
+		g := cfg.New(body)
+		for _, o := range flowSurvivors(g, info, obls, rules) {
+			pass.Reportf(o.call.Pos(),
+				"span %s is not ended on every path through this function (Span.End must run before every return)",
+				o.obj.Name())
 		}
-		return true
-	})
+	}
 }

@@ -1,0 +1,19 @@
+// Command appd proves the cmd/ exemption: wall-clock reads, goroutines
+// and map iteration are legal outside internal/ library code — timing a
+// run and printing host state is exactly what a benchmark driver does.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	results := map[string]float64{"osu_latency": 12.5}
+	for name, v := range results {
+		fmt.Println(name, v)
+	}
+	go func() { fmt.Println("background") }()
+	fmt.Println(time.Since(start))
+}

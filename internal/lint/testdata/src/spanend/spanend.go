@@ -8,19 +8,19 @@ import (
 
 // Positive: started but never ended.
 func unended(h *obs.Hub) {
-	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536) // want `span sp is started but never ended`
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536) // want `span sp is not ended on every path`
 	_ = sp.Active()
 }
 
 // Positive: a step is not a completion.
 func steppedOnly(h *obs.Hub) {
-	sp := h.StartTask("rdma_write", "chunk", "hca0.tx", 1, 65536) // want `span sp is started but never ended`
+	sp := h.StartTask("rdma_write", "chunk", "hca0.tx", 1, 65536) // want `span sp is not ended on every path`
 	sp.Step("posted")
 }
 
 // Positive: a child span needs its own End.
 func childUnended(h *obs.Hub, parent obs.Span) {
-	sp := h.StartChild(parent, "d2d_nc2c", "rank0.pack", 0, 4096) // want `span sp is started but never ended`
+	sp := h.StartChild(parent, "d2d_nc2c", "rank0.pack", 0, 4096) // want `span sp is not ended on every path`
 	sp.Step("queued")
 }
 
@@ -69,4 +69,94 @@ func escapesField(h *obs.Hub, x *holder) {
 func instants(h *obs.Hub) {
 	h.Instant("rts", "rank0.mpi", -1, 1<<20)
 	h.Counter("node0.txvbufs.free", 63)
+}
+
+// Seeded flow bug: ended on the happy path, leaked on the early error
+// return. The pre-v2 syntactic analyzer saw the End call somewhere in the
+// function and declared the span handled. seeded:flow-only
+func earlyReturnLeak(h *obs.Hub, err error) error {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536) // want `span sp is not ended on every path`
+	if err != nil {
+		return err // sp is still open here
+	}
+	sp.End()
+	return nil
+}
+
+// Seeded flow bug: the helper only reads the span; the pre-v2 analyzer
+// treated any helper call as an ownership transfer and stayed silent.
+// The cross-package fact proves observe borrows. seeded:flow-only
+func borrowedNotEnded(h *obs.Hub) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536) // want `span sp is not ended on every path`
+	observe(sp)
+}
+
+func observe(sp obs.Span) { _ = sp.Active() }
+
+// Seeded flow bug: the defer is registered after the early return, so the
+// error path leaves the span open. The pre-v2 analyzer saw the End call
+// and stayed silent. seeded:flow-only
+func deferTooLate(h *obs.Hub, err error) error {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536) // want `span sp is not ended on every path`
+	if err != nil {
+		return err
+	}
+	defer sp.End()
+	return nil
+}
+
+// Negative: a defer registered before the early return covers every path.
+func deferCovers(h *obs.Hub, err error) error {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	defer sp.End()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// Negative: ended on both branches.
+func bothBranches(h *obs.Hub, fast bool) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	if fast {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+// Negative: the panic path owes no End — the engine discards the run.
+func panicPath(h *obs.Hub, bad bool) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	if bad {
+		panic("bad geometry")
+	}
+	sp.End()
+}
+
+// Negative: the helper ends its parameter on every path, which the
+// cross-package fact proves, so passing the span to it is a release.
+func endedViaFact(h *obs.Hub, ok bool) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	finish(sp, ok)
+}
+
+func finish(sp obs.Span, ok bool) {
+	if ok {
+		sp.Step("ok")
+	}
+	sp.End()
+}
+
+// Negative: the helper ends its parameter only conditionally, so the fact
+// machinery conservatively treats the call as an ownership move.
+func maybeEnded(h *obs.Hub, ok bool) {
+	sp := h.Start("d2h_c2c", "rank0.d2h", 0, 65536)
+	maybeFinish(sp, ok)
+}
+
+func maybeFinish(sp obs.Span, ok bool) {
+	if ok {
+		sp.End()
+	}
 }

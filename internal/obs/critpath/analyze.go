@@ -206,7 +206,7 @@ func (c *Collector) walk(a *Analysis, nodes []obs.Task) {
 		visited[cur.ID] = true
 		c.decompose(a, cur)
 
-		pred, label, ok := c.bindingPred(cur, byID, visited)
+		pred, label, ok := c.bindingPred(cur, nodes, byID, visited)
 		gapStart := a.Start
 		if ok {
 			gapStart = pred.End
@@ -234,7 +234,11 @@ func (c *Collector) walk(a *Analysis, nodes []obs.Task) {
 // latest-ending candidate among explicit dependency edges, the cross-rank
 // chunk match (rx wire → H2D) and same-track serialization. Candidates
 // ending after cur started cannot have been binding and are skipped.
-func (c *Collector) bindingPred(cur obs.Task, byID map[uint64]obs.Task, visited map[uint64]bool) (obs.Task, string, bool) {
+// Candidate scans iterate the sorted nodes slice, never the byID map:
+// map order is randomized per run and the first-seen candidate wins End
+// ties, so iterating byID would make the attributed path (and the report)
+// differ between runs on the same trace.
+func (c *Collector) bindingPred(cur obs.Task, nodes []obs.Task, byID map[uint64]obs.Task, visited map[uint64]bool) (obs.Task, string, bool) {
 	type cand struct {
 		t     obs.Task
 		label string
@@ -266,7 +270,7 @@ func (c *Collector) bindingPred(cur obs.Task, byID map[uint64]obs.Task, visited 
 	if cur.Kind == obs.KindH2D && cur.Chunk >= 0 {
 		// Cross-rank data dependency: the H2D of chunk c could not start
 		// before chunk c's bytes finished streaming in.
-		for _, n := range byID {
+		for _, n := range nodes {
 			if rxWireTask(n) && n.Chunk == cur.Chunk {
 				consider(n, "chunk")
 			}
@@ -275,7 +279,7 @@ func (c *Collector) bindingPred(cur obs.Task, byID map[uint64]obs.Task, visited 
 	// Same-track serialization: the latest earlier stage task on the same
 	// resource track.
 	var serial obs.Task
-	for _, n := range byID {
+	for _, n := range nodes {
 		if n.ID == cur.ID || n.Where != cur.Where || n.End > cur.Start {
 			continue
 		}

@@ -118,12 +118,16 @@ func PackLatency(scheme PackScheme, msgBytes int, cfg PackConfig) (sim.Time, err
 			samples = append(samples, p.Now()-t0)
 		}
 	})
-	if err := e.Run(); err != nil {
-		return 0, fmt.Errorf("osu: pack benchmark (%v, %s): %w", scheme, report.ByteSize(msgBytes), err)
-	}
+	// Free the source before acting on the run error: an early return on
+	// a failed run must not strand the allocation (Shutdown is idempotent
+	// and safe after a failed Run).
+	runErr := e.Run()
 	e.Shutdown()
 	if err := dev.Free(src); err != nil {
 		return 0, fmt.Errorf("osu: free pack source: %w", err)
+	}
+	if runErr != nil {
+		return 0, fmt.Errorf("osu: pack benchmark (%v, %s): %w", scheme, report.ByteSize(msgBytes), runErr)
 	}
 	if err := checkDeviceClean(dev); err != nil {
 		return 0, err

@@ -61,15 +61,19 @@ func packPoint(rows, rowBytes, pitch int, model gpu.CostModel) (cpy, kern sim.Ti
 		p.Wait(ctx.LaunchKernel(p, s, rows*rowBytes, dev.Model().PackKernelNsPerCell(), nil))
 		kern = p.Now() - t0
 	})
-	if err := e.Run(); err != nil {
-		return 0, 0, fmt.Errorf("osu: pack crossover (%dx%d): %w", rows, rowBytes, err)
-	}
+	// Free both buffers before acting on the run error — and free src even
+	// when freeing tbuf failed — so no early return strands an allocation.
+	runErr := e.Run()
 	e.Shutdown()
-	if err := ctx.Free(tbuf); err != nil {
-		return 0, 0, err
+	freeErr := ctx.Free(tbuf)
+	if err := ctx.Free(src); err != nil && freeErr == nil {
+		freeErr = err
 	}
-	if err := ctx.Free(src); err != nil {
-		return 0, 0, err
+	if runErr != nil {
+		return 0, 0, fmt.Errorf("osu: pack crossover (%dx%d): %w", rows, rowBytes, runErr)
+	}
+	if freeErr != nil {
+		return 0, 0, freeErr
 	}
 	if err := checkDeviceClean(dev); err != nil {
 		return 0, 0, err

@@ -328,6 +328,7 @@ func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
 	e.nlive++
+	//lint:ignore detrand this goroutine IS the engine's process implementation: it baton-passes with the dispatcher (exactly one goroutine runs at a time, handed off via resume channels), so the Go scheduler never picks an interleaving
 	go func() {
 		p.awaitResume() // wait for first dispatch
 		e.trace("proc %s: start", p.name)

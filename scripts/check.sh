@@ -21,10 +21,30 @@ echo "== go vet"
 go vet ./...
 
 echo "== mv2lint"
-go run ./cmd/mv2lint ./...
+# The JSON report is written even on a clean run so CI always has an
+# artifact; set MV2LINT_JSON/MV2LINT_SARIF to keep the reports, and under
+# GitHub Actions findings double as inline annotations.
+lint_json="${MV2LINT_JSON:-$(mktemp /tmp/mv2sim-lint.XXXXXX.json)}"
+lint_flags="-json $lint_json"
+if [ -n "${MV2LINT_SARIF:-}" ]; then
+    lint_flags="$lint_flags -sarif $MV2LINT_SARIF"
+fi
+if [ -n "${GITHUB_ACTIONS:-}" ]; then
+    lint_flags="$lint_flags -github"
+fi
+go run ./cmd/mv2lint $lint_flags ./...
+if [ -z "${MV2LINT_JSON:-}" ]; then
+    rm -f "$lint_json"
+fi
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== race-mode benchmark smoke"
+# Each benchmark body runs once under the race detector: catches data
+# races in pipeline setup paths that the unit tests' smaller
+# configurations miss. -benchtime 1x keeps it a smoke test, not a timing.
+go test -race -short -run '^$' -bench . -benchtime 1x . > /dev/null
 
 echo "== trace gate"
 # One traced pipeline run must produce a valid, well-ordered Chrome trace.
