@@ -1,0 +1,134 @@
+// Command dashboard serves the live pipeline dashboard: an HTTP view of
+// one traced transfer (resource utilization, per-stage latency
+// percentiles, critical-path stall attribution, the Chrome trace) plus
+// the append-only perf store's metric trajectories.
+//
+// Modes:
+//
+//	dashboard                             run one live 2-GPU transfer, serve it
+//	dashboard -trace run.json             serve an existing ChromeTracer JSON file
+//	dashboard -store perf/store.jsonl     also serve the recorded perf trajectories
+//	dashboard -snapshot DIR               write every JSON endpoint to DIR and exit
+//	                                      (the network-free mode check.sh diffs)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/core"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
+	"mv2sim/internal/obs/critpath"
+	"mv2sim/internal/obs/dash"
+	"mv2sim/internal/obs/store"
+	"mv2sim/internal/report"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8077", "HTTP listen address")
+	traceIn := flag.String("trace", "", "serve a ChromeTracer JSON file instead of running live")
+	storePath := flag.String("store", "", "append-only perf store to serve trajectories from")
+	snapshot := flag.String("snapshot", "", "write every JSON endpoint into this directory and exit")
+	msg := flag.Int("msg", 4<<20, "live mode: message size in bytes")
+	pitch := flag.Int("pitch", 16, "live mode: byte pitch between 4-byte vector elements")
+	rails := flag.Int("rails", mpi.DefaultRails, "live mode: HCA rails to stripe chunks across")
+	packMode := flag.String("packmode", "auto", "live mode: pack/unpack engine: auto, memcpy2d or kernel")
+	flag.Parse()
+
+	var (
+		b     dash.Bundle
+		trace []byte
+		label string
+	)
+	if *traceIn != "" {
+		data, err := os.ReadFile(*traceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		col, err := critpath.Ingest(bytes.NewReader(data))
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, trace, label = dash.Replay(col), data, *traceIn
+	} else {
+		b, trace = runLive(*msg, *pitch, *rails, *packMode)
+		label = fmt.Sprintf("live_msg%s_rails%d_%s", report.ByteSize(*msg), *rails, *packMode)
+	}
+
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		if st, err = store.Open(*storePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := dash.New(label, b, trace, st)
+	if *snapshot != "" {
+		if err := srv.Snapshot(*snapshot); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dashboard: wrote endpoint snapshots to %s\n", *snapshot)
+		return
+	}
+	fmt.Printf("dashboard: serving %s on http://%s\n", label, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// runLive runs one pipetrace-style 2-GPU transfer with the dashboard
+// bundle and a Chrome tracer attached.
+func runLive(msg, pitch, rails int, packMode string) (dash.Bundle, []byte) {
+	mode, err := core.ParsePackMode(packMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := msg / 4
+	vec, err := datatype.Vector(rows, 1, pitch/4, datatype.Float32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vec.MustCommit()
+
+	b := dash.NewBundle()
+	chrome := obs.NewChromeTracer()
+	cfg := cluster.Config{
+		GPUMemBytes: 2*rows*pitch + (64 << 20),
+		Rails:       rails,
+		Tracers:     append(b.Tracers(), chrome),
+	}
+	cfg.Core.PackMode = mode
+	cfg.Core.UnpackMode = mode
+	cl := cluster.New(cfg)
+	err = cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(vec.Span(1))
+		if r.Rank() == 0 {
+			mem.Fill(buf, vec.Span(1), func(i int) byte { return byte(i) })
+			r.Send(buf, 1, vec, 1, 0)
+		} else {
+			r.Recv(buf, 1, vec, 0, 0)
+		}
+		if err := n.Ctx.Free(buf); err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.CheckDeviceLeaks(); err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := chrome.WriteTo(&buf); err != nil {
+		log.Fatal(err)
+	}
+	return b, buf.Bytes()
+}

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"mv2sim/internal/gpu"
+	"mv2sim/internal/obs/store"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 )
@@ -36,10 +37,15 @@ func main() {
 	widths := flag.Bool("widths", false, "also sweep element width at 256 KB (beyond the paper's fixed 4 B)")
 	crossover := flag.Bool("crossover", false, "run the kernel-vs-memcpy2D pack crossover sweep instead of Figure 2")
 	benchOut := flag.String("bench", "", "with -crossover: write the sweep as JSON (BENCH_pack.json)")
+	storePath := flag.String("store", "", "append extracted crossover metrics to this perf store (JSON lines)")
+	commit := flag.String("commit", "", "commit id to stamp on appended store records")
 	flag.Parse()
 
 	if *crossover {
 		runCrossover(*benchOut)
+		if *storePath != "" && *benchOut != "" {
+			appendStore(*storePath, *commit, *benchOut)
+		}
 		return
 	}
 
@@ -93,6 +99,30 @@ func runCrossover(out string) {
 		}
 		fmt.Printf("Crossover sweep written to %s (%d points).\n", out, len(res.Grid))
 	}
+}
+
+// appendStore extracts the crossover metrics from the written bench file
+// and appends them to the perf store.
+func appendStore(storePath, commit, benchPath string) {
+	st, err := store.Open(storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(benchPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, recs, err := store.Extract(data)
+	if err != nil {
+		log.Fatalf("packbench: %s: %v", benchPath, err)
+	}
+	for i := range recs {
+		recs[i].Commit = commit
+	}
+	if err := st.Append(recs...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Perf store: appended %d %s metric(s) to %s\n", len(recs), source, storePath)
 }
 
 // must exits nonzero on any benchmark failure, including the device-leak

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
 	"mv2sim/internal/obs/critpath"
+	"mv2sim/internal/obs/store"
 	"mv2sim/internal/report"
 )
 
@@ -38,6 +40,27 @@ type benchFile struct {
 	Results []critpath.BenchResult `json:"results"`
 }
 
+// mergeBench folds fresh results into an existing bench document: a
+// fresh result replaces the same-label record in place (so a single
+// -msg run refreshes its row of a -matrix file instead of erasing the
+// rest), and genuinely new labels append at the end.
+func mergeBench(existing, fresh []critpath.BenchResult) []critpath.BenchResult {
+	out := append([]critpath.BenchResult(nil), existing...)
+	index := make(map[string]int, len(out))
+	for i, r := range out {
+		index[r.Label] = i
+	}
+	for _, r := range fresh {
+		if i, ok := index[r.Label]; ok {
+			out[i] = r
+			continue
+		}
+		index[r.Label] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
 func main() {
 	msg := flag.Int("msg", 4<<20, "message size in bytes")
 	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
@@ -45,7 +68,9 @@ func main() {
 	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
 	traceIn := flag.String("trace", "", "ingest a ChromeTracer JSON file instead of running live")
 	matrix := flag.Bool("matrix", false, "run the repro matrix (sizes x rails x pack modes)")
-	benchOut := flag.String("bench", "", "write machine-readable results to this JSON file")
+	benchOut := flag.String("bench", "", "merge machine-readable results into this JSON file")
+	storePath := flag.String("store", "", "append extracted metrics to this perf store (JSON lines)")
+	commit := flag.String("commit", "", "commit id to stamp on appended store records")
 	showPath := flag.Bool("path", false, "print the critical-path step table")
 	strict := flag.Bool("strict", false, "exit nonzero if the model check flags divergence")
 	flag.Parse()
@@ -92,7 +117,18 @@ func main() {
 	}
 
 	if *benchOut != "" {
-		data, err := json.MarshalIndent(bench, "", "  ")
+		// Merge into an existing document rather than overwriting it, so a
+		// single-configuration run refreshes only its own row of a
+		// previously written -matrix file.
+		merged := bench
+		if prev, err := os.ReadFile(*benchOut); err == nil && len(bytes.TrimSpace(prev)) > 0 {
+			var existing benchFile
+			if err := json.Unmarshal(prev, &existing); err != nil {
+				log.Fatalf("pipedoctor: existing %s is not a bench file: %v", *benchOut, err)
+			}
+			merged.Results = mergeBench(existing.Results, bench.Results)
+		}
+		data, err := json.MarshalIndent(merged, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,9 +137,39 @@ func main() {
 		}
 		fmt.Printf("Machine-readable results: %s\n", *benchOut)
 	}
+	if *storePath != "" {
+		data, err := json.Marshal(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := appendStore(*storePath, *commit, data); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// appendStore extracts metrics from a bench document and appends them to
+// the perf store at path.
+func appendStore(path, commit string, benchDoc []byte) error {
+	st, err := store.Open(path)
+	if err != nil {
+		return err
+	}
+	source, recs, err := store.Extract(benchDoc)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		recs[i].Commit = commit
+	}
+	if err := st.Append(recs...); err != nil {
+		return err
+	}
+	fmt.Printf("Perf store: appended %d %s metric(s) to %s\n", len(recs), source, path)
+	return nil
 }
 
 // runOnce runs one live pipetrace-style transfer with the collecting and

@@ -25,6 +25,7 @@ import (
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
 	"mv2sim/internal/obs/critpath"
+	"mv2sim/internal/obs/store"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
 	"mv2sim/internal/shoc"
@@ -76,12 +77,15 @@ func main() {
 	benchOut := flag.String("bench", "BENCH_repro.json", "machine-readable results file ('' to skip)")
 	wallOut := flag.String("wallclock", "", "write simulator wall-clock microbenchmarks to this JSON file")
 	wallOnly := flag.Bool("wallclockonly", false, "run only the -wallclock microbenchmarks and exit")
+	storePath := flag.String("store", "", "append extracted bench metrics to this perf store (JSON lines)")
+	commit := flag.String("commit", "", "commit id to stamp on appended store records")
 	flag.Parse()
 	if *wallOnly && *wallOut == "" {
 		log.Fatal("repro: -wallclockonly requires -wallclock FILE")
 	}
 	if *wallOnly {
 		writeWallclock(*wallOut)
+		appendStoreFiles(*storePath, *commit, *wallOut)
 		return
 	}
 	bench := benchResults{
@@ -228,9 +232,42 @@ func main() {
 	if *wallOut != "" {
 		writeWallclock(*wallOut)
 	}
+	appendStoreFiles(*storePath, *commit, *benchOut, *wallOut)
 
 	fmt.Printf("\nTotal wall time: %s (virtual cluster: 8 nodes, C2050-class GPUs, QDR IB)\n",
 		time.Since(start).Round(time.Millisecond))
+}
+
+// appendStoreFiles extracts the metrics of each written bench file and
+// appends them to the perf store; a no-op without -store.
+func appendStoreFiles(storePath, commit string, files ...string) {
+	if storePath == "" {
+		return
+	}
+	st, err := store.Open(storePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range files {
+		if p == "" {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		source, recs, err := store.Extract(data)
+		if err != nil {
+			log.Fatalf("repro: %s: %v", p, err)
+		}
+		for i := range recs {
+			recs[i].Commit = commit
+		}
+		if err := st.Append(recs...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Perf store: appended %d %s metric(s) to %s\n", len(recs), source, storePath)
+	}
 }
 
 // writeWallclock measures the simulator's own wall-clock hot paths and

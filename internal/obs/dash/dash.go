@@ -1,0 +1,463 @@
+// Package dash is the live pipeline dashboard: an net/http server over
+// one observed simulation run (live tracers or an ingested Chrome trace)
+// plus the append-only perf store. It follows the shape of Akita's daisen
+// trace-exploration server — a handful of JSON endpoints over a small
+// embedded static UI — scaled down to this repo's task stream.
+//
+// Endpoints (all GET, all byte-deterministic for a given run):
+//
+//	/api/meta         run label, observed window, transfer/task counts
+//	/api/resources    per-resource busy time and utilization, rail lanes
+//	                  aggregated under their base resource (sorted by name)
+//	/api/stats        per-kind task statistics (count/total/avg/median/bytes)
+//	/api/percentiles  per-kind p50/p95/p99 latency (ok=false under 2 samples)
+//	/api/critpath     per-transfer stall attribution and model check
+//	/api/trajectory   the perf store's recorded metric series
+//	/api/trace        the Chrome trace document (Perfetto-loadable)
+//	/                 embedded static page rendering the above
+//
+// Determinism is a contract, not an accident: every list is explicitly
+// ordered (sorted resource names and metric keys, start-ordered
+// transfers), all JSON is rendered through one marshaller, and check.sh
+// diffs a -snapshot of every endpoint against committed goldens.
+package dash
+
+import (
+	"embed"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mv2sim/internal/obs"
+	"mv2sim/internal/obs/critpath"
+	"mv2sim/internal/obs/store"
+	"mv2sim/internal/report"
+	"mv2sim/internal/sim"
+)
+
+//go:embed static
+var staticFS embed.FS
+
+// PayloadSchema versions the endpoint JSON shapes; bump it when a
+// breaking field change would invalidate committed goldens or external
+// consumers.
+const PayloadSchema = 1
+
+// Bundle is the set of tracers a dashboard serves from. Attach all four
+// to a live cluster run, or build them from an ingested trace with
+// Replay.
+type Bundle struct {
+	Busy    *obs.BusyTimeTracer
+	Stats   *obs.StatsTracer
+	Metrics *obs.MetricsTracer
+	Col     *critpath.Collector
+}
+
+// NewBundle creates empty tracers ready to attach to a cluster config.
+func NewBundle() Bundle {
+	return Bundle{
+		Busy:    obs.NewBusyTimeTracer(),
+		Stats:   obs.NewStatsTracer(),
+		Metrics: obs.NewMetricsTracer(),
+		Col:     critpath.NewCollector(),
+	}
+}
+
+// Tracers returns the bundle as a cluster-attachable tracer list.
+func (b Bundle) Tracers() []obs.Tracer {
+	return []obs.Tracer{b.Busy, b.Stats, b.Metrics, b.Col}
+}
+
+// Replay rebuilds a bundle from an already-collected task stream (e.g. a
+// critpath.Ingest of a Chrome trace file): tasks are fed to the busy,
+// stats and metrics tracers in recorded order, so the result is
+// deterministic for a given trace document.
+func Replay(col *critpath.Collector) Bundle {
+	b := NewBundle()
+	b.Col = col
+	for _, t := range col.Tasks() {
+		b.Busy.TaskEnd(t)
+		b.Stats.TaskEnd(t)
+		b.Metrics.TaskEnd(t)
+	}
+	return b
+}
+
+// Server renders one observed run plus the perf store.
+type Server struct {
+	label string
+	b     Bundle
+	trace []byte       // Chrome trace document served at /api/trace
+	st    *store.Store // nil when no store is attached
+}
+
+// New creates a dashboard server. trace may be nil (the /api/trace
+// endpoint then 404s); st may be nil (the trajectory endpoint serves an
+// empty series list).
+func New(label string, b Bundle, trace []byte, st *store.Store) *Server {
+	return &Server{label: label, b: b, trace: trace, st: st}
+}
+
+// endpoints lists the JSON endpoint names in serving order — the
+// contract /api/meta advertises and Snapshot materializes.
+var endpoints = []string{"meta", "resources", "stats", "percentiles", "critpath", "trajectory"}
+
+// marshal is the single JSON renderer every endpoint goes through:
+// two-space indent, trailing newline, HTML escaping off so byte output
+// matches what encoding/json produces for Go strings verbatim.
+func marshal(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Meta is the /api/meta payload.
+type Meta struct {
+	Schema       int      `json:"schema"`
+	Label        string   `json:"label"`
+	WindowFromNs int64    `json:"window_from_ns"`
+	WindowToNs   int64    `json:"window_to_ns"`
+	Tasks        int      `json:"tasks"`
+	Transfers    int      `json:"transfers"`
+	StoreMetrics int      `json:"store_metrics"`
+	HasTrace     bool     `json:"has_trace"`
+	Endpoints    []string `json:"endpoints"`
+}
+
+// Lane is one rail lane of a resource.
+type Lane struct {
+	Track       string  `json:"track"`
+	BusyUs      float64 `json:"busy_us"`
+	Utilization float64 `json:"utilization"`
+	Count       int     `json:"count"`
+	Bytes       int64   `json:"bytes"`
+}
+
+// Resource is one aggregated row of /api/resources.
+type Resource struct {
+	Resource    string  `json:"resource"`
+	Rails       int     `json:"rails"`
+	BusyUs      float64 `json:"busy_us"`
+	Utilization float64 `json:"utilization"` // per-lane: busy / (window * lanes)
+	Count       int     `json:"count"`
+	Bytes       int64   `json:"bytes"`
+	Lanes       []Lane  `json:"lanes,omitempty"` // only for multi-rail resources
+}
+
+// KindStat is one row of /api/stats.
+type KindStat struct {
+	Kind     string  `json:"kind"`
+	Count    int     `json:"count"`
+	TotalUs  float64 `json:"total_us"`
+	AvgUs    float64 `json:"avg_us"`
+	MedianUs float64 `json:"median_us"`
+	Bytes    int64   `json:"bytes"`
+}
+
+// Percentile is one row of /api/percentiles. OK is false when the kind
+// has fewer than two samples; the quantile fields are then zero.
+type Percentile struct {
+	Kind  string  `json:"kind"`
+	Count uint64  `json:"count"`
+	OK    bool    `json:"ok"`
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
+}
+
+// BucketShare is one stall bucket of a transfer.
+type BucketShare struct {
+	Bucket string  `json:"bucket"`
+	Us     float64 `json:"us"`
+	Share  float64 `json:"share"`
+}
+
+// ModelInfo is the (n+2)*T(N/n) check of a chunked transfer.
+type ModelInfo struct {
+	Bottleneck    string  `json:"bottleneck"`
+	PredictedUs   float64 `json:"predicted_us"`
+	MeasuredUs    float64 `json:"measured_us"`
+	DivergencePct float64 `json:"divergence_pct"`
+	Flagged       bool    `json:"flagged"`
+	Responsible   string  `json:"responsible,omitempty"`
+	Verdict       string  `json:"verdict"`
+	Recommend     string  `json:"recommend"`
+}
+
+// TransferInfo is one transfer's stall attribution in /api/critpath.
+type TransferInfo struct {
+	Index     int           `json:"index"`
+	Label     string        `json:"label"`
+	Bytes     int           `json:"bytes"`
+	WallUs    float64       `json:"wall_us"`
+	Chunks    int           `json:"chunks"`
+	Rails     int           `json:"rails"`
+	SumsExact bool          `json:"sums_exact"`
+	Buckets   []BucketShare `json:"buckets"`
+	Model     *ModelInfo    `json:"model,omitempty"`
+}
+
+// TrajPoint is one record of a metric's trajectory.
+type TrajPoint struct {
+	Seq    int     `json:"seq"`
+	Commit string  `json:"commit,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Trajectory is one metric's series in /api/trajectory.
+type Trajectory struct {
+	Metric string      `json:"metric"`
+	Source string      `json:"source"`
+	Unit   string      `json:"unit,omitempty"`
+	Better string      `json:"better,omitempty"`
+	Latest float64     `json:"latest"`
+	Best   float64     `json:"best"`
+	Points []TrajPoint `json:"points"`
+}
+
+// Meta builds the /api/meta payload.
+func (s *Server) Meta() Meta {
+	from, to := s.b.Busy.Window()
+	storeMetrics := 0
+	if s.st != nil {
+		storeMetrics = len(s.st.Metrics())
+	}
+	return Meta{
+		Schema:       PayloadSchema,
+		Label:        s.label,
+		WindowFromNs: int64(from),
+		WindowToNs:   int64(to),
+		Tasks:        len(s.b.Col.Tasks()),
+		Transfers:    len(s.b.Col.Transfers()),
+		StoreMetrics: storeMetrics,
+		HasTrace:     len(s.trace) > 0,
+		Endpoints:    endpoints,
+	}
+}
+
+// Resources builds the /api/resources payload: rail lanes grouped under
+// their base resource, groups sorted by base name.
+func (s *Server) Resources() []Resource {
+	from, to := s.b.Busy.Window()
+	window := to - from
+	groups := obs.GroupRails(s.b.Busy.Wheres())
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Base < groups[j].Base })
+	out := make([]Resource, 0, len(groups))
+	for _, g := range groups {
+		r := Resource{Resource: g.Base, Rails: len(g.Tracks)}
+		var busy sim.Time
+		for _, tr := range g.Tracks {
+			lb := s.b.Busy.Busy(tr)
+			busy += lb
+			if len(g.Tracks) > 1 {
+				lane := Lane{
+					Track:  tr,
+					BusyUs: lb.Micros(),
+					Count:  s.b.Stats.WhereCount(tr),
+					Bytes:  s.b.Stats.WhereBytes(tr),
+				}
+				if window > 0 {
+					lane.Utilization = float64(lb) / float64(window)
+				}
+				r.Lanes = append(r.Lanes, lane)
+			}
+			r.Count += s.b.Stats.WhereCount(tr)
+			r.Bytes += s.b.Stats.WhereBytes(tr)
+		}
+		r.BusyUs = busy.Micros()
+		if window > 0 {
+			r.Utilization = float64(busy) / float64(window*sim.Time(len(g.Tracks)))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Stats builds the /api/stats payload, kinds sorted by name.
+func (s *Server) Stats() []KindStat {
+	kinds := s.b.Stats.Kinds()
+	sort.Strings(kinds)
+	out := make([]KindStat, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, KindStat{
+			Kind:     k,
+			Count:    s.b.Stats.Count(k),
+			TotalUs:  s.b.Stats.Total(k).Micros(),
+			AvgUs:    s.b.Stats.Avg(k).Micros(),
+			MedianUs: s.b.Stats.Median(k).Micros(),
+			Bytes:    s.b.Stats.Bytes(k),
+		})
+	}
+	return out
+}
+
+// Percentiles builds the /api/percentiles payload, kinds sorted by name.
+func (s *Server) Percentiles() []Percentile {
+	kinds := s.b.Metrics.Kinds()
+	sort.Strings(kinds)
+	out := make([]Percentile, 0, len(kinds))
+	for _, k := range kinds {
+		h := s.b.Metrics.Hist(k)
+		p := Percentile{Kind: k, Count: h.Count(), MaxUs: h.Max().Micros()}
+		if p50, ok := s.b.Metrics.Percentile(k, 0.50); ok {
+			p.OK = true
+			p.P50Us = p50.Micros()
+			p95, _ := s.b.Metrics.Percentile(k, 0.95)
+			p99, _ := s.b.Metrics.Percentile(k, 0.99)
+			p.P95Us = p95.Micros()
+			p.P99Us = p99.Micros()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Critpath builds the /api/critpath payload: one entry per paired
+// transfer, in the collector's deterministic start order.
+func (s *Server) Critpath() []TransferInfo {
+	analyses := s.b.Col.Analyze()
+	out := make([]TransferInfo, 0, len(analyses))
+	for i, a := range analyses {
+		ti := TransferInfo{
+			Index:     i,
+			Label:     fmt.Sprintf("transfer%d_%s", i, report.ByteSize(a.Transfer.Send.Bytes)),
+			Bytes:     a.Transfer.Send.Bytes,
+			WallUs:    a.Wall().Micros(),
+			Chunks:    a.Chunks,
+			Rails:     a.Rails,
+			SumsExact: a.Exact(),
+		}
+		wall := a.Wall()
+		for _, b := range critpath.BucketOrder {
+			v, ok := a.Buckets[b]
+			if !ok {
+				continue
+			}
+			bs := BucketShare{Bucket: b, Us: v.Micros()}
+			if wall > 0 {
+				bs.Share = float64(v) / float64(wall)
+			}
+			ti.Buckets = append(ti.Buckets, bs)
+		}
+		if m, ok := a.Model(); ok {
+			ti.Model = &ModelInfo{
+				Bottleneck:    m.Bottleneck,
+				PredictedUs:   m.Predicted.Micros(),
+				MeasuredUs:    m.Measured.Micros(),
+				DivergencePct: 100 * m.Divergence,
+				Flagged:       m.Flagged,
+				Responsible:   m.Responsible,
+				Verdict:       m.Verdict,
+				Recommend:     m.Recommend,
+			}
+		}
+		out = append(out, ti)
+	}
+	return out
+}
+
+// Trajectories builds the /api/trajectory payload: every stored metric's
+// series, sorted by metric key. Without a store it returns an empty
+// (non-nil) slice so the endpoint stays a JSON array.
+func (s *Server) Trajectories() []Trajectory {
+	out := []Trajectory{}
+	if s.st == nil {
+		return out
+	}
+	for _, m := range s.st.Metrics() {
+		recs := s.st.Trajectory(m)
+		tr := Trajectory{Metric: m}
+		for _, r := range recs {
+			tr.Source, tr.Unit, tr.Better = r.Source, r.Unit, r.Better
+			tr.Points = append(tr.Points, TrajPoint{Seq: r.Seq, Commit: r.Commit, Value: r.Value})
+		}
+		if latest, ok := s.st.Latest(m); ok {
+			tr.Latest = latest.Value
+		}
+		if best, ok := s.st.Best(m); ok {
+			tr.Best = best.Value
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// payload renders one named endpoint's JSON document.
+func (s *Server) payload(name string) ([]byte, error) {
+	switch name {
+	case "meta":
+		return marshal(s.Meta())
+	case "resources":
+		return marshal(s.Resources())
+	case "stats":
+		return marshal(s.Stats())
+	case "percentiles":
+		return marshal(s.Percentiles())
+	case "critpath":
+		return marshal(s.Critpath())
+	case "trajectory":
+		return marshal(s.Trajectories())
+	}
+	return nil, fmt.Errorf("dash: unknown endpoint %q", name)
+}
+
+// Handler returns the dashboard's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, name := range endpoints {
+		name := name
+		mux.HandleFunc("/api/"+name, func(w http.ResponseWriter, r *http.Request) {
+			data, err := s.payload(name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(data)
+		})
+	}
+	mux.HandleFunc("/api/trace", func(w http.ResponseWriter, r *http.Request) {
+		if len(s.trace) == 0 {
+			http.Error(w, "no trace attached to this run", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+		w.Write(s.trace)
+	})
+	// The embed layout is fixed at build time, so Sub cannot fail; if it
+	// somehow does, serve the unrooted FS (pages at /static/) rather
+	// than panicking out of an exported API.
+	if static, err := fs.Sub(staticFS, "static"); err == nil {
+		mux.Handle("/", http.FileServer(http.FS(static)))
+	} else {
+		mux.Handle("/", http.FileServer(http.FS(staticFS)))
+	}
+	return mux
+}
+
+// Snapshot writes every JSON endpoint's exact byte output into dir as
+// <endpoint>.json — the goldens check.sh diffs, and a network-free way
+// to inspect a run.
+func (s *Server) Snapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dash: snapshot: %w", err)
+	}
+	for _, name := range endpoints {
+		data, err := s.payload(name)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".json"), data, 0o644); err != nil {
+			return fmt.Errorf("dash: snapshot %s: %w", name, err)
+		}
+	}
+	return nil
+}

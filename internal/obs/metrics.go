@@ -167,16 +167,35 @@ func (m *MetricsTracer) Kinds() []string { return append([]string(nil), m.order.
 // Hist returns the histogram for a kind, or nil when unobserved.
 func (m *MetricsTracer) Hist(kind string) *Histogram { return m.hists[kind] }
 
-// Table renders the registry as a percentile table.
+// Percentile returns the q-th quantile of the kind's duration
+// distribution. ok is false for unobserved kinds and for kinds with
+// fewer than two samples: a single sample makes every quantile collapse
+// to that one value, and reporting it as "p99" misleads — callers
+// (tables, dashboard endpoints) render those as absent instead.
+func (m *MetricsTracer) Percentile(kind string, q float64) (sim.Time, bool) {
+	h := m.hists[kind]
+	if h == nil || h.Count() < 2 {
+		return 0, false
+	}
+	return h.Quantile(q), true
+}
+
+// Table renders the registry as a percentile table. Kinds with fewer
+// than two samples show "-" in the quantile columns (see Percentile).
 func (m *MetricsTracer) Table(title string) *report.Table {
 	t := report.NewTable(title, "kind", "count", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)")
 	for _, k := range m.order {
 		h := m.hists[k]
+		cell := func(q float64) string {
+			v, ok := m.Percentile(k, q)
+			if !ok {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", v.Micros())
+		}
 		t.Add(k,
 			fmt.Sprintf("%d", h.Count()),
-			fmt.Sprintf("%.1f", h.Quantile(0.50).Micros()),
-			fmt.Sprintf("%.1f", h.Quantile(0.95).Micros()),
-			fmt.Sprintf("%.1f", h.Quantile(0.99).Micros()),
+			cell(0.50), cell(0.95), cell(0.99),
 			fmt.Sprintf("%.1f", h.Max().Micros()))
 	}
 	return t

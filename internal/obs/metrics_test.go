@@ -129,3 +129,46 @@ func TestMetricsTracerPerKind(t *testing.T) {
 		t.Fatalf("table missing content:\n%s", tbl)
 	}
 }
+
+func TestPercentileGuards(t *testing.T) {
+	clk := &fakeClock{}
+	m := NewMetricsTracer()
+	h := NewHub(clk, m)
+
+	// Unobserved kind: 0, not ok.
+	if v, ok := m.Percentile(KindPack, 0.5); v != 0 || ok {
+		t.Fatalf("Percentile(unobserved) = %d, %v; want 0, false", v, ok)
+	}
+
+	// One sample: degenerate quantile, still not ok.
+	sp := h.Start(KindPack, "gpu0.d2dEngine", 0, 1<<16)
+	clk.t = 700
+	sp.End()
+	if v, ok := m.Percentile(KindPack, 0.99); v != 0 || ok {
+		t.Fatalf("Percentile(one sample) = %d, %v; want 0, false", v, ok)
+	}
+	if tbl := m.Table("t").String(); !strings.Contains(tbl, "-") {
+		t.Fatalf("one-sample kind did not render '-' quantiles:\n%s", tbl)
+	}
+
+	// Two samples: quantiles are meaningful and reported ok.
+	clk.t = 1000
+	sp = h.Start(KindPack, "gpu0.d2dEngine", 1, 1<<16)
+	clk.t = 1300
+	sp.End()
+	v, ok := m.Percentile(KindPack, 0.5)
+	if !ok {
+		t.Fatal("Percentile(two samples) not ok")
+	}
+	if v < 300 || v > 700 {
+		t.Fatalf("p50 of {700, 300} = %d, outside [300, 700]", v)
+	}
+}
+
+func TestPercentileEmptyTracerTable(t *testing.T) {
+	m := NewMetricsTracer()
+	// An empty registry renders a header-only table without panicking.
+	if tbl := m.Table("empty").String(); !strings.Contains(tbl, "kind") {
+		t.Fatalf("empty table malformed:\n%s", tbl)
+	}
+}

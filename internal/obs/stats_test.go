@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+// feedStats drives one fixed task stream — two rail lanes of a striped
+// D2H engine plus a bare HCA link — through a fresh StatsTracer.
+func feedStats() *StatsTracer {
+	s := NewStatsTracer()
+	emit := func(kind, where string, start, end sim.Time, bytes int) {
+		s.TaskEnd(Task{ID: 1, Kind: kind, What: kind, Where: where,
+			Chunk: 0, Bytes: bytes, Start: start, End: end})
+	}
+	emit(KindCopyD2H, "gpu0.d2hEngine.r0", 0, 100, 1024)
+	emit(KindCopyD2H, "gpu0.d2hEngine.r1", 50, 250, 2048)
+	emit(KindRDMA, "hca0.tx", 100, 400, 3072)
+	emit(KindCopyD2H, "gpu0.d2hEngine.r0", 300, 350, 512)
+	return s
+}
+
+func TestResourceTableDeterministic(t *testing.T) {
+	// The same task stream must render byte-identical tables, run after
+	// run — the property the dashboard's golden-tested endpoints rest on.
+	want := feedStats().ResourceTable("resources").String()
+	for i := 0; i < 10; i++ {
+		if got := feedStats().ResourceTable("resources").String(); got != want {
+			t.Fatalf("run %d drifted:\n%s\nwant\n%s", i, got, want)
+		}
+	}
+}
+
+func TestResourceTableRailAggregation(t *testing.T) {
+	tbl := feedStats().ResourceTable("resources")
+	// Aggregated row first: base name, lane count, summed count/total/bytes.
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (aggregate + 2 lanes + bare hca):\n%s", len(tbl.Rows), tbl)
+	}
+	agg := tbl.Rows[0]
+	if agg[0] != "gpu0.d2hEngine" || agg[1] != "2" || agg[2] != "3" || agg[4] != "3584" {
+		t.Fatalf("aggregate row = %v", agg)
+	}
+	// Split rows follow in rail order, indented, with blank lane counts.
+	if tbl.Rows[1][0] != "  gpu0.d2hEngine.r0" || tbl.Rows[2][0] != "  gpu0.d2hEngine.r1" {
+		t.Fatalf("split rows out of rail order: %v / %v", tbl.Rows[1], tbl.Rows[2])
+	}
+	if tbl.Rows[1][1] != "" || tbl.Rows[2][1] != "" {
+		t.Fatalf("split rows carry a lane count: %v / %v", tbl.Rows[1], tbl.Rows[2])
+	}
+	// Bare single-lane resources get one row, no split.
+	if tbl.Rows[3][0] != "hca0.tx" || tbl.Rows[3][1] != "1" {
+		t.Fatalf("bare resource row = %v", tbl.Rows[3])
+	}
+}
+
+func TestResourceTableRailOrderIndependent(t *testing.T) {
+	// Rail lanes first seen out of order (r1 before r0) must still
+	// aggregate under the base and split in rail order.
+	s := NewStatsTracer()
+	s.TaskEnd(Task{ID: 1, Kind: KindCopyD2H, Where: "gpu0.d2hEngine.r1", Start: 0, End: 10, Bytes: 1})
+	s.TaskEnd(Task{ID: 2, Kind: KindCopyD2H, Where: "gpu0.d2hEngine.r0", Start: 5, End: 20, Bytes: 2})
+	tbl := s.ResourceTable("resources")
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d:\n%s", len(tbl.Rows), tbl)
+	}
+	if tbl.Rows[1][0] != "  gpu0.d2hEngine.r0" || tbl.Rows[2][0] != "  gpu0.d2hEngine.r1" {
+		t.Fatalf("lanes not in rail order:\n%s", tbl)
+	}
+}
+
+func TestGroupRailsDeterministicOverRepeats(t *testing.T) {
+	in := []string{"hca0.tx.r0", "rank0.pack", "hca0.tx.r1", "gpu1.h2dEngine", "hca1.rx.r1", "hca1.rx.r0"}
+	want := GroupRails(in)
+	for i := 0; i < 10; i++ {
+		got := GroupRails(in)
+		if len(got) != len(want) {
+			t.Fatalf("group count drifted: %d vs %d", len(got), len(want))
+		}
+		for j := range got {
+			if got[j].Base != want[j].Base || strings.Join(got[j].Tracks, ",") != strings.Join(want[j].Tracks, ",") {
+				t.Fatalf("run %d group %d drifted: %+v vs %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}

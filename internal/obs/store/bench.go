@@ -1,0 +1,224 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file flattens the repo's BENCH_*.json snapshot formats into store
+// records, one record per metric. Virtual-time metrics (simulated
+// latencies, virtual bandwidths) get a direction and are gate-able; host
+// wall-clock metrics are recorded as informational — they ride along in
+// the trajectory plots but a noisy CI machine can never fail the gate.
+
+// Extract sniffs which BENCH format the document is and flattens it.
+// The returned source is one of "repro", "pack", "critpath", "wallclock".
+// Records come back sorted by metric key, so extraction is deterministic
+// regardless of JSON map order.
+func Extract(data []byte) (source string, recs []Record, err error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", nil, fmt.Errorf("store: parse bench file: %w", err)
+	}
+	switch {
+	case probe["figure5b_latency_us"] != nil:
+		recs, err = ExtractRepro(data)
+		source = "repro"
+	case probe["pitch_factor"] != nil && probe["grid"] != nil:
+		recs, err = ExtractPack(data)
+		source = "pack"
+	case probe["results"] != nil:
+		recs, err = ExtractCritpath(data)
+		source = "critpath"
+	case probe["engine_event_ns"] != nil:
+		recs, err = ExtractWallclock(data)
+		source = "wallclock"
+	default:
+		return "", nil, fmt.Errorf("store: unrecognized bench file (keys: %s)", strings.Join(sortedKeys(probe), ", "))
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Metric < recs[j].Metric })
+	return source, recs, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reproBench mirrors the subset of cmd/repro's BENCH_repro.json the store
+// tracks.
+type reproBench struct {
+	Figure5bLatencyUs  map[string]map[string]float64 `json:"figure5b_latency_us"`
+	Stencil2DMedianSec map[string][]struct {
+		Grid  string  `json:"grid"`
+		NCSec float64 `json:"nc_sec"`
+	} `json:"stencil2d_median_sec"`
+	Pipedoctor4MB struct {
+		WallUs float64 `json:"wall_us"`
+	} `json:"pipedoctor_4mb"`
+}
+
+// ExtractRepro flattens BENCH_repro.json: the Figure 5(b) virtual latency
+// curves, the Stencil2D NC medians and the 4 MB pipedoctor wall clock —
+// all virtual times, all gate-able lower-is-better.
+func ExtractRepro(data []byte) ([]Record, error) {
+	var b reproBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: parse repro bench: %w", err)
+	}
+	var recs []Record
+	for _, series := range sortedKeys(b.Figure5bLatencyUs) {
+		pts := b.Figure5bLatencyUs[series]
+		for _, size := range sortedKeys(pts) {
+			recs = append(recs, Record{
+				Source: "repro",
+				Metric: fmt.Sprintf("repro.figure5b.%s.%s_us", series, size),
+				Unit:   "us", Better: BetterLower, Value: pts[size],
+			})
+		}
+	}
+	for _, prec := range sortedKeys(b.Stencil2DMedianSec) {
+		for _, row := range b.Stencil2DMedianSec[prec] {
+			grid := row.Grid
+			if i := strings.IndexByte(grid, ' '); i > 0 {
+				grid = grid[:i] // "1x8 (64Kx1K)" -> "1x8"
+			}
+			recs = append(recs, Record{
+				Source: "repro",
+				Metric: fmt.Sprintf("repro.stencil2d.%s.%s.nc_sec", prec, grid),
+				Unit:   "s", Better: BetterLower, Value: row.NCSec,
+			})
+		}
+	}
+	if b.Pipedoctor4MB.WallUs > 0 {
+		recs = append(recs, Record{
+			Source: "repro",
+			Metric: "repro.pipedoctor_4mb.wall_us",
+			Unit:   "us", Better: BetterLower, Value: b.Pipedoctor4MB.WallUs,
+		})
+	}
+	return recs, nil
+}
+
+// packBench mirrors osu.CrossoverResult.
+type packBench struct {
+	Grid []struct {
+		Rows     int     `json:"rows"`
+		RowBytes int     `json:"row_bytes"`
+		AutoUs   float64 `json:"auto_us"`
+		Auto     string  `json:"auto"`
+		Best     string  `json:"best"`
+	} `json:"grid"`
+	BreakEvenRows map[string]float64 `json:"break_even_rows"`
+}
+
+// ExtractPack flattens BENCH_pack.json: the auto-engine latency of every
+// crossover grid point (lower-better, virtual), the count of points where
+// auto picked the slower engine (lower-better), and the per-width
+// break-even rows as informational context.
+func ExtractPack(data []byte) ([]Record, error) {
+	var b packBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: parse pack bench: %w", err)
+	}
+	var recs []Record
+	mismatches := 0
+	for _, pt := range b.Grid {
+		recs = append(recs, Record{
+			Source: "pack",
+			Metric: fmt.Sprintf("pack.crossover.%dx%d.auto_us", pt.Rows, pt.RowBytes),
+			Unit:   "us", Better: BetterLower, Value: pt.AutoUs,
+		})
+		if pt.Auto != pt.Best {
+			mismatches++
+		}
+	}
+	recs = append(recs, Record{
+		Source: "pack",
+		Metric: "pack.crossover.auto_mismatches",
+		Unit:   "points", Better: BetterLower, Value: float64(mismatches),
+	})
+	for _, w := range sortedKeys(b.BreakEvenRows) {
+		recs = append(recs, Record{
+			Source: "pack",
+			Metric: fmt.Sprintf("pack.crossover.break_even_rows.%s", w),
+			Unit:   "rows", Value: b.BreakEvenRows[w], // informational
+		})
+	}
+	return recs, nil
+}
+
+// critpathBench mirrors cmd/pipedoctor's benchFile.
+type critpathBench struct {
+	Results []struct {
+		Label      string  `json:"label"`
+		WallUs     float64 `json:"wall_us"`
+		Divergence float64 `json:"divergence"`
+	} `json:"results"`
+}
+
+// ExtractCritpath flattens BENCH_critpath.json: the virtual wall clock of
+// every analyzed configuration (lower-better) plus the model divergence
+// as informational context.
+func ExtractCritpath(data []byte) ([]Record, error) {
+	var b critpathBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: parse critpath bench: %w", err)
+	}
+	var recs []Record
+	for _, r := range b.Results {
+		recs = append(recs,
+			Record{
+				Source: "critpath",
+				Metric: fmt.Sprintf("critpath.%s.wall_us", r.Label),
+				Unit:   "us", Better: BetterLower, Value: r.WallUs,
+			},
+			Record{
+				Source: "critpath",
+				Metric: fmt.Sprintf("critpath.%s.divergence_pct", r.Label),
+				Unit:   "%", Value: 100 * r.Divergence, // informational
+			})
+	}
+	return recs, nil
+}
+
+// wallclockBench mirrors cmd/repro's wallclockResults.
+type wallclockBench struct {
+	EngineEventNs           float64            `json:"engine_event_ns"`
+	PackPlanCachedNsChunk   float64            `json:"packplan_cached_ns_per_chunk"`
+	PackPlanUncachedNsChunk float64            `json:"packplan_uncached_ns_per_chunk"`
+	RailsBandwidthMBs       map[string]float64 `json:"rails_bandwidth_mbs"`
+}
+
+// ExtractWallclock flattens BENCH_wallclock.json. The rails bandwidth
+// points are virtual numbers (a determinism pin) and gate higher-better;
+// the host-time microbenchmarks are informational — real machines are
+// too noisy for a 5% wall-clock gate in CI.
+func ExtractWallclock(data []byte) ([]Record, error) {
+	var b wallclockBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: parse wallclock bench: %w", err)
+	}
+	recs := []Record{
+		{Source: "wallclock", Metric: "wallclock.engine_event_ns", Unit: "ns", Value: b.EngineEventNs},
+		{Source: "wallclock", Metric: "wallclock.packplan_cached_ns_per_chunk", Unit: "ns", Value: b.PackPlanCachedNsChunk},
+		{Source: "wallclock", Metric: "wallclock.packplan_uncached_ns_per_chunk", Unit: "ns", Value: b.PackPlanUncachedNsChunk},
+	}
+	for _, k := range sortedKeys(b.RailsBandwidthMBs) {
+		recs = append(recs, Record{
+			Source: "wallclock",
+			Metric: fmt.Sprintf("wallclock.rails_bandwidth_mbs.%s", k),
+			Unit:   "MB/s", Better: BetterHigher, Value: b.RailsBandwidthMBs[k],
+		})
+	}
+	return recs, nil
+}

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+)
+
+const reproDoc = `{
+  "scale": 16,
+  "figure5b_latency_us": {
+    "MV2-GPU-NC": {"4194304": 1465.986, "4096": 35.004},
+    "Cpy2D+Send": {"4194304": 559435.906, "4096": 571.62}
+  },
+  "stencil2d_median_sec": {
+    "f32": [{"grid": "1x8 (64Kx1K)", "def_sec": 0.006949, "nc_sec": 0.002588}]
+  },
+  "pipedoctor_4mb": {"label": "figure5b_4M_rails1_auto", "wall_us": 1465.986}
+}`
+
+const packDoc = `{
+  "pitch_factor": 4,
+  "grid": [
+    {"rows": 16, "row_bytes": 4, "memcpy2d_us": 5.16, "kernel_us": 6.0, "auto": "memcpy2d", "auto_us": 5.16, "best": "memcpy2d"},
+    {"rows": 128, "row_bytes": 4, "memcpy2d_us": 6.285, "kernel_us": 6.012, "auto": "memcpy2d", "auto_us": 6.285, "best": "kernel"}
+  ],
+  "break_even_rows": {"4": 101}
+}`
+
+const critpathDoc = `{
+  "results": [
+    {"label": "msg4M_rails1_memcpy2d", "msg_bytes": 4194304, "wall_us": 11019.2, "divergence": 0.031, "flagged": false}
+  ]
+}`
+
+const wallclockDoc = `{
+  "gomaxprocs": 8,
+  "engine_event_ns": 350.1,
+  "packplan_cached_ns_per_chunk": 38.4,
+  "packplan_uncached_ns_per_chunk": 44.3,
+  "rails_bandwidth_mbs": {"rails1": 3087.0, "rails2": 4355.0}
+}`
+
+func TestExtractDetectsFormats(t *testing.T) {
+	for _, tc := range []struct {
+		doc, source string
+	}{
+		{reproDoc, "repro"},
+		{packDoc, "pack"},
+		{critpathDoc, "critpath"},
+		{wallclockDoc, "wallclock"},
+	} {
+		source, recs, err := Extract([]byte(tc.doc))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.source, err)
+		}
+		if source != tc.source {
+			t.Fatalf("detected %q, want %q", source, tc.source)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s: no records extracted", tc.source)
+		}
+		for _, r := range recs {
+			if r.Source != tc.source || r.Metric == "" {
+				t.Fatalf("%s: malformed record %+v", tc.source, r)
+			}
+		}
+	}
+	if _, _, err := Extract([]byte(`{"mystery": 1}`)); err == nil {
+		t.Fatal("unrecognized bench file extracted without error")
+	}
+}
+
+func TestExtractReproMetrics(t *testing.T) {
+	_, recs, err := Extract([]byte(reproDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMetric := map[string]Record{}
+	for _, r := range recs {
+		byMetric[r.Metric] = r
+	}
+	want := map[string]float64{
+		"repro.figure5b.MV2-GPU-NC.4194304_us": 1465.986,
+		"repro.figure5b.Cpy2D+Send.4096_us":    571.62,
+		"repro.stencil2d.f32.1x8.nc_sec":       0.002588,
+		"repro.pipedoctor_4mb.wall_us":         1465.986,
+	}
+	for m, v := range want {
+		r, ok := byMetric[m]
+		if !ok {
+			t.Fatalf("metric %s missing; have %v", m, sortedKeys(byMetric))
+		}
+		if r.Value != v || r.Better != BetterLower {
+			t.Fatalf("metric %s = %+v, want value %g lower-better", m, r, v)
+		}
+	}
+}
+
+func TestExtractPackCountsMismatches(t *testing.T) {
+	_, recs, err := Extract([]byte(packDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mismatches, breakEven *Record
+	for i, r := range recs {
+		switch r.Metric {
+		case "pack.crossover.auto_mismatches":
+			mismatches = &recs[i]
+		case "pack.crossover.break_even_rows.4":
+			breakEven = &recs[i]
+		}
+	}
+	if mismatches == nil || mismatches.Value != 1 || mismatches.Better != BetterLower {
+		t.Fatalf("auto_mismatches = %+v", mismatches)
+	}
+	if breakEven == nil || breakEven.Value != 101 || breakEven.Better != "" {
+		t.Fatalf("break_even_rows.4 = %+v (must be informational)", breakEven)
+	}
+}
+
+func TestExtractWallclockDirections(t *testing.T) {
+	_, recs, err := Extract([]byte(wallclockDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		switch r.Metric {
+		case "wallclock.rails_bandwidth_mbs.rails1", "wallclock.rails_bandwidth_mbs.rails2":
+			if r.Better != BetterHigher {
+				t.Fatalf("virtual bandwidth %s not higher-better: %+v", r.Metric, r)
+			}
+		default:
+			if r.Better != "" {
+				t.Fatalf("host-time metric %s must be informational: %+v", r.Metric, r)
+			}
+		}
+	}
+}
+
+func TestExtractIsDeterministic(t *testing.T) {
+	for _, doc := range []string{reproDoc, packDoc, critpathDoc, wallclockDoc} {
+		_, a, err := Extract([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, b, err := Extract([]byte(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("extraction order not deterministic:\n%+v\nvs\n%+v", a, b)
+		}
+	}
+}

@@ -102,6 +102,40 @@ echo "== pipedoctor gate"
 # and -strict fails the gate if the (n+2)*T(N/n) model diverges >10%.
 pd="${PIPEDOCTOR_OUT:-$(mktemp /tmp/mv2sim-critpath.XXXXXX.json)}"
 go run ./cmd/pipedoctor -msg $((4<<20)) -packmode memcpy2d -strict -bench "$pd" > /dev/null
+
+echo "== dashboard endpoint gate"
+# Every dashboard JSON endpoint must stay byte-deterministic: snapshot
+# the committed fixture trace + fixture store (no HTTP involved) and
+# diff each endpoint document against its committed golden. Regenerate
+# after an intentional payload change with:
+#   go run ./cmd/dashboard -trace scripts/testdata/dashboard_trace.json \
+#     -store scripts/testdata/dashboard_store.jsonl -snapshot scripts/testdata/dashboard_golden
+dd=$(mktemp -d /tmp/mv2sim-dash.XXXXXX)
+go run ./cmd/dashboard -trace scripts/testdata/dashboard_trace.json \
+    -store scripts/testdata/dashboard_store.jsonl -snapshot "$dd" > /dev/null
+for g in scripts/testdata/dashboard_golden/*.json; do
+    cmp "$dd/$(basename "$g")" "$g" || {
+        echo "dashboard endpoint $(basename "$g") drifted from its golden"; exit 1; }
+done
+rm -rf "$dd"
+
+echo "== perf trajectory gate"
+# The trajectory gates replace hand-pinned regression constants: virtual
+# wall-clock, pack and critpath metrics are held to within 5% of the
+# best value ever recorded in the append-only store.
+#   self: the committed store's own tail — fails exactly when a
+#         regression record has been appended to the trajectory.
+#   candidate: the pipedoctor bench file from the gate above plus a
+#         fresh pack-crossover sweep, gated against the recorded best.
+out=$(go run ./cmd/perfstore gate -store perf/store.jsonl -self -tol 5) || {
+    echo "$out" | grep '^FAIL' || true
+    echo "stored trajectory tail regressed >5% against its own best"; exit 1; }
+pc=$(mktemp /tmp/mv2sim-packcand.XXXXXX.json)
+go run ./cmd/packbench -crossover -bench "$pc" > /dev/null
+out=$(go run ./cmd/perfstore gate -store perf/store.jsonl -tol 5 "$pd" "$pc") || {
+    echo "$out" | grep '^FAIL' || true
+    echo "candidate bench metrics regressed >5% against the recorded trajectory"; exit 1; }
+rm -f "$pc"
 if [ -z "${PIPEDOCTOR_OUT:-}" ]; then
     rm -f "$pd"
 fi
