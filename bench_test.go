@@ -376,20 +376,30 @@ func BenchmarkPackPlanCache(b *testing.B) {
 }
 
 // BenchmarkEngineEventLoop measures raw event-loop throughput of the
-// discrete-event engine: one process sleeping through b.N timer events.
-// This is the denominator of every other wall-clock number in this file.
+// discrete-event engine: one process sleeping through b.N timer events,
+// once per engine implementation. This is the denominator of every other
+// wall-clock number in this file, and the serial/parallel pair puts a
+// number on the worker-pool engine's dispatch overhead for workloads
+// with no launchable tasks.
 func BenchmarkEngineEventLoop(b *testing.B) {
-	e := sim.New()
-	e.Spawn("bench", func(p *sim.Proc) {
-		for i := 0; i < b.N; i++ {
-			p.Sleep(sim.Nanosecond)
-		}
-	})
-	b.ResetTimer()
-	if err := e.Run(); err != nil {
-		b.Fatal(err)
+	for _, name := range []string{"serial", "parallel"} {
+		b.Run(name, func(b *testing.B) {
+			e, err := sim.NewByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Spawn("bench", func(p *sim.Proc) {
+				for i := 0; i < b.N; i++ {
+					p.Sleep(sim.Nanosecond)
+				}
+			})
+			b.ResetTimer()
+			if err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			e.Shutdown()
+		})
 	}
-	e.Shutdown()
 }
 
 // BenchmarkRailsSweep measures streaming bandwidth of a wire-bound

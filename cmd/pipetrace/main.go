@@ -25,6 +25,7 @@ func main() {
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe chunks across (MV2_NUM_RAILS)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
+	engine := flag.String("engine", "", "simulation engine: serial or parallel (default: MV2SIM_ENGINE, then serial)")
 	flag.Parse()
 
 	mode, err := core.ParsePackMode(*packMode)
@@ -41,7 +42,7 @@ func main() {
 
 	trace := &core.PipelineTrace{}
 	var chrome *obs.ChromeTracer
-	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20), Rails: *rails}
+	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20), Rails: *rails, Engine: *engine}
 	cfg.Core.Trace = trace
 	cfg.Core.PackMode = mode
 	cfg.Core.UnpackMode = mode

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"mv2sim/internal/cluster"
+	"mv2sim/internal/core"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
+)
+
+// chromeTraceFor runs one pipetrace-shaped vector transfer (rank 0 sends
+// a strided vector to rank 1) under the named engine and returns the
+// serialized Chrome trace — every span from every instrumented layer, in
+// emission order. Byte equality of these buffers is the strongest
+// equivalence the simulator can state: same events, same virtual
+// timestamps, same ordering.
+func chromeTraceFor(t *testing.T, engine string, msg, pitch, rails int, mode core.PackMode) []byte {
+	t.Helper()
+	rows := msg / 4
+	vec, err := datatype.Vector(rows, 1, pitch/4, datatype.Float32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec.MustCommit()
+	chrome := obs.NewChromeTracer()
+	cfg := cluster.Config{
+		GPUMemBytes: 2*rows*pitch + (64 << 20),
+		Rails:       rails,
+		Engine:      engine,
+		Tracers:     []obs.Tracer{chrome},
+	}
+	cfg.Core.PackMode = mode
+	cfg.Core.UnpackMode = mode
+	cl := cluster.New(cfg)
+	if err := cl.Run(func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(vec.Span(1))
+		if r.Rank() == 0 {
+			mem.Fill(buf, vec.Span(1), func(i int) byte { return byte(i) })
+			r.Send(buf, 1, vec, 1, 0)
+		} else {
+			r.Recv(buf, 1, vec, 0, 0)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if _, err := chrome.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestPropEngineTraceEquivalence is the tentpole's acceptance property:
+// over random (size, rails, pack mode) triples, the parallel worker-pool
+// engine must emit a Chrome trace byte-identical to the serial engine's.
+func TestPropEngineTraceEquivalence(t *testing.T) {
+	sizes := []int{64 << 10, 256 << 10, 1 << 20}
+	railss := []int{1, 2, 4}
+	modes := []core.PackMode{core.PackModeAuto, core.PackModeMemcpy2D, core.PackModeKernel}
+	f := func(sizeRaw, railsRaw, modeRaw uint8) bool {
+		msg := sizes[int(sizeRaw)%len(sizes)]
+		rails := railss[int(railsRaw)%len(railss)]
+		mode := modes[int(modeRaw)%len(modes)]
+		s := chromeTraceFor(t, "serial", msg, 16, rails, mode)
+		p := chromeTraceFor(t, "parallel", msg, 16, rails, mode)
+		if !bytes.Equal(s, p) {
+			t.Logf("trace divergence at msg=%d rails=%d mode=%v (serial %d bytes, parallel %d bytes)",
+				msg, rails, mode, len(s), len(p))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 
 	"mv2sim/internal/cuda"
 	"mv2sim/internal/datatype"
+	"mv2sim/internal/gpu"
 	"mv2sim/internal/hostmem"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
@@ -147,7 +148,7 @@ func (t *Transport) SetHub(h *obs.Hub) { t.hub = h }
 // hub was installed but the legacy Config.Trace sink is set, a private
 // hub wrapping it is created on first use so PipelineTrace keeps working
 // for direct Transport users.
-func (t *Transport) obsHub(e *sim.Engine) *obs.Hub {
+func (t *Transport) obsHub(e sim.Engine) *obs.Hub {
 	if t.hub == nil && t.cfg.Trace != nil {
 		t.hub = obs.NewHub(e, t.cfg.Trace)
 	}
@@ -217,6 +218,8 @@ type plan struct {
 	contig       bool                // single contiguous region: no pack/unpack stage at all
 	packKernel   bool                // stage-1 pack runs on the compute engine
 	unpackKernel bool                // stage-5 unpack runs on the compute engine
+	packTailCut  int                 // packed offset where the pack side's tail falls back to memcpy2D (0: never)
+	unpackTail   int                 // same for the unpack side
 	cp           *datatype.ChunkPlan // set whenever either side packs by kernel
 }
 
@@ -245,8 +248,40 @@ func (t *Transport) planFor(req *mpi.Request) plan {
 	pl.unpackKernel = t.useKernel(t.cfg.UnpackMode, n1, shape, pl.size, blockSize)
 	if pl.packKernel || pl.unpackKernel {
 		pl.cp = dt.ChunkPlan(count, blockSize)
+		cut := kernelTailCut(n1.Ctx.Model(), shape, pl.size, blockSize)
+		if pl.packKernel {
+			pl.packTailCut = cut
+		}
+		if pl.unpackKernel {
+			pl.unpackTail = cut
+		}
 	}
 	return pl
+}
+
+// kernelTailCut returns the packed-byte offset at which a kernel-packed
+// uniform transfer's final short chunk should fall back to the copy
+// engine, or 0 to keep every chunk on the kernel. Steady-state chunks
+// carry blockSize/width rows — deep enough past the measured crossover
+// to amortize the kernel's launch premium — but the tail chunk carries
+// only size%blockSize bytes, which can land below the break-even row
+// count where memcpy2D wins. The split is only legal when chunk
+// boundaries are row-aligned (blockSize a multiple of the row width),
+// because the copy-engine path requires row-aligned ranges; irregular
+// types never reach here.
+func kernelTailCut(m *gpu.CostModel, shape datatype.Shape2D, size, blockSize int) int {
+	if size <= blockSize || blockSize%shape.Width != 0 {
+		return 0
+	}
+	tail := size % blockSize
+	tailRows := tail / shape.Width
+	if tailRows == 0 {
+		return 0
+	}
+	if m.KernelPackBeatsCopy(tailRows, shape.Width, shape.Pitch) {
+		return 0
+	}
+	return size - tail
 }
 
 // packChunk enqueues the device-side pack of packed-byte range
@@ -256,8 +291,10 @@ func (t *Transport) planFor(req *mpi.Request) plan {
 // are traced under them.
 func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, sp obs.Span, chunk int, dst mem.Ptr, off, n int) *sim.Event {
 	src := req.Buf()
-	if pl.uniform && !pl.packKernel {
+	if pl.uniform && (!pl.packKernel || (pl.packTailCut > 0 && off >= pl.packTailCut)) {
 		// Row-aligned 2D copy: callers align off and n to row boundaries.
+		// A kernel-mode transfer still lands here for its final short
+		// chunk when that tail is below the kernel/memcpy2D crossover.
 		w := pl.shape.Width
 		if off%w != 0 || n%w != 0 {
 			panic(fmt.Sprintf("core: pack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
@@ -268,7 +305,7 @@ func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Reques
 	// on the compute engine (callers keep off/n chunk-aligned).
 	d := pl.cp.Kernel(off, n)
 	n1.kernOps++
-	ev := n1.Ctx.LaunchKernelTask(p, n1.packStream, sp, chunk, d.Bytes(), n1.Ctx.Model().PackKernelNsPerCell(), func() {
+	ev := n1.Ctx.LaunchKernelTask(p, n1.packStream, sp, chunk, d.Bytes(), n1.Ctx.Model().PackKernelRate(d.Bytes(), d.Segments()), func() {
 		d.Pack(dst, src)
 	})
 	ev.OnTrigger(func() { n1.kernOps-- })
@@ -279,7 +316,7 @@ func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Reques
 // (contiguous device memory) into the user buffer.
 func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, sp obs.Span, chunk int, src mem.Ptr, off, n int) *sim.Event {
 	dst := req.Buf()
-	if pl.uniform && !pl.unpackKernel {
+	if pl.uniform && (!pl.unpackKernel || (pl.unpackTail > 0 && off >= pl.unpackTail)) {
 		w := pl.shape.Width
 		if off%w != 0 || n%w != 0 {
 			panic(fmt.Sprintf("core: unpack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
@@ -288,7 +325,7 @@ func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Requ
 	}
 	d := pl.cp.Kernel(off, n)
 	n1.kernOps++
-	ev := n1.Ctx.LaunchKernelTask(p, n1.unpackStream, sp, chunk, d.Bytes(), n1.Ctx.Model().PackKernelNsPerCell(), func() {
+	ev := n1.Ctx.LaunchKernelTask(p, n1.unpackStream, sp, chunk, d.Bytes(), n1.Ctx.Model().PackKernelRate(d.Bytes(), d.Segments()), func() {
 		d.Unpack(dst, src)
 	})
 	ev.OnTrigger(func() { n1.kernOps-- })
@@ -342,8 +379,13 @@ func (t *Transport) StageToHost(req *mpi.Request, deliver func(packed []byte)) {
 			if next < size && nbuf == 2 {
 				issue(1-b, next)
 			}
-			p.Sleep(r.HostCopyCost(n))
-			copy(packed[off:off+n], bufs[b].Ptr.Bytes(n))
+			// The drain memcpy's bytes are due when the modeled host copy
+			// ends; the vbuf is not re-filled before then and packed is only
+			// read by deliver after the loop.
+			hc := r.HostCopyCost(n)
+			dst, src := packed[off:off+n], bufs[b].Ptr.Bytes(n)
+			e.TaskAt(p.Now()+hc, func() { copy(dst, src) })
+			p.Sleep(hc)
 			if next < size && nbuf == 1 {
 				issue(0, next)
 			}
@@ -397,8 +439,13 @@ func (t *Transport) DeliverFromHost(req *mpi.Request, packed []byte) {
 			if evs[b] != nil {
 				p.Wait(evs[b]) // vbuf b's previous H2D must have drained it
 			}
-			p.Sleep(r.HostCopyCost(n))
-			copy(bufs[b].Ptr.Bytes(n), packed[off:off+n])
+			// The fill memcpy's bytes are due when the modeled host copy
+			// ends; the H2D that reads the vbuf is issued after the sleep,
+			// i.e. after this task's slot commits.
+			hc := r.HostCopyCost(n)
+			dst, src := bufs[b].Ptr.Bytes(n), packed[off:off+n]
+			e.TaskAt(p.Now()+hc, func() { copy(dst, src) })
+			p.Sleep(hc)
 			evs[b] = n1.Ctx.MemcpyAsyncTask(p, tbuf.Add(off), bufs[b].Ptr, n, n1.h2dStreams[0], req.ObsSpan(), -1)
 			if nbuf == 2 {
 				b = 1 - b

@@ -6,6 +6,7 @@ import (
 	"mv2sim/internal/cluster"
 	"mv2sim/internal/core"
 	"mv2sim/internal/datatype"
+	"mv2sim/internal/mem"
 	"mv2sim/internal/sim"
 )
 
@@ -99,5 +100,51 @@ func TestAutoFallsBackUnderApplicationKernel(t *testing.T) {
 	busyKern, _ := shortRowLatency(t, core.PackModeKernel, busy)
 	if busyKern <= busy {
 		t.Errorf("pinned kernel mode under load finished in %v, expected to serialize past %v", busyKern, busy)
+	}
+}
+
+// tailTransfer runs a kernel-pinned rendezvous transfer of `rows` 4-byte
+// rows (pitch 16) and returns each side's device kernel count, verifying
+// the receiver's typed segments against the sender's fill on the way.
+func tailTransfer(t *testing.T, rows int) (packKernels, unpackKernels int) {
+	t.Helper()
+	v, err := datatype.Vector(rows, 4, 16, datatype.Byte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.MustCommit()
+	cfg := cluster.Config{GPUMemBytes: 64 << 20}
+	cfg.Core.PackMode = core.PackModeKernel
+	cfg.Core.UnpackMode = core.PackModeKernel
+	var rbuf mem.Ptr
+	cl := runPair(t, cfg, func(n *cluster.Node) {
+		r := n.Rank
+		buf := n.Ctx.MustMalloc(v.Span(1))
+		if r.Rank() == 0 {
+			fillDev(buf, v.Span(1), 3)
+			r.Send(buf, 1, v, 1, 0)
+		} else {
+			rbuf = buf
+			r.Recv(buf, 1, v, 0, 0)
+		}
+	})
+	checkTyped(t, v, 1, rbuf, 3, "tail transfer")
+	return cl.Nodes[0].Dev.Stats().Kernels, cl.Nodes[1].Dev.Stats().Kernels
+}
+
+// TestKernelModeTailFallsBackToCopyEngine: a pinned-kernel transfer of
+// 2 full 64 KiB chunks plus a 100-row tail — one row below the measured
+// 101-row crossover — must pack/unpack the two full chunks by kernel and
+// the tail by memcpy2D: 2 kernels per side, not 3. One more row of tail
+// crosses the break-even and the tail stays on the kernel.
+func TestKernelModeTailFallsBackToCopyEngine(t *testing.T) {
+	const chunkRows = (64 << 10) / 4
+	shortK, shortU := tailTransfer(t, 2*chunkRows+100)
+	if shortK != 2 || shortU != 2 {
+		t.Errorf("100-row tail: %d pack / %d unpack kernels, want 2/2 (tail on the copy engine)", shortK, shortU)
+	}
+	deepK, deepU := tailTransfer(t, 2*chunkRows+101)
+	if deepK != 3 || deepU != 3 {
+		t.Errorf("101-row tail: %d pack / %d unpack kernels, want 3/3 (tail past break-even stays on the kernel)", deepK, deepU)
 	}
 }

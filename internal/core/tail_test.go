@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
+	"mv2sim/internal/gpu"
+	"mv2sim/internal/sim"
+)
+
+// measureTailEngines runs the tail chunk's geometry (tailRows rows of
+// rowBytes read at pitch) once on each device engine — the same
+// measurement cmd/packbench makes for full grid cells — and returns both
+// durations. Virtual time is deterministic, so one run per engine is
+// exact.
+func measureTailEngines(t *testing.T, tailRows, rowBytes, pitch int) (cpy, kern sim.Time) {
+	t.Helper()
+	e := sim.New()
+	dev := gpu.New(e, 0, gpu.Config{MemBytes: tailRows*pitch + tailRows*rowBytes + (1 << 20)})
+	ctx := cuda.NewCtx(e, dev)
+	src := ctx.MustMalloc(tailRows * pitch)
+	dst := ctx.MustMalloc(tailRows * rowBytes)
+	e.Spawn("tailbench", func(p *sim.Proc) {
+		s := ctx.NewStream()
+		t0 := p.Now()
+		p.Wait(ctx.Memcpy2DAsync(p, dst, rowBytes, src, pitch, rowBytes, tailRows, s))
+		cpy = p.Now() - t0
+		t0 = p.Now()
+		p.Wait(ctx.LaunchKernel(p, s, tailRows*rowBytes,
+			dev.Model().PackKernelRate(tailRows*rowBytes, tailRows), nil))
+		kern = p.Now() - t0
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("tail measurement run: %v", err)
+	}
+	e.Shutdown()
+	return cpy, kern
+}
+
+// TestKernelTailCutMatchesMeasuredBest pins the tail-fallback heuristic
+// to measurement: for each candidate tail depth, kernelTailCut must send
+// the tail to whichever engine a direct timing of that exact geometry
+// shows to be faster (ties to the copy engine, matching the strict
+// less-than in KernelPackBeatsCopy).
+func TestKernelTailCutMatchesMeasuredBest(t *testing.T) {
+	m := gpu.DefaultModel()
+	const width, blockSize = 4, 64 << 10
+	pitch := 4 * width
+	for _, tailRows := range []int{1, 50, 100, 101, 500, blockSize / width / 2} {
+		tail := tailRows * width
+		size := 2*blockSize + tail
+		shape := datatype.Shape2D{Width: width, Pitch: pitch, Rows: size / width}
+		cut := kernelTailCut(&m, shape, size, blockSize)
+		cpy, kern := measureTailEngines(t, tailRows, width, pitch)
+		wantCut := 0
+		if cpy <= kern {
+			wantCut = size - tail
+		}
+		if cut != wantCut {
+			t.Errorf("tailRows=%d: kernelTailCut = %d, want %d (measured memcpy2d %v vs kernel %v)",
+				tailRows, cut, wantCut, cpy, kern)
+		}
+	}
+}
+
+// TestKernelTailCutLegality: no split without a tail, and none when chunk
+// boundaries are not row-aligned — the memcpy2D path needs row-aligned
+// ranges, so an unaligned geometry must stay on the kernel throughout.
+func TestKernelTailCutLegality(t *testing.T) {
+	m := gpu.DefaultModel()
+	const blockSize = 64 << 10
+	aligned := datatype.Shape2D{Width: 4, Pitch: 16, Rows: blockSize / 2}
+	if cut := kernelTailCut(&m, aligned, blockSize*2, blockSize); cut != 0 {
+		t.Errorf("exact multiple of blockSize: cut = %d, want 0", cut)
+	}
+	if cut := kernelTailCut(&m, aligned, blockSize/2, blockSize); cut != 0 {
+		t.Errorf("single-chunk transfer: cut = %d, want 0", cut)
+	}
+	// Width 24 does not divide 64 KiB: chunk boundaries split rows, so the
+	// copy engine is ineligible for the tail no matter how shallow it is.
+	odd := datatype.Shape2D{Width: 24, Pitch: 96, Rows: (2*blockSize + 48) / 24}
+	if cut := kernelTailCut(&m, odd, 2*blockSize+48, blockSize); cut != 0 {
+		t.Errorf("row-unaligned chunking: cut = %d, want 0", cut)
+	}
+}

@@ -32,7 +32,7 @@ import (
 
 // Ctx binds a simulated device to the CUDA API for one node.
 type Ctx struct {
-	e       *sim.Engine
+	e       sim.Engine
 	dev     *gpu.Device
 	nstream int
 	def     *Stream
@@ -46,7 +46,7 @@ func (c *Ctx) SetHub(h *obs.Hub) { c.hub = h }
 
 // NewCtx creates a context on the given device. The context owns the
 // default (NULL) stream used by the blocking API.
-func NewCtx(e *sim.Engine, dev *gpu.Device) *Ctx {
+func NewCtx(e sim.Engine, dev *gpu.Device) *Ctx {
 	c := &Ctx{e: e, dev: dev}
 	c.def = c.NewStream()
 	return c

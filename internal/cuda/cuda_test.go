@@ -11,7 +11,7 @@ import (
 )
 
 type fixture struct {
-	e    *sim.Engine
+	e    sim.Engine
 	dev  *gpu.Device
 	ctx  *Ctx
 	host *mem.Space

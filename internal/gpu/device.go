@@ -71,7 +71,7 @@ type Config struct {
 // Device is one simulated GPU.
 type Device struct {
 	id          int
-	e           *sim.Engine
+	e           sim.Engine
 	space       *mem.Space
 	alloc       *alloc.Allocator
 	model       CostModel
@@ -82,7 +82,7 @@ type Device struct {
 }
 
 // New creates a device with the given ordinal and configuration.
-func New(e *sim.Engine, id int, cfg Config) *Device {
+func New(e sim.Engine, id int, cfg Config) *Device {
 	if cfg.MemBytes <= 0 {
 		panic("gpu: MemBytes must be positive")
 	}
@@ -208,18 +208,26 @@ func (d *Device) ExecCopyTask(p *sim.Proc, parent obs.Span, chunk int, dst mem.P
 	shape := CopyShape{Width: width, Height: height, DPitch: dpitch, SPitch: spitch}
 	cost := d.model.CopyCost(dir, shape)
 	if dir == H2H {
-		// Host copies do not occupy a device engine.
+		// Host copies do not occupy a device engine. The byte movement is a
+		// task due at the copy's completion instant: the destination is not
+		// readable before then, so the parallel engine may overlap it with
+		// dispatch while the serial engine runs it at the same slot.
+		d.e.TaskAt(d.e.Now()+cost, func() {
+			mem.Copy2D(dst, dpitch, src, spitch, width, height)
+		})
 		p.Sleep(cost)
 	} else {
 		k := EngineFor(dir)
 		eng := d.engines[k]
 		eng.Acquire(p)
 		sp := d.hub.StartChild(parent, CopyKind(dir), d.engineTrack[k], chunk, shape.Bytes())
+		d.e.TaskAt(d.e.Now()+cost, func() {
+			mem.Copy2D(dst, dpitch, src, spitch, width, height)
+		})
 		p.Sleep(cost)
 		sp.End()
 		eng.Release()
 	}
-	mem.Copy2D(dst, dpitch, src, spitch, width, height)
 	d.stats.Copies[dir]++
 	d.stats.Bytes[dir] += int64(shape.Bytes())
 }
@@ -237,12 +245,15 @@ func (d *Device) ExecKernelTask(p *sim.Proc, parent obs.Span, chunk, cells int, 
 	eng := d.engines[EngineKernel]
 	eng.Acquire(p)
 	sp := d.hub.StartChild(parent, obs.KindKernel, d.engineTrack[EngineKernel], chunk, cells)
+	if body != nil {
+		// The kernel's memory effect is due at the kernel's completion
+		// instant; nothing may read its output before the stream op's done
+		// event, which fires after this slot.
+		d.e.TaskAt(d.e.Now()+cost, body)
+	}
 	p.Sleep(cost)
 	sp.End()
 	eng.Release()
-	if body != nil {
-		body()
-	}
 	d.stats.Kernels++
 	d.stats.KernelTime += cost
 }

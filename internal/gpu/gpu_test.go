@@ -12,7 +12,7 @@ import (
 	"mv2sim/internal/sim"
 )
 
-func newTestDevice(e *sim.Engine) *Device {
+func newTestDevice(e sim.Engine) *Device {
 	return New(e, 0, Config{MemBytes: 1 << 20})
 }
 
@@ -434,8 +434,49 @@ func TestPackKernelNsPerCellFloor(t *testing.T) {
 	if got, floor := m.PackKernelNsPerCell(), 1e9/m.DevBandwidth; got != floor {
 		t.Errorf("zero calibration: PackKernelNsPerCell = %v, want bandwidth floor %v", got, floor)
 	}
-	if got, want := m.PackKernelCost(1<<20), m.KernelCost(1<<20, 1e9/m.DevBandwidth); got != want {
+	if got, want := m.PackKernelCost(1<<20, 0), m.KernelCost(1<<20, 1e9/m.DevBandwidth); got != want {
 		t.Errorf("PackKernelCost(1MB) = %v, want %v", got, want)
+	}
+}
+
+func TestPackKernelRateSegmentCharge(t *testing.T) {
+	m := DefaultModel()
+	// The calibration split is exact: 4-byte segments must land on the
+	// historical flat 0.025 ns/B rate bit for bit, so every trace and
+	// benchmark produced before the segment term existed is reproduced.
+	for _, bytes := range []int{4, 4 << 10, 1 << 20} {
+		if got := m.PackKernelRate(bytes, bytes/4); got != 0.025 {
+			t.Errorf("PackKernelRate(%d, %d) = %v, want exactly 0.025", bytes, bytes/4, got)
+		}
+	}
+	// Wider blocks amortize the segment charge: the rate must decrease
+	// monotonically toward the streaming rate as blocks widen.
+	const total = 1 << 20
+	prev := m.PackKernelRate(total, total/4)
+	for _, w := range []int{16, 64, 1024, 64 << 10} {
+		r := m.PackKernelRate(total, total/w)
+		if r >= prev {
+			t.Errorf("PackKernelRate not decreasing at width %d: %v >= %v", w, r, prev)
+		}
+		if r < m.PackKernelNsPerByte {
+			t.Errorf("PackKernelRate(%d-wide) = %v below streaming rate %v", w, r, m.PackKernelNsPerByte)
+		}
+		prev = r
+	}
+	// Unknown geometry (segments <= 0) degrades to the flat streaming rate.
+	if got := m.PackKernelRate(total, 0); got != m.PackKernelNsPerByte {
+		t.Errorf("PackKernelRate(segments=0) = %v, want %v", got, m.PackKernelNsPerByte)
+	}
+	// Tiny blocks pay heavily — a 1-byte-segment pack is dominated by the
+	// per-segment charge, matching TEMPI's order-of-magnitude collapse.
+	if got, want := m.PackKernelRate(total, total), m.PackKernelNsPerByte+m.PackKernelNsPerSegment; got != want {
+		t.Errorf("PackKernelRate(1B segments) = %v, want %v", got, want)
+	}
+	// The floor still binds: zero out the calibration and the rate must not
+	// drop below the copy engine's byte rate.
+	m.PackKernelNsPerByte, m.PackKernelNsPerSegment = 0, 0
+	if got, floor := m.PackKernelRate(total, 1), 1e9/m.DevBandwidth; got != floor {
+		t.Errorf("zeroed PackKernelRate = %v, want floor %v", got, floor)
 	}
 }
 

@@ -115,13 +115,24 @@ type CostModel struct {
 	// KernelLaunch is the fixed device-side cost of starting a kernel.
 	KernelLaunch sim.Time
 
-	// PackKernelNsPerByte is the per-byte cost of the gather/scatter pack
-	// kernel (one read plus one write through global memory, ~40 GB/s
-	// effective on Fermi). Unlike the copy engine's 2D path the kernel
-	// carries no per-row charge — threads address cells, not rows — which
-	// is exactly the asymmetry that makes it win for many-short-row
-	// shapes (TEMPI, arXiv:2012.14363).
+	// PackKernelNsPerByte is the per-byte streaming cost of the
+	// gather/scatter pack kernel (one read plus one write through global
+	// memory, ~50 GB/s asymptotic on Fermi). Unlike the copy engine's 2D
+	// path the kernel carries no per-ROW charge — threads address cells,
+	// not rows — which is exactly the asymmetry that makes it win for
+	// many-short-row shapes (TEMPI, arXiv:2012.14363).
 	PackKernelNsPerByte float64
+
+	// PackKernelNsPerSegment is the per-segment (per contiguous block)
+	// cost of the pack kernel: address generation and uncoalesced access
+	// at each block boundary. TEMPI's kernel pack throughput is strongly
+	// block-size sensitive — tiny blocks run an order of magnitude below
+	// the asymptotic rate and wide blocks approach it — which a flat ns/B
+	// rate cannot express. The calibration splits the old 0.025 ns/B flat
+	// rate so that 4-byte segments (this repo's Figure 5 vector geometry)
+	// cost exactly what they always did: 0.02 ns/B + 0.02 ns/segment / 4 B
+	// = 0.025 ns/B, while wider blocks are cheaper per byte.
+	PackKernelNsPerSegment float64
 }
 
 // DefaultModel returns the C2050/PCIe-2.0 calibration described in the
@@ -141,7 +152,8 @@ func DefaultModel() CostModel {
 		AsyncIssue:    1 * sim.Microsecond,
 		KernelLaunch:  5 * sim.Microsecond,
 
-		PackKernelNsPerByte: 0.025,
+		PackKernelNsPerByte:    0.02,
+		PackKernelNsPerSegment: 0.02,
 	}
 }
 
@@ -214,9 +226,10 @@ func (m *CostModel) KernelCost(cells int, nsPerCell float64) sim.Time {
 	return m.KernelLaunch + sim.Time(float64(cells)*nsPerCell)
 }
 
-// PackKernelNsPerCell returns the pack kernel's per-byte cost, floored at
-// the device copy engine's byte rate: the kernel streams through the same
-// global memory, so no calibration may let it beat DevBandwidth.
+// PackKernelNsPerCell returns the pack kernel's base per-byte cost with no
+// segment charge, floored at the device copy engine's byte rate: the
+// kernel streams through the same global memory, so no calibration may
+// let it beat DevBandwidth. Segment-aware callers use PackKernelRate.
 func (m *CostModel) PackKernelNsPerCell() float64 {
 	floor := 1e9 / m.DevBandwidth
 	if m.PackKernelNsPerByte > floor {
@@ -225,20 +238,40 @@ func (m *CostModel) PackKernelNsPerCell() float64 {
 	return floor
 }
 
+// PackKernelRate returns the kernel's effective per-byte cost for a pack
+// of `bytes` total bytes spread over `segments` contiguous blocks: the
+// streaming rate plus the per-segment charge amortized over the mean
+// block width, floored at the copy engine's byte rate. segments <= 0
+// (unknown geometry) degrades to the flat rate.
+func (m *CostModel) PackKernelRate(bytes, segments int) float64 {
+	r := m.PackKernelNsPerByte
+	if segments > 0 && bytes > 0 && m.PackKernelNsPerSegment > 0 {
+		// Per-byte share of the segment charge: nsPerSeg / meanWidth,
+		// computed as a single division so the 4-byte-segment case lands
+		// exactly on the historical 0.025 ns/B flat rate.
+		r += m.PackKernelNsPerSegment * (float64(segments) / float64(bytes))
+	}
+	if floor := 1e9 / m.DevBandwidth; r < floor {
+		r = floor
+	}
+	return r
+}
+
 // PackKernelCost returns the modeled duration of a gather/scatter pack
-// kernel over `bytes` packed bytes: launch overhead plus a pure per-byte
-// term, with no per-row component.
-func (m *CostModel) PackKernelCost(bytes int) sim.Time {
-	return m.KernelCost(bytes, m.PackKernelNsPerCell())
+// kernel over `bytes` packed bytes in `segments` contiguous blocks:
+// launch overhead plus the segment-amortized per-byte term, with no
+// per-row DMA component.
+func (m *CostModel) PackKernelCost(bytes, segments int) sim.Time {
+	return m.KernelCost(bytes, m.PackKernelRate(bytes, segments))
 }
 
 // KernelPackBeatsCopy reports whether the pack kernel is modeled faster
 // than the copy engine for a strided D2D pack of `rows` rows of
 // `rowBytes` bytes read at the given source pitch. The copy engine pays
-// DevRow per row; the kernel pays a higher per-byte rate but no row
-// charge, so short rows in quantity favor the kernel and long rows favor
-// the engine.
+// DevRow per row; the kernel pays a per-byte rate (with its own per-row
+// segment charge) but no DMA row charge, so short rows in quantity favor
+// the kernel and long rows favor the engine.
 func (m *CostModel) KernelPackBeatsCopy(rows, rowBytes, pitch int) bool {
 	shape := CopyShape{Width: rowBytes, Height: rows, DPitch: rowBytes, SPitch: pitch}
-	return m.PackKernelCost(rows*rowBytes) < m.CopyCost(D2D, shape)
+	return m.PackKernelCost(rows*rowBytes, rows) < m.CopyCost(D2D, shape)
 }

@@ -36,7 +36,7 @@ type Vbuf struct {
 
 // Pool is a fixed set of vbufs carved from one pinned host allocation.
 type Pool struct {
-	e         *sim.Engine
+	e         sim.Engine
 	name      string
 	chunkSize int
 	bufs      []*Vbuf
@@ -63,7 +63,7 @@ type Pool struct {
 // NewPool carves count chunks of chunkSize bytes out of host space at base
 // and registers each with hca. The range base..base+count*chunkSize must
 // be valid host memory.
-func NewPool(e *sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, count int) *Pool {
+func NewPool(e sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, count int) *Pool {
 	if chunkSize <= 0 || count <= 0 {
 		panic("hostmem: pool dimensions must be positive")
 	}

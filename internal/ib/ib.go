@@ -71,7 +71,7 @@ type Handler func(from int, msg Message, payload []byte)
 
 // Fabric is the switch connecting all HCAs.
 type Fabric struct {
-	e     *sim.Engine
+	e     sim.Engine
 	model Model
 	hcas  map[int]*HCA
 	hub   *obs.Hub
@@ -83,7 +83,7 @@ type Fabric struct {
 func (f *Fabric) SetHub(h *obs.Hub) { f.hub = h }
 
 // NewFabric creates an empty fabric.
-func NewFabric(e *sim.Engine, model Model) *Fabric {
+func NewFabric(e sim.Engine, model Model) *Fabric {
 	if model.Bandwidth <= 0 {
 		allow, rails := model.AllowDeviceRegistration, model.Rails
 		model = DefaultModel()
@@ -336,7 +336,11 @@ func (h *HCA) RDMAWriteRail(dst int, src mem.Ptr, n int, rkey uint32, roff, rail
 // enclosing pipeline-stage span and tagged with a chunk index (see
 // transmit). An inert parent and chunk -1 degrade to plain tracing.
 func (h *HCA) RDMAWriteRailTask(dst int, src mem.Ptr, n int, rkey uint32, roff, railIdx int, parent obs.Span, chunk int) *sim.Event {
-	snap := append([]byte(nil), src.Bytes(n)...)
+	// The HCA's DMA read of the source happens "at post time": the task is
+	// due at the post instant, and the poster owns src until the local
+	// completion event, so nothing rewrites it before the slot commits.
+	snap := make([]byte, n)
+	h.f.e.TaskAt(h.f.e.Now(), func() { copy(snap, src.Bytes(n)) })
 	h.stats.RDMAWrites++
 	return h.transmit(dst, n, obs.KindRDMA, railIdx, parent, chunk, func(rx *HCA) {
 		reg, ok := rx.regions[rkey]
@@ -346,7 +350,10 @@ func (h *HCA) RDMAWriteRailTask(dst int, src mem.Ptr, n int, rkey uint32, roff, 
 		if roff < 0 || roff+len(snap) > reg.len {
 			panic(fmt.Sprintf("ib: RDMA write [%d,%d) outside region of %d bytes", roff, roff+len(snap), reg.len))
 		}
-		copy(reg.ptr.Add(roff).Bytes(len(snap)), snap)
+		// Bytes land in remote memory at delivery time; the receiver only
+		// looks after the FIN, which trails the data on the same rail.
+		dst := reg.ptr.Add(roff).Bytes(len(snap))
+		h.f.e.TaskAt(h.f.e.Now(), func() { copy(dst, snap) })
 	})
 }
 

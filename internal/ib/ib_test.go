@@ -10,7 +10,7 @@ import (
 )
 
 type net struct {
-	e    *sim.Engine
+	e    sim.Engine
 	f    *Fabric
 	hcas []*HCA
 	host []*mem.Space

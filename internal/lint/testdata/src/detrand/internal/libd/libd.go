@@ -111,11 +111,47 @@ func spawnRaw(f func()) {
 	go f() // want `go statement in simulator library code`
 }
 
+// Worker-pool carve-out (rule 5): the spawn is a go statement like any
+// other, but the documented //lint:ignore claims the sanctioned pattern —
+// workers that only execute barrier-joined task bodies — mirroring the
+// baton-passing exemption in the real engine. No finding survives the
+// directive (the suppress tree proves the directive is load-bearing).
+func spawnPool(work chan func()) {
+	for i := 0; i < 4; i++ {
+		//lint:ignore detrand pool workers only execute barrier-joined task bodies
+		go drainPool(work)
+	}
+}
+
+func drainPool(work chan func()) {
+	for f := range work {
+		f()
+	}
+}
+
 // Negative: engine-scheduled concurrency.
-func spawnSim(e *sim.Engine) {
+func spawnSim(e sim.Engine) {
 	e.Spawn("worker", func(p *sim.Proc) {
 		p.Sleep(1)
 	})
+}
+
+// Positive (rule 1): TaskAt through the Engine interface is sim-visible
+// scheduling like CallAt.
+func flushTasks(e sim.Engine, sizes map[string]int) {
+	for _, n := range sizes { // want `map iteration order is randomized per run but this loop drives sim-visible work`
+		n := n
+		e.TaskAt(sim.Time(n), func() {})
+	}
+}
+
+// Positive (rule 1): the same call through a concrete engine resolves to
+// the method promoted from engineCore and must classify identically.
+func flushTasksConcrete(e *sim.ParallelEngine, sizes map[string]int) {
+	for _, n := range sizes { // want `map iteration order is randomized per run but this loop drives sim-visible work`
+		n := n
+		e.TaskAt(sim.Time(n), func() {})
+	}
 }
 
 // Only the import above is flagged for math/rand (rule 4); call sites are

@@ -1,0 +1,29 @@
+// Package pool is the sanctioned worker-pool exemption for detrand rule
+// 5: raw goroutines are normally banned in simulator library code, but a
+// pool whose workers only execute barrier-joined task bodies — pure
+// memory work, no engine calls, no observable output, joined at a fixed
+// (time, seq) slot — cannot leak scheduling order into the simulation.
+// The exemption is claimed with a documented //lint:ignore on the spawn,
+// exactly like the real engine's process goroutines claim the
+// baton-passing exemption. Every directive here must suppress: the
+// driver-level test expects this package to lint clean.
+package pool
+
+// Pool runs barrier-joined task bodies on raw goroutines.
+type Pool struct {
+	pending []func()
+}
+
+// Start launches n workers.
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		//lint:ignore detrand pool workers only execute barrier-joined task bodies: pure memory work joined at a fixed slot, so scheduling order cannot leak into the simulation
+		go p.worker()
+	}
+}
+
+func (p *Pool) worker() {
+	for _, fn := range p.pending {
+		fn()
+	}
+}

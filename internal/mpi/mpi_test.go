@@ -13,7 +13,7 @@ import (
 )
 
 // testWorld assembles n host-only ranks on one fabric.
-func testWorld(n int) (*sim.Engine, *World) {
+func testWorld(n int) (sim.Engine, *World) {
 	e := sim.New()
 	fabric := ib.NewFabric(e, ib.Model{})
 	w := NewWorld(e, Config{})

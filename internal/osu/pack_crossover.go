@@ -58,7 +58,7 @@ func packPoint(rows, rowBytes, pitch int, model gpu.CostModel) (cpy, kern sim.Ti
 		p.Wait(ctx.Memcpy2DAsync(p, tbuf, rowBytes, src, pitch, rowBytes, rows, s))
 		cpy = p.Now() - t0
 		t0 = p.Now()
-		p.Wait(ctx.LaunchKernel(p, s, rows*rowBytes, dev.Model().PackKernelNsPerCell(), nil))
+		p.Wait(ctx.LaunchKernel(p, s, rows*rowBytes, dev.Model().PackKernelRate(rows*rowBytes, rows), nil))
 		kern = p.Now() - t0
 	})
 	// Free both buffers before acting on the run error — and free src even

@@ -10,7 +10,7 @@ import "fmt"
 // callbacks inline; later Trigger calls are no-ops. Waiting on an already
 // fired event returns immediately without blocking.
 type Event struct {
-	e       *Engine
+	e       *engineCore
 	name    string
 	fired   bool
 	firedAt Time
@@ -19,7 +19,7 @@ type Event struct {
 }
 
 // NewEvent creates a named, unfired event.
-func (e *Engine) NewEvent(name string) *Event {
+func (e *engineCore) NewEvent(name string) *Event {
 	return &Event{e: e, name: name}
 }
 
@@ -124,7 +124,7 @@ func (p *Proc) WaitAny(evs ...*Event) int {
 
 // AllOf returns a new event that fires once all inputs have fired. With no
 // inputs the returned event is already fired.
-func (e *Engine) AllOf(name string, evs ...*Event) *Event {
+func (e *engineCore) AllOf(name string, evs ...*Event) *Event {
 	out := e.NewEvent(name)
 	n := len(evs)
 	if n == 0 {

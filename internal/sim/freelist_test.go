@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+// TestEngineSteadyStateAllocs pins the item freelist: once an engine has
+// run a warmup batch, further event scheduling must recycle items rather
+// than allocate. The budget covers only the test's own closures — a
+// thousand events through a freelist-less heap would show up as a
+// thousand allocations.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	for _, name := range []string{"serial", "parallel"} {
+		t.Run(name, func(t *testing.T) {
+			e, err := NewByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Shutdown()
+			run := func() {
+				n := 0
+				var tick func()
+				tick = func() {
+					if n++; n < 1000 {
+						e.CallAfter(Nanosecond, tick)
+					}
+				}
+				e.CallAfter(Nanosecond, tick)
+				if err := e.Run(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run() // warmup: populate the freelist
+			if avg := testing.AllocsPerRun(5, run); avg > 8 {
+				t.Errorf("%.1f allocs per 1000-event run after warmup, want the freelist to hold it near 0", avg)
+			}
+		})
+	}
+}
+
+// TestFreelistRecyclesAcrossKinds drives calls, process resumptions and
+// tasks through one engine, each chained so only a handful of items are
+// outstanding at any instant, and checks the free stack stays bounded by
+// that peak — not by the 300 total items scheduled.
+func TestFreelistRecyclesAcrossKinds(t *testing.T) {
+	e := New()
+	defer e.Shutdown()
+	total := 0
+	var call func()
+	call = func() {
+		if total++; total%3 == 0 && total < 300 {
+			e.TaskAt(e.Now()+Nanosecond, func() {}) // tasks retire through the same freelist
+		}
+		if total < 300 {
+			e.CallAfter(Nanosecond, call)
+		}
+	}
+	e.CallAfter(Nanosecond, call)
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != 300 {
+		t.Fatalf("ran %d chained callbacks, want 300", total)
+	}
+	if got := len(e.engineCore.free); got == 0 || got > 8 {
+		t.Errorf("freelist holds %d items after run; want the handful that were ever outstanding at once", got)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParallelEngineName checks the constructor registry both ways.
+func TestParallelEngineName(t *testing.T) {
+	for _, name := range []string{"", "serial"} {
+		e, err := NewByName(name)
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", name, err)
+		}
+		if _, ok := e.(*SerialEngine); !ok {
+			t.Errorf("NewByName(%q) = %T, want *SerialEngine", name, e)
+		}
+		e.Shutdown()
+	}
+	e, err := NewByName("parallel")
+	if err != nil {
+		t.Fatalf("NewByName(parallel): %v", err)
+	}
+	pe, ok := e.(*ParallelEngine)
+	if !ok {
+		t.Fatalf("NewByName(parallel) = %T, want *ParallelEngine", e)
+	}
+	if pe.Workers() < 1 {
+		t.Errorf("parallel engine has %d workers, want >= 1", pe.Workers())
+	}
+	pe.Shutdown()
+	if _, err := NewByName("quantum"); err == nil {
+		t.Error("NewByName must reject unknown engine names")
+	}
+}
+
+// hammerTasks schedules `lanes` same-instant tasks at each of `rounds`
+// ticks, every task writing its own disjoint slot of a shared buffer (a
+// task's footprint may not be shared with anything else between its
+// schedule and its slot — the contract DESIGN §11 places on task sites),
+// with a reader process summing each round's slots right after its tasks
+// join. Run under -race, this is the proof of the dispatch/join
+// protocol: a reader overlapping a still-running body is a report.
+func hammerTasks(t *testing.T, e Engine, lanes, rounds int) []int {
+	t.Helper()
+	buf := make([]int, lanes*rounds)
+	for r := 1; r <= rounds; r++ {
+		r := r
+		at := Time(r) * Microsecond
+		for l := 0; l < lanes; l++ {
+			l := l
+			e.TaskAt(at, func() { buf[(r-1)*lanes+l] = r*lanes + l })
+		}
+	}
+	// The reader wakes exactly on each tick, sequenced after the tick's
+	// tasks (their items carry earlier sequence numbers), so the slots it
+	// reads are fully joined.
+	sums := make([]int, rounds)
+	e.Spawn("reader", func(p *Proc) {
+		for r := 1; r <= rounds; r++ {
+			p.Sleep(Microsecond)
+			for l := 0; l < lanes; l++ {
+				sums[r-1] += buf[(r-1)*lanes+l]
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r <= rounds; r++ {
+		want := 0
+		for l := 0; l < lanes; l++ {
+			want += r*lanes + l
+		}
+		if sums[r-1] != want {
+			t.Errorf("round %d: reader saw sum %d, want %d", r, sums[r-1], want)
+		}
+	}
+	return buf
+}
+
+// TestRaceSameInstantTaskHammer floods both engines with batches of
+// same-instant tasks and concurrent reader processes. With -race this
+// checks the dispatch/join protocol; without, it checks the results.
+func TestRaceSameInstantTaskHammer(t *testing.T) {
+	const lanes, rounds = 64, 50
+	serial := hammerTasks(t, New(), lanes, rounds)
+	parallel := hammerTasks(t, NewParallel(), lanes, rounds)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: serial %d != parallel %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestPropEnginesIdenticalSchedules: for arbitrary workloads of timer
+// chains, tasks and sleeping processes, both engines must visit the same
+// number of events and finish at the same virtual time.
+func TestPropEnginesIdenticalSchedules(t *testing.T) {
+	f := func(chains, tasksRaw, procsRaw uint8) bool {
+		nchains := 1 + int(chains%8)
+		ntasks := int(tasksRaw % 32)
+		nprocs := int(procsRaw % 8)
+		run := func(e Engine) (uint64, Time) {
+			for c := 0; c < nchains; c++ {
+				c := c
+				var tick func()
+				n := 0
+				tick = func() {
+					if n++; n < 20 {
+						e.CallAfter(Time(c+1)*Nanosecond, tick)
+					}
+				}
+				e.CallAfter(Time(c+1)*Nanosecond, tick)
+			}
+			sink := make([]int, ntasks)
+			for i := 0; i < ntasks; i++ {
+				i := i
+				e.TaskAt(Time(i%5)*Microsecond, func() { sink[i] = i })
+			}
+			for p := 0; p < nprocs; p++ {
+				p := p
+				e.Spawn("walker", func(pr *Proc) {
+					for i := 0; i < 10; i++ {
+						pr.Sleep(Time(p+1) * Nanosecond)
+					}
+				})
+			}
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			n, now := e.Events(), e.Now()
+			e.Shutdown()
+			return n, now
+		}
+		sn, st := run(New())
+		pn, pt := run(NewParallel())
+		return sn == pn && st == pt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -9,7 +9,7 @@ package sim
 // e.g. a NIC delivering packets to an MPI progress handler, or a stream
 // worker consuming queued copy operations.
 type Queue[T any] struct {
-	e       *Engine
+	e       *engineCore
 	name    string
 	items   []T
 	waiters []*Event
@@ -20,8 +20,8 @@ type Queue[T any] struct {
 
 // NewQueue creates an empty queue. The type parameter is chosen by the
 // caller: sim.NewQueue[*packet](e, "nic0.rx").
-func NewQueue[T any](e *Engine, name string) *Queue[T] {
-	return &Queue[T]{e: e, name: name}
+func NewQueue[T any](e Engine, name string) *Queue[T] {
+	return &Queue[T]{e: e.core(), name: name}
 }
 
 // Name returns the queue name.

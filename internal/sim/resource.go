@@ -10,7 +10,7 @@ import "fmt"
 // Ownership is handed off directly from Release to the head waiter, so a
 // releasing process cannot barge back in front of queued waiters.
 type Resource struct {
-	e     *Engine
+	e     *engineCore
 	name  string
 	cap   int
 	inUse int
@@ -24,7 +24,7 @@ type Resource struct {
 }
 
 // NewResource creates a resource with the given capacity (>0).
-func (e *Engine) NewResource(name string, capacity int) *Resource {
+func (e *engineCore) NewResource(name string, capacity int) *Resource {
 	if capacity <= 0 {
 		panic("sim: resource capacity must be positive: " + name)
 	}

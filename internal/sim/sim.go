@@ -1,9 +1,12 @@
 // Package sim implements a deterministic discrete-event simulation engine.
 //
 // The engine advances a virtual clock by executing scheduled items in
-// non-decreasing time order. Two kinds of items exist: callbacks, which run
-// to completion inside the engine's goroutine, and process resumptions,
-// which hand control to a cooperative process.
+// non-decreasing time order. Three kinds of items exist: callbacks, which
+// run to completion inside the engine's goroutine, process resumptions,
+// which hand control to a cooperative process, and tasks — pure host-memory
+// work (no engine calls, no observable emissions) that an engine is free to
+// execute off the dispatch goroutine as long as the bytes are in place when
+// the task's slot in (time, seq) order is reached.
 //
 // Processes are ordinary goroutines wrapped by Proc. Exactly one process
 // (or the engine itself) executes at any instant; control is transferred
@@ -11,6 +14,12 @@
 // operation. This cooperative single-executor discipline makes the whole
 // simulation race-free and fully deterministic: the same program produces
 // the same event trace on every run.
+//
+// Two engines implement the Engine interface: the default SerialEngine
+// (New) runs everything, tasks included, on the dispatch goroutine; the
+// ParallelEngine (NewParallel) farms tasks out to a GOMAXPROCS-sized
+// worker pool and joins each task at its committed slot, which keeps the
+// event order — and therefore every trace byte — identical to serial.
 //
 // All simulated components in this repository (GPU DMA engines, the
 // InfiniBand fabric, the MPI progress engine) are built from the three
@@ -22,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 )
 
 // Time is a point in virtual time, measured in nanoseconds from the start
@@ -71,21 +81,24 @@ func DurationOf(bytes int, bytesPerSec float64) Time {
 	return Time(float64(bytes) / bytesPerSec * float64(Second))
 }
 
-// itemKind discriminates the two schedulable item types.
+// itemKind discriminates the schedulable item types.
 type itemKind uint8
 
 const (
 	kindCall itemKind = iota
 	kindResume
+	kindTask
 )
 
-// item is one entry in the event heap.
+// item is one entry in the event heap. Items are recycled through the
+// engine's freelist, so the wg field must return to zero before recycle.
 type item struct {
 	t    Time
 	seq  uint64 // tie-breaker: FIFO among items at the same instant
 	kind itemKind
 	fn   func()
 	proc *Proc
+	wg   sync.WaitGroup // joins an off-goroutine task at its slot
 }
 
 type itemHeap []*item
@@ -108,12 +121,72 @@ func (h *itemHeap) Pop() interface{} {
 	return it
 }
 
-// Engine is the simulation scheduler. The zero value is not usable; create
-// engines with New.
-type Engine struct {
+// Engine is the simulation scheduler interface. Two implementations exist:
+// SerialEngine (New), the default cooperative engine, and ParallelEngine
+// (NewParallel), which executes tasks on a worker pool while preserving
+// byte-identical event order. The interface is sealed: the unexported core
+// accessor keeps outside packages from substituting schedulers the
+// determinism argument has not been made for.
+type Engine interface {
+	// Now returns the current virtual time.
+	Now() Time
+	// Events returns the number of scheduled items dispatched so far.
+	Events() uint64
+	// Run dispatches items until the queue is empty.
+	Run() error
+	// RunUntil dispatches items with time ≤ limit, leaving later items queued.
+	RunUntil(limit Time) error
+	// CallAt schedules fn to run in engine context at absolute time t.
+	CallAt(t Time, fn func())
+	// CallAfter schedules fn to run d after the current time.
+	CallAfter(d Time, fn func())
+	// TaskAt schedules pure host-memory work to be complete at time t.
+	TaskAt(t Time, fn func())
+	// Spawn creates a process starting at the current time.
+	Spawn(name string, fn func(p *Proc)) *Proc
+	// SpawnAt creates a process starting at absolute time t.
+	SpawnAt(t Time, name string, fn func(p *Proc)) *Proc
+	// SpawnDaemon creates a server process exempt from deadlock detection.
+	SpawnDaemon(name string, fn func(p *Proc)) *Proc
+	// NewEvent creates a named, unfired event.
+	NewEvent(name string) *Event
+	// NewResource creates a resource with the given capacity.
+	NewResource(name string, capacity int) *Resource
+	// AllOf returns an event that fires once all inputs have fired.
+	AllOf(name string, evs ...*Event) *Event
+	// SetTracer installs a trace sink for process lifecycle events.
+	SetTracer(fn func(t Time, msg string))
+	// SetHook installs a structured lifecycle observer.
+	SetHook(h Hook)
+	// Shutdown terminates every parked goroutine; see SerialEngine docs.
+	Shutdown()
+
+	core() *engineCore
+}
+
+// NewByName resolves an engine-selection knob ("" or "serial" for the
+// default cooperative engine, "parallel" for the worker-pool engine) to a
+// fresh engine. It is the single parse point for -engine flags and the
+// MV2SIM_ENGINE environment toggle.
+func NewByName(name string) (Engine, error) {
+	switch name {
+	case "", "serial":
+		return New(), nil
+	case "parallel":
+		return NewParallel(), nil
+	}
+	return nil, fmt.Errorf("sim: unknown engine %q (want serial or parallel)", name)
+}
+
+// engineCore is the scheduler state shared by both engines. All methods of
+// the Engine interface except Shutdown are implemented here once; the
+// launch hook is the only seam the ParallelEngine overrides (nil means
+// "run tasks inline at their slot").
+type engineCore struct {
 	now     Time
 	seq     uint64
 	heap    itemHeap
+	free    []*item       // recycled items, engine-goroutine only
 	cur     *Proc         // process currently holding the baton, nil in engine context
 	yield   chan struct{} // signalled by a process when it blocks or finishes
 	nlive   int           // spawned processes that have not finished
@@ -125,6 +198,11 @@ type Engine struct {
 
 	tracer func(t Time, msg string)
 	hook   Hook
+
+	self     Engine         // the concrete engine embedding this core
+	launch   func(it *item) // set by ParallelEngine: start a task off-goroutine
+	inflight sync.WaitGroup // launched tasks not yet finished
+	goros    sync.WaitGroup // process + pool goroutines not yet exited
 }
 
 // Hook observes engine lifecycle events with structured callbacks, the
@@ -141,14 +219,30 @@ type Hook interface {
 	EventFired(t Time, name string)
 }
 
-// New creates an empty engine at virtual time zero.
-func New() *Engine {
-	return &Engine{
-		yield:    make(chan struct{}),
-		blocked:  map[*Proc]string{},
-		shutdown: make(chan struct{}),
-	}
+// SerialEngine is the default cooperative engine: every item, tasks
+// included, executes on the dispatch goroutine. The zero value is not
+// usable; create engines with New.
+type SerialEngine struct {
+	engineCore
 }
+
+// New creates an empty serial engine at virtual time zero.
+func New() *SerialEngine {
+	e := &SerialEngine{}
+	e.engineCore.init(e)
+	return e
+}
+
+// init wires the core's channels and back-reference to the concrete engine.
+func (e *engineCore) init(self Engine) {
+	e.yield = make(chan struct{})
+	e.blocked = map[*Proc]string{}
+	e.shutdown = make(chan struct{})
+	e.self = self
+}
+
+// core seals the Engine interface to this package's implementations.
+func (e *engineCore) core() *engineCore { return e }
 
 // Shutdown terminates every process goroutine still blocked in the engine
 // (daemons waiting for work, processes stuck on unfired events). Blocked
@@ -160,34 +254,63 @@ func New() *Engine {
 // Shutdown must only be called while the engine is not executing (i.e.
 // after Run/RunUntil has returned). It is idempotent. The engine must not
 // be used afterwards.
-func (e *Engine) Shutdown() {
+//
+// Shutdown joins the goroutines before returning. Without the join, a
+// harness that builds engines back to back races the previous run's
+// dying goroutines: their stacks keep the dead simulation reachable, so
+// the next run's allocation storm fights the collector over gigabytes
+// that are about to be garbage (a 60x wall-clock cliff on a single-CPU
+// host before the join was added).
+func (e *engineCore) Shutdown() {
 	if !e.shutdownDone {
 		e.shutdownDone = true
 		close(e.shutdown)
 	}
+	e.goros.Wait()
 }
 
 // Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+func (e *engineCore) Now() Time { return e.now }
 
 // Events returns the number of scheduled items dispatched so far.
-func (e *Engine) Events() uint64 { return e.nevents }
+func (e *engineCore) Events() uint64 { return e.nevents }
 
 // SetTracer installs a trace sink invoked for process lifecycle events.
 // Pass nil to disable tracing.
-func (e *Engine) SetTracer(fn func(t Time, msg string)) { e.tracer = fn }
+func (e *engineCore) SetTracer(fn func(t Time, msg string)) { e.tracer = fn }
 
 // SetHook installs a structured lifecycle observer. Pass nil to disable.
-func (e *Engine) SetHook(h Hook) { e.hook = h }
+func (e *engineCore) SetHook(h Hook) { e.hook = h }
 
-func (e *Engine) trace(format string, args ...interface{}) {
+func (e *engineCore) trace(format string, args ...interface{}) {
 	if e.tracer != nil {
 		e.tracer(e.now, fmt.Sprintf(format, args...))
 	}
 }
 
+// newItem takes an item from the freelist, or allocates the first time.
+// Only the engine goroutine (dispatch loop, or a process holding the
+// baton) touches the freelist, so no locking is needed.
+func (e *engineCore) newItem() *item {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+// recycle returns a dispatched item to the freelist. Callers must be done
+// with every field; tasks are recycled only after their WaitGroup drained.
+func (e *engineCore) recycle(it *item) {
+	it.fn = nil
+	it.proc = nil
+	e.free = append(e.free, it)
+}
+
 // schedule inserts an item at absolute time t.
-func (e *Engine) schedule(t Time, it *item) {
+func (e *engineCore) schedule(t Time, it *item) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
 	}
@@ -200,16 +323,38 @@ func (e *Engine) schedule(t Time, it *item) {
 // CallAt schedules fn to run in engine context at absolute time t.
 // fn must not block; it may schedule further items, trigger events and
 // spawn processes.
-func (e *Engine) CallAt(t Time, fn func()) {
-	e.schedule(t, &item{kind: kindCall, fn: fn})
+func (e *engineCore) CallAt(t Time, fn func()) {
+	it := e.newItem()
+	it.kind = kindCall
+	it.fn = fn
+	e.schedule(t, it)
 }
 
 // CallAfter schedules fn to run d after the current time.
-func (e *Engine) CallAfter(d Time, fn func()) {
+func (e *engineCore) CallAfter(d Time, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	e.CallAt(e.now+d, fn)
+}
+
+// TaskAt schedules fn — pure host-memory work that makes no engine calls
+// and emits nothing observable — to be complete at absolute time t. The
+// serial engine runs fn at the item's slot exactly like CallAt; the
+// parallel engine starts fn on a pool worker immediately and joins it at
+// the slot. Because fn only writes memory that nothing scheduled before
+// the slot reads (the caller's obligation, checked by the race detector),
+// both engines produce identical simulations.
+func (e *engineCore) TaskAt(t Time, fn func()) {
+	it := e.newItem()
+	it.kind = kindTask
+	it.fn = fn
+	e.schedule(t, it)
+	if e.launch != nil {
+		it.wg.Add(1)
+		e.inflight.Add(1)
+		e.launch(it)
+	}
 }
 
 // DeadlockError reports that the event queue drained while processes were
@@ -226,13 +371,13 @@ func (d *DeadlockError) Error() string {
 // Run dispatches items until the queue is empty. It returns nil when the
 // simulation drained cleanly (every spawned process finished), and a
 // *DeadlockError when processes remain blocked with no pending items.
-func (e *Engine) Run() error {
+func (e *engineCore) Run() error {
 	return e.run(-1)
 }
 
 // RunUntil dispatches items with time ≤ limit, leaving later items queued.
 // The clock is advanced to limit even if the queue drains earlier.
-func (e *Engine) RunUntil(limit Time) error {
+func (e *engineCore) RunUntil(limit Time) error {
 	err := e.run(limit)
 	if err == nil && e.now < limit {
 		e.now = limit
@@ -240,7 +385,11 @@ func (e *Engine) RunUntil(limit Time) error {
 	return err
 }
 
-func (e *Engine) run(limit Time) error {
+func (e *engineCore) run(limit Time) error {
+	// Every launched task must be joined before Run returns, even tasks
+	// scheduled past a RunUntil limit: the caller is free to inspect any
+	// simulated memory once the dispatch loop has stopped.
+	defer e.inflight.Wait()
 	for len(e.heap) > 0 {
 		if limit >= 0 && e.heap[0].t > limit {
 			return nil
@@ -250,9 +399,20 @@ func (e *Engine) run(limit Time) error {
 		e.nevents++
 		switch it.kind {
 		case kindCall:
-			it.fn()
+			fn := it.fn
+			e.recycle(it)
+			fn()
 		case kindResume:
-			e.runProc(it.proc)
+			p := it.proc
+			e.recycle(it)
+			e.runProc(p)
+		case kindTask:
+			if e.launch != nil {
+				it.wg.Wait()
+			} else {
+				it.fn()
+			}
+			e.recycle(it)
 		}
 	}
 	var msgs []string
@@ -271,7 +431,7 @@ func (e *Engine) run(limit Time) error {
 // runProc hands the baton to p and waits for it to yield it back.
 // A panic inside the process is re-raised here, in the Run caller's
 // goroutine, so it is observable and recoverable like any ordinary panic.
-func (e *Engine) runProc(p *Proc) {
+func (e *engineCore) runProc(p *Proc) {
 	if p.done {
 		panic("sim: resuming finished process " + p.name)
 	}
@@ -291,7 +451,7 @@ func (e *Engine) runProc(p *Proc) {
 // must only call blocking operations (Sleep, Wait, Resource.Acquire, ...)
 // from their own goroutine while they hold the baton.
 type Proc struct {
-	e        *Engine
+	e        *engineCore
 	name     string
 	resume   chan struct{}
 	done     bool
@@ -303,14 +463,14 @@ type Proc struct {
 func (p *Proc) Name() string { return p.name }
 
 // Engine returns the engine the process runs on.
-func (p *Proc) Engine() *Engine { return p.e }
+func (p *Proc) Engine() Engine { return p.e.self }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.e.now }
 
 // Spawn creates a process executing fn and schedules it to start at the
 // current time (after already-queued items at this instant).
-func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+func (e *engineCore) Spawn(name string, fn func(p *Proc)) *Proc {
 	return e.SpawnAt(e.now, name, fn)
 }
 
@@ -318,19 +478,21 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 // forever: it is excluded from deadlock detection, so a simulation whose
 // ordinary processes all finish terminates cleanly even while daemons
 // (e.g. CUDA stream workers, NIC service loops) still wait for work.
-func (e *Engine) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+func (e *engineCore) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
 	p := e.SpawnAt(e.now, name, fn)
 	p.daemon = true
 	return p
 }
 
 // SpawnAt creates a process starting at absolute time t.
-func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
+func (e *engineCore) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{e: e, name: name, resume: make(chan struct{})}
 	e.nlive++
+	e.goros.Add(1)
 	//lint:ignore detrand this goroutine IS the engine's process implementation: it baton-passes with the dispatcher (exactly one goroutine runs at a time, handed off via resume channels), so the Go scheduler never picks an interleaving
 	go func() {
-		p.awaitResume() // wait for first dispatch
+		defer e.goros.Done() // runs on normal return and on Goexit at Shutdown
+		p.awaitResume()      // wait for first dispatch
 		e.trace("proc %s: start", p.name)
 		if e.hook != nil {
 			e.hook.ProcStart(e.now, p.name)
@@ -351,7 +513,10 @@ func (e *Engine) SpawnAt(t Time, name string, fn func(p *Proc)) *Proc {
 		e.nlive--
 		e.yield <- struct{}{}
 	}()
-	e.schedule(t, &item{kind: kindResume, proc: p})
+	it := e.newItem()
+	it.kind = kindResume
+	it.proc = p
+	e.schedule(t, it)
 	return p
 }
 
@@ -377,7 +542,10 @@ func (p *Proc) awaitResume() {
 
 // scheduleResume queues a wake-up for p at absolute time t.
 func (p *Proc) scheduleResume(t Time) {
-	p.e.schedule(t, &item{kind: kindResume, proc: p})
+	it := p.e.newItem()
+	it.kind = kindResume
+	it.proc = p
+	p.e.schedule(t, it)
 }
 
 // Sleep blocks the process for duration d of virtual time.
