@@ -21,7 +21,7 @@ func main() {
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe pipeline chunks across (MV2_NUM_RAILS)")
 	elem := flag.Int("elem", 0, "element width in bytes (0 = paper default, 4)")
 	pitch := flag.Int("pitch", 0, "row pitch in bytes (0 = paper default)")
-	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
+	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d, kernel or nic")
 	flag.Parse()
 
 	mode, err := core.ParsePackMode(*packMode)

@@ -40,7 +40,7 @@ func main() {
 	msg := flag.Int("msg", 4<<20, "live mode: message size in bytes")
 	pitch := flag.Int("pitch", 16, "live mode: byte pitch between 4-byte vector elements")
 	rails := flag.Int("rails", mpi.DefaultRails, "live mode: HCA rails to stripe chunks across")
-	packMode := flag.String("packmode", "auto", "live mode: pack/unpack engine: auto, memcpy2d or kernel")
+	packMode := flag.String("packmode", "auto", "live mode: pack/unpack engine: auto, memcpy2d, kernel or nic")
 	flag.Parse()
 
 	var (

@@ -22,7 +22,7 @@ func main() {
 	window := flag.Int("window", 16, "messages in flight per measurement")
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe rendezvous chunks across (MV2_NUM_RAILS)")
 	railSweep := flag.Bool("railsweep", false, "additionally sweep rail counts 1/2/4 at the largest message size")
-	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
+	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d, kernel or nic")
 	engine := flag.String("engine", "", "simulation engine: serial or parallel (default: MV2SIM_ENGINE, then serial)")
 	flag.Parse()
 

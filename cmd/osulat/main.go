@@ -32,7 +32,7 @@ func main() {
 	pitch := flag.Int("pitch", 64, "byte pitch between vector elements")
 	traceOut := flag.String("trace", "", "also run one traced 4 MB MV2-GPU-NC transfer and write Chrome trace JSON")
 	doctor := flag.Bool("doctor", false, "also run one 4 MB MV2-GPU-NC transfer with the critical-path doctor attached and print the stall report")
-	packMode := flag.String("packmode", "auto", "MV2-GPU-NC pack/unpack engine: auto, memcpy2d or kernel")
+	packMode := flag.String("packmode", "auto", "MV2-GPU-NC pack/unpack engine: auto, memcpy2d, kernel or nic")
 	engine := flag.String("engine", "", "simulation engine: serial or parallel (default: MV2SIM_ENGINE, then serial)")
 	flag.Parse()
 

@@ -10,9 +10,10 @@
 //	packbench -large     # Figure 2(b): 4 KB – 4 MB
 //	packbench -csv       # CSV instead of aligned tables
 //
-// Beyond Figure 2, -crossover sweeps the kernel-vs-memcpy2D D2D pack
-// crossover over a rows × rowBytes grid (the experimental basis of the
-// transport's PackModeAuto heuristic) and -bench writes it as JSON.
+// Beyond Figure 2, -crossover sweeps the three-way pack-engine crossover
+// (memcpy2D vs kernel vs NIC SGE gather) over a rows × rowBytes grid (the
+// experimental basis of the transport's PackModeAuto heuristic) and
+// -bench writes it as JSON.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"os"
 
 	"mv2sim/internal/gpu"
+	"mv2sim/internal/ib"
 	"mv2sim/internal/obs/store"
 	"mv2sim/internal/osu"
 	"mv2sim/internal/report"
@@ -85,10 +87,17 @@ func main() {
 func runCrossover(out string) {
 	rowsList := []int{16, 64, 128, 256, 1024, 4096, 16384}
 	rowBytesList := []int{4, 16, 64, 256, 1024, 4096}
-	res := must(osu.PackCrossover(rowsList, rowBytesList, 4, gpu.CostModel{}))
+	res := must(osu.PackCrossover(rowsList, rowBytesList, 4, gpu.CostModel{}, ib.Model{}))
 	fmt.Println(res.Table())
 	be := res.BreakEvenRows[4]
 	fmt.Printf("Break-even at 4-byte rows: kernel wins from %d rows up.\n", be)
+	nicWins := 0
+	for _, pt := range res.Grid {
+		if pt.Best == "nic" {
+			nicWins++
+		}
+	}
+	fmt.Printf("NIC gather wins %d of %d grid points (few coarse rows per chunk).\n", nicWins, len(res.Grid))
 	if out != "" {
 		data, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

@@ -65,7 +65,7 @@ func main() {
 	msg := flag.Int("msg", 4<<20, "message size in bytes")
 	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe chunks across")
-	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
+	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d, kernel or nic")
 	traceIn := flag.String("trace", "", "ingest a ChromeTracer JSON file instead of running live")
 	matrix := flag.Bool("matrix", false, "run the repro matrix (sizes x rails x pack modes)")
 	benchOut := flag.String("bench", "", "merge machine-readable results into this JSON file")
@@ -99,7 +99,7 @@ func main() {
 	case *matrix:
 		for _, m := range []int{64 << 10, 1 << 20, 4 << 20} {
 			for _, r := range []int{1, 2} {
-				for _, pm := range []string{"memcpy2d", "kernel", "auto"} {
+				for _, pm := range []string{"memcpy2d", "kernel", "auto", "nic"} {
 					a, met, block := runOnce(m, *pitch, r, pm)
 					label := fmt.Sprintf("msg%s_rails%d_%s", report.ByteSize(m), r, pm)
 					if !diagnose(label, m, block, pm, a, met, *showPath, *strict, &bench) {

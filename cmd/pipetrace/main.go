@@ -24,13 +24,20 @@ func main() {
 	pitch := flag.Int("pitch", 16, "byte pitch between 4-byte vector elements")
 	rails := flag.Int("rails", mpi.DefaultRails, "HCA rails to stripe chunks across (MV2_NUM_RAILS)")
 	chromeOut := flag.String("chrome", "", "write a Chrome trace_event JSON file (open in Perfetto)")
-	packMode := flag.String("packmode", "auto", "pack/unpack engine: auto, memcpy2d or kernel")
+	packMode := flag.String("packmode", "auto", "pack engine: auto, memcpy2d, kernel or nic")
+	unpackMode := flag.String("unpackmode", "", "unpack engine (default: same as -packmode)")
 	engine := flag.String("engine", "", "simulation engine: serial or parallel (default: MV2SIM_ENGINE, then serial)")
 	flag.Parse()
 
 	mode, err := core.ParsePackMode(*packMode)
 	if err != nil {
 		log.Fatal(err)
+	}
+	umode := mode
+	if *unpackMode != "" {
+		if umode, err = core.ParsePackMode(*unpackMode); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	rows := *msg / 4
@@ -45,7 +52,7 @@ func main() {
 	cfg := cluster.Config{GPUMemBytes: 2*rows**pitch + (64 << 20), Rails: *rails, Engine: *engine}
 	cfg.Core.Trace = trace
 	cfg.Core.PackMode = mode
-	cfg.Core.UnpackMode = mode
+	cfg.Core.UnpackMode = umode
 	if *chromeOut != "" {
 		chrome = obs.NewChromeTracer()
 		cfg.Tracers = []obs.Tracer{chrome}

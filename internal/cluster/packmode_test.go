@@ -13,17 +13,17 @@ import (
 )
 
 // TestPackModeTransferProperties drives randomized end-to-end vector
-// transfers across all three PackModes on each side independently — every
-// sender/receiver engine mix, including mixes where one side packs with
-// the kernel and the other unpacks with the copy engine — over random
-// shapes, counts and chunk boundaries, and checks:
+// transfers across all four PackModes on each side independently — every
+// sender/receiver engine mix, including mixes where one side gathers on
+// the NIC's SGE unit and the other unpacks with the copy engine — over
+// random shapes, counts, rail counts and chunk boundaries, and checks:
 //
 //   - byte-exact delivery into the strided receive buffer under every mix;
 //   - every vbuf returned to its pool at the end of the run;
 //   - no leaked device allocations (tbufs freed on all paths).
 func TestPackModeTransferProperties(t *testing.T) {
-	modes := []core.PackMode{core.PackModeAuto, core.PackModeMemcpy2D, core.PackModeKernel}
-	prop := func(packMode, unpackMode core.PackMode, blockSize, sizeKB, elem, count int) bool {
+	modes := []core.PackMode{core.PackModeAuto, core.PackModeMemcpy2D, core.PackModeKernel, core.PackModeNic}
+	prop := func(packMode, unpackMode core.PackMode, blockSize, sizeKB, elem, count, rails int) bool {
 		rows := max(1, sizeKB<<10/elem/count)
 		pitch := 2 * elem
 		size := rows * elem * count
@@ -34,7 +34,7 @@ func TestPackModeTransferProperties(t *testing.T) {
 		}
 		vec.MustCommit()
 
-		cfg := Config{MPI: mpi.Config{BlockSize: blockSize}}
+		cfg := Config{MPI: mpi.Config{BlockSize: blockSize}, Rails: rails}
 		cfg.Core.PackMode = packMode
 		cfg.Core.UnpackMode = unpackMode
 		cl := New(cfg)
@@ -95,6 +95,7 @@ func TestPackModeTransferProperties(t *testing.T) {
 			args[3] = reflect.ValueOf(1 + r.Intn(512))         // packed size 1K..512K
 			args[4] = reflect.ValueOf(4 << r.Intn(7))          // element width 4..256
 			args[5] = reflect.ValueOf(1 + r.Intn(3))           // datatype count 1..3
+			args[6] = reflect.ValueOf(1 + r.Intn(2))           // rails 1..2
 		},
 	}
 	if testing.Short() {
@@ -104,14 +105,17 @@ func TestPackModeTransferProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The nine mode pairs are also covered deterministically at one fixed
-	// geometry that exercises eager (small) and rendezvous (large) sizes,
-	// so a regression in a rare pair cannot hide behind the random draw.
+	// The sixteen mode pairs are also covered deterministically at one
+	// fixed geometry that exercises eager (small) and rendezvous (large)
+	// sizes on both rail counts, so a regression in a rare pair cannot
+	// hide behind the random draw.
 	for _, pm := range modes {
 		for _, um := range modes {
 			for _, sizeKB := range []int{2, 192} {
-				if !prop(pm, um, 64<<10, sizeKB, 4, 1) {
-					t.Fatalf("pack=%v unpack=%v sizeKB=%d failed", pm, um, sizeKB)
+				for rails := 1; rails <= 2; rails++ {
+					if !prop(pm, um, 64<<10, sizeKB, 4, 1, rails) {
+						t.Fatalf("pack=%v unpack=%v sizeKB=%d rails=%d failed", pm, um, sizeKB, rails)
+					}
 				}
 			}
 		}

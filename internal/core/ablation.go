@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mv2sim/internal/hostmem"
+	"mv2sim/internal/ib"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
@@ -57,7 +58,15 @@ func (t *Transport) sendHostStaged(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.R
 			d2hSp.End()
 			rdmaSp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
 			rdmaSp.DependsOn(d2hSp, obs.DepStage)
-			rdma := r.RDMAChunkRailSpan(req, slot, vbuf.Ptr, n, rail, rdmaSp)
+			// Under a nic pack the HCA still offloads what it can: the
+			// vbuf holds host-contiguous bytes, so the gather degrades to
+			// a one-entry descriptor read straight from the vbuf.
+			var rdma *sim.Event
+			if pl.packEng == engineNic {
+				rdma = r.RDMANicChunkRailSpan(req, slot, ib.SGDesc{Buf: vbuf.Ptr, N: n}, rail, rdmaSp)
+			} else {
+				rdma = r.RDMAChunkRailSpan(req, slot, vbuf.Ptr, n, rail, rdmaSp)
+			}
 			rdma.OnTrigger(func() {
 				rdmaSp.End()
 				n1.Pool.Put(vbuf)

@@ -36,6 +36,7 @@ import (
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/gpu"
 	"mv2sim/internal/hostmem"
+	"mv2sim/internal/ib"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
@@ -212,15 +213,43 @@ func (t *Transport) Node(r *mpi.Rank) *NodeGPU {
 // per transfer, before any stage is issued, so the whole pipeline sees one
 // consistent decision.
 type plan struct {
-	size         int
-	shape        datatype.Shape2D
-	uniform      bool
-	contig       bool                // single contiguous region: no pack/unpack stage at all
-	packKernel   bool                // stage-1 pack runs on the compute engine
-	unpackKernel bool                // stage-5 unpack runs on the compute engine
-	packTailCut  int                 // packed offset where the pack side's tail falls back to memcpy2D (0: never)
-	unpackTail   int                 // same for the unpack side
-	cp           *datatype.ChunkPlan // set whenever either side packs by kernel
+	size        int
+	shape       datatype.Shape2D
+	uniform     bool
+	contig      bool       // single contiguous region: no pack/unpack stage at all
+	packEng     packEngine // stage-1 pipeline engine (engineNic skips the stage)
+	unpackEng   packEngine // stage-5 pipeline engine
+	packDev     packEngine // device fallback where engineNic has no wire (eager, self-send)
+	unpackDev   packEngine
+	packTailCut int                 // packed offset where the pack side's tail falls back to memcpy2D (0: never)
+	unpackTail  int                 // same for the unpack side
+	cp          *datatype.ChunkPlan // set whenever either side leaves the copy engine
+}
+
+// packChunkEngine is the device engine packChunk actually runs: the
+// pipeline engine, with engineNic resolved to its device fallback —
+// packChunk only runs where there is no wire to offload to.
+func (pl plan) packChunkEngine() packEngine {
+	if pl.packEng == engineNic {
+		return pl.packDev
+	}
+	return pl.packEng
+}
+
+func (pl plan) unpackChunkEngine() packEngine {
+	if pl.unpackEng == engineNic {
+		return pl.unpackDev
+	}
+	return pl.unpackEng
+}
+
+// sgRange lowers the packed byte range [off, off+n) of the request's
+// buffer to the NIC gather/scatter descriptor covering it.
+func (pl plan) sgRange(req *mpi.Request, off, n int) ib.SGDesc {
+	if pl.contig {
+		return ib.SGDesc{Buf: req.Buf().Add(pl.shape.Off + off), N: n}
+	}
+	return ib.SGDesc{Plan: pl.cp, Buf: req.Buf(), Off: off, N: n}
 }
 
 func (t *Transport) planFor(req *mpi.Request) plan {
@@ -232,27 +261,43 @@ func (t *Transport) planFor(req *mpi.Request) plan {
 		uniform: uniform,
 		contig:  uniform && shape.Rows == 1,
 	}
-	if pl.size == 0 || pl.contig {
+	if pl.size == 0 {
+		return pl
+	}
+	if pl.contig {
+		// No pack/unpack stage exists; the engines matter only for an
+		// explicit nic pin, which routes the contiguous chunks through
+		// the SGE unit as one-entry descriptors. Auto never picks the
+		// NIC here — there is nothing to gather.
+		if t.cfg.PackMode == PackModeNic {
+			pl.packEng, pl.packDev = engineNic, engineCopy
+		}
+		if t.cfg.UnpackMode == PackModeNic {
+			pl.unpackEng, pl.unpackDev = engineNic, engineCopy
+		}
 		return pl
 	}
 	blockSize := req.Rank().World().Config().BlockSize
+	n1 := t.Node(req.Rank())
+	ibm := req.Rank().HCA().Model()
 	if !uniform {
 		// Irregular types have no 2D shape the copy engine could express:
-		// both sides always pack by kernel.
+		// each side packs by kernel or on the NIC.
 		pl.cp = dt.ChunkPlan(count, blockSize)
-		pl.packKernel, pl.unpackKernel = true, true
+		pl.packEng = t.irregularEngine(t.cfg.PackMode, n1, ibm, pl.cp)
+		pl.unpackEng = t.irregularEngine(t.cfg.UnpackMode, n1, ibm, pl.cp)
+		pl.packDev, pl.unpackDev = engineKernel, engineKernel
 		return pl
 	}
-	n1 := t.Node(req.Rank())
-	pl.packKernel = t.useKernel(t.cfg.PackMode, n1, shape, pl.size, blockSize)
-	pl.unpackKernel = t.useKernel(t.cfg.UnpackMode, n1, shape, pl.size, blockSize)
-	if pl.packKernel || pl.unpackKernel {
+	pl.packEng, pl.packDev = t.resolveEngine(t.cfg.PackMode, n1, ibm, shape, pl.size, blockSize)
+	pl.unpackEng, pl.unpackDev = t.resolveEngine(t.cfg.UnpackMode, n1, ibm, shape, pl.size, blockSize)
+	if pl.packEng != engineCopy || pl.unpackEng != engineCopy {
 		pl.cp = dt.ChunkPlan(count, blockSize)
 		cut := kernelTailCut(n1.Ctx.Model(), shape, pl.size, blockSize)
-		if pl.packKernel {
+		if pl.packChunkEngine() == engineKernel {
 			pl.packTailCut = cut
 		}
-		if pl.unpackKernel {
+		if pl.unpackChunkEngine() == engineKernel {
 			pl.unpackTail = cut
 		}
 	}
@@ -291,7 +336,7 @@ func kernelTailCut(m *gpu.CostModel, shape datatype.Shape2D, size, blockSize int
 // are traced under them.
 func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, sp obs.Span, chunk int, dst mem.Ptr, off, n int) *sim.Event {
 	src := req.Buf()
-	if pl.uniform && (!pl.packKernel || (pl.packTailCut > 0 && off >= pl.packTailCut)) {
+	if pl.uniform && (pl.packChunkEngine() != engineKernel || (pl.packTailCut > 0 && off >= pl.packTailCut)) {
 		// Row-aligned 2D copy: callers align off and n to row boundaries.
 		// A kernel-mode transfer still lands here for its final short
 		// chunk when that tail is below the kernel/memcpy2D crossover.
@@ -316,7 +361,7 @@ func (t *Transport) packChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Reques
 // (contiguous device memory) into the user buffer.
 func (t *Transport) unpackChunk(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request, sp obs.Span, chunk int, src mem.Ptr, off, n int) *sim.Event {
 	dst := req.Buf()
-	if pl.uniform && (!pl.unpackKernel || (pl.unpackTail > 0 && off >= pl.unpackTail)) {
+	if pl.uniform && (pl.unpackChunkEngine() != engineKernel || (pl.unpackTail > 0 && off >= pl.unpackTail)) {
 		w := pl.shape.Width
 		if off%w != 0 || n%w != 0 {
 			panic(fmt.Sprintf("core: unpack range [%d,%d) not row-aligned (width %d)", off, off+n, w))
@@ -484,12 +529,21 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 		parent := req.ObsSpan()
 		size := pl.size
 		blockSize := r.World().Config().BlockSize
-		if t.cfg.GPUDirect {
+		// Dispatch: GPUDirect removes the staging stages unless the nic
+		// engine owns the pack (the SGE unit already reads device memory
+		// in place, staging-free); host-staged keeps its vbuf pipeline and
+		// lets the nic engine gather from the vbuf; a nic pack otherwise
+		// takes the shortened gather pipeline.
+		if t.cfg.GPUDirect && pl.packEng != engineNic {
 			t.sendGDR(p, n1, pl, req)
 			return
 		}
 		if hostStagedApplies(t, pl, blockSize) {
 			t.sendHostStaged(p, n1, pl, req)
+			return
+		}
+		if pl.packEng == engineNic {
+			t.sendNic(p, n1, pl, req)
 			return
 		}
 
@@ -506,7 +560,7 @@ func (t *Transport) StartRendezvousSend(req *mpi.Request) {
 			//lint:ignore allocfree freed at the end of this function under the same !pl.contig guard that allocated it; the flow analysis is path-insensitive and cannot correlate the branches
 			tbuf = n1.Ctx.MustMalloc(size)
 			step := size
-			if pl.uniform && !pl.packKernel {
+			if pl.uniform && pl.packChunkEngine() != engineKernel {
 				rows := max(1, blockSize/pl.shape.Width)
 				step = rows * pl.shape.Width
 			} else if size > blockSize {
@@ -610,12 +664,16 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 		parent := req.ObsSpan()
 		size := req.Size()
 		total, chunkBytes := r.World().ChunkGeometry(size)
-		if t.cfg.GPUDirect {
+		if t.cfg.GPUDirect && pl.unpackEng != engineNic {
 			t.recvGDR(p, n1, pl, req)
 			return
 		}
 		if hostStagedApplies(t, pl, chunkBytes) {
 			t.recvHostStaged(p, n1, pl, req)
+			return
+		}
+		if pl.unpackEng == engineNic {
+			t.recvNic(p, n1, pl, req)
 			return
 		}
 		if chunkBytes != n1.RecvPool.ChunkSize() {
@@ -644,7 +702,7 @@ func (t *Transport) StartRendezvousRecv(req *mpi.Request) {
 			// chunk alignment (arrived only moves in whole chunks), which
 			// is what its plan ranges require.
 			var cut int
-			if pl.uniform && !pl.unpackKernel {
+			if pl.uniform && pl.unpackChunkEngine() != engineKernel {
 				cut = arrived / pl.shape.Width * pl.shape.Width
 			} else {
 				cut = arrived

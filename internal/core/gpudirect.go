@@ -40,7 +40,7 @@ func (t *Transport) sendGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 		//lint:ignore allocfree freed after the chunk loop under the same !pl.contig guard that allocated it; the flow analysis is path-insensitive and cannot correlate the branches
 		tbuf = n1.Ctx.MustMalloc(size)
 		step := size
-		if pl.uniform && !pl.packKernel {
+		if pl.uniform && pl.packChunkEngine() != engineKernel {
 			rows := max(1, blockSize/pl.shape.Width)
 			step = rows * pl.shape.Width
 		} else if size > blockSize {
@@ -151,7 +151,7 @@ func (t *Transport) recvGDR(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request)
 			continue
 		}
 		var cut int
-		if pl.uniform && !pl.unpackKernel {
+		if pl.uniform && pl.unpackChunkEngine() != engineKernel {
 			cut = arrived / pl.shape.Width * pl.shape.Width
 		} else {
 			cut = arrived

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"mv2sim/internal/mpi"
+	"mv2sim/internal/obs"
+	"mv2sim/internal/sim"
+)
+
+// This file implements the NIC-offloaded rendezvous pipeline
+// (PackMode/UnpackMode = nic): the HCA's scatter/gather unit walks the
+// datatype itself, so the offloaded side runs neither a device pack pass
+// nor a staging copy — no tbuf, no vbuf, no D2H/H2D stage. What remains
+// of the five-stage pipeline on a both-sides-nic transfer is gather →
+// wire → scatter, the shape of "Network-Accelerated Non-Contiguous
+// Memory Transfers" (Di Girolamo et al.). The SGE unit reaches device
+// memory through its own DMA path, so this works on the default
+// (non-GPUDirect) fabric; see internal/ib/sg.go.
+//
+// The two sides are independent: a nic-pack sender interoperates with
+// any unpack engine (the wire carries the same packed chunk stream), and
+// a nic-unpack receiver accepts chunks from any sender, including host
+// ranks.
+
+// sendNic is the sender pipeline with stages 1-2 offloaded: per chunk,
+// the HCA gathers the datatype segments in place and streams them to the
+// announced slot. Each chunk's rdma-stage span contains its gather task
+// (KindNicGather on the rail's nicEngine track) followed by the wire
+// task, so critpath can split engine queueing from wire time.
+func (t *Transport) sendNic(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
+	r := req.Rank()
+	e := r.World().Engine()
+	h := t.obsHub(e)
+	parent := req.ObsSpan()
+	size := pl.size
+	blockSize := r.World().Config().BlockSize
+
+	total, chunkBytes := req.AwaitCTS(p)
+	if chunkBytes != blockSize {
+		panic(fmt.Sprintf("core: receiver chunk size %d != block size %d", chunkBytes, blockSize))
+	}
+	chunkSent := make([]*sim.Event, total)
+	for c := 0; c < total; c++ {
+		rail := c % n1.rails
+		off := c * chunkBytes
+		n := min(chunkBytes, size-off)
+		slot := req.AwaitSlot(p, c)
+		sent := e.NewEvent(fmt.Sprintf("rank%d.nicchunk%d", r.Rank(), c))
+		chunkSent[c] = sent
+		sp := h.StartChild(parent, obs.KindRDMA, n1.tracks.rdma[rail], c, n)
+		rdma := r.RDMANicChunkRailSpan(req, slot, pl.sgRange(req, off, n), rail, sp)
+		if sp.Active() {
+			rdma.OnTrigger(sp.End)
+		}
+		rdma.OnTrigger(sent.Trigger)
+	}
+	p.WaitAll(chunkSent...)
+	req.CompleteSend()
+}
+
+// recvNic is the receiver pipeline with stages 4-5 offloaded: the whole
+// packed stream's scatter descriptor is registered with the HCA and
+// announced in one CTS, and the SGE unit lands each arriving chunk's
+// bytes directly in the typed user buffer (KindNicScatter on the rail's
+// nicEngine track). A FIN here only drains the protocol — data
+// completion is the scatter engine's per-chunk upcall.
+func (t *Transport) recvNic(p *sim.Proc, n1 *NodeGPU, pl plan, req *mpi.Request) {
+	r := req.Rank()
+	e := r.World().Engine()
+	size := req.Size()
+	total, chunkBytes := r.World().ChunkGeometry(size)
+	chunkLen := func(c int) int { return min(chunkBytes, size-c*chunkBytes) }
+
+	scatterDone := make([]*sim.Event, total)
+	for c := range scatterDone {
+		scatterDone[c] = e.NewEvent(fmt.Sprintf("rank%d.nicscatter%d", r.Rank(), c))
+	}
+	region := r.HCA().RegisterScatterRegion(pl.sgRange(req, 0, size), chunkBytes, func(chunk int) {
+		scatterDone[chunk].Trigger()
+	})
+
+	slots := make([]mpi.Slot, total)
+	for c := 0; c < total; c++ {
+		slots[c] = mpi.Slot{Chunk: c, Rkey: region.Rkey, Off: c * chunkBytes, Len: chunkLen(c)}
+	}
+	r.SendCTS(req, total, chunkBytes, slots)
+
+	seen := make([]bool, total)
+	for done := 0; done < total; done++ {
+		c := req.AwaitFin(p)
+		if c < 0 || c >= total || seen[c] {
+			panic(fmt.Sprintf("core: bogus FIN for chunk %d", c))
+		}
+		seen[c] = true
+	}
+	p.WaitAll(scatterDone...)
+	r.HCA().Deregister(region)
+	req.CompleteRecv()
+}

@@ -5,32 +5,42 @@ import (
 
 	"mv2sim/internal/datatype"
 	"mv2sim/internal/gpu"
+	"mv2sim/internal/ib"
 )
 
-// PackMode selects the device engine a uniform 2D type's stage-1 pack (or
-// stage-5 unpack) runs on: the D2D copy engine via cudaMemcpy2DAsync, or
-// the compute engine via a gather/scatter pack kernel. The copy engine
-// pays a per-row charge (CostModel.DevRow); the kernel pays a higher
-// per-byte rate but no row charge, so many short rows favor the kernel
-// and few long rows favor the engine. Irregular types always use the
-// kernel — the copy engine cannot express them.
+// PackMode selects the engine a transfer's stage-1 pack (or stage-5
+// unpack) runs on. Three engines compete: the D2D copy engine via
+// cudaMemcpy2DAsync (per-row charge, CostModel.DevRow), the GPU compute
+// engine via a gather/scatter pack kernel (per-byte rate plus launch
+// premium, no row charge), and the HCA's scatter/gather unit, which walks
+// the datatype on the NIC itself — no device pack pass and no staging
+// copy at all, at a per-segment walk cost (ib.Model, sg.go). Many short
+// rows favor the kernel over the copy engine; few enough rows that kernel
+// launch + staging overhead dominates favor the NIC. Irregular types
+// never use the copy engine — it cannot express them.
 //
 // The sender's pack and the receiver's unpack are selected independently
 // (Config.PackMode / Config.UnpackMode), so a transfer may pack with one
-// engine and unpack with the other.
+// engine and unpack with another.
 type PackMode uint8
 
 const (
-	// PackModeAuto compares the two modeled costs for the transfer's
-	// steady-state chunk shape and picks the cheaper engine, falling back
-	// to the copy engine when the compute engine is already occupied by
-	// application kernels. The default.
+	// PackModeAuto compares the three modeled costs for the transfer's
+	// steady-state chunk shape and picks the cheapest engine, falling
+	// back from the kernel when the compute engine is already occupied
+	// by application kernels. The default.
 	PackModeAuto PackMode = iota
 	// PackModeMemcpy2D pins the copy-engine path (the paper's original
 	// design; byte-identical to the pre-PackMode pipeline).
 	PackModeMemcpy2D
 	// PackModeKernel pins the gather/scatter pack kernel.
 	PackModeKernel
+	// PackModeNic pins the NIC-offloaded path: the HCA's SGE unit
+	// gathers (sender) or scatters (receiver) the datatype directly,
+	// skipping that side's pack stage and tbuf staging entirely. Paths
+	// with no wire to offload to (eager sends, self-sends) degrade to
+	// the modeled-cheaper device engine.
+	PackModeNic
 )
 
 func (m PackMode) String() string {
@@ -41,6 +51,8 @@ func (m PackMode) String() string {
 		return "memcpy2d"
 	case PackModeKernel:
 		return "kernel"
+	case PackModeNic:
+		return "nic"
 	default:
 		return fmt.Sprintf("packmode(%d)", uint8(m))
 	}
@@ -55,34 +67,118 @@ func ParsePackMode(s string) (PackMode, error) {
 		return PackModeMemcpy2D, nil
 	case "kernel":
 		return PackModeKernel, nil
+	case "nic":
+		return PackModeNic, nil
 	}
-	return PackModeAuto, fmt.Errorf("core: unknown pack mode %q (want auto, memcpy2d or kernel)", s)
+	return PackModeAuto, fmt.Errorf("core: unknown pack mode %q (want auto, memcpy2d, kernel or nic)", s)
 }
 
-// useKernel resolves one side's engine choice for a uniform 2D transfer.
-// Auto decides per transfer, before any stage is issued, from two inputs:
-// the modeled cost crossover for the steady-state chunk shape, and the
-// compute engine's occupancy at decision time — pack kernels share
-// EngineKernel with application compute (e.g. stencil interior kernels),
-// so a busy or queued engine sends the pack to the otherwise-idle copy
-// engine rather than serializing behind compute.
-func (t *Transport) useKernel(mode PackMode, n1 *NodeGPU, shape datatype.Shape2D, size, blockSize int) bool {
+// packEngine is one side's resolved engine choice. plan carries two per
+// side: the pipeline engine (which may be engineNic) and the device
+// fallback used wherever there is no wire to offload to.
+type packEngine uint8
+
+const (
+	engineCopy packEngine = iota
+	engineKernel
+	engineNic
+)
+
+// ChoosePackEngine returns the modeled-cheapest engine for packing a
+// steady-state chunk of `rows` rows of `rowBytes` bytes read at the given
+// pitch. The candidates mirror what packbench -crossover measures per
+// point: issue + copy-engine time, issue + pack-kernel time, and the SGE
+// engine's gather time (whose posting overhead lives inside GatherCost's
+// WQE term, so no separate issue charge applies). Ties break toward the
+// earlier engine in memcpy2d < kernel < nic order, matching the sweep's
+// best-column computation, so auto agrees with the measured best at
+// every grid point by construction.
+func ChoosePackEngine(m *gpu.CostModel, ibm ib.Model, rows, rowBytes, pitch int) PackMode {
+	bytes := rows * rowBytes
+	shape := gpu.CopyShape{Width: rowBytes, Height: rows, DPitch: rowBytes, SPitch: pitch}
+	copyCost := m.AsyncIssue + m.CopyCost(gpu.D2D, shape)
+	kernCost := m.AsyncIssue + m.PackKernelCost(bytes, rows)
+	nicCost := ibm.GatherCost(bytes, rows)
+	best, bestCost := PackModeMemcpy2D, copyCost
+	if kernCost < bestCost {
+		best, bestCost = PackModeKernel, kernCost
+	}
+	if nicCost < bestCost {
+		best = PackModeNic
+	}
+	return best
+}
+
+// resolveEngine resolves one side's PackMode for a uniform 2D transfer
+// into the pipeline engine and the device fallback. Auto decides per
+// transfer, before any stage is issued, from the three-way modeled cost
+// comparison and the compute engine's occupancy at decision time: pack
+// kernels share EngineKernel with application compute (e.g. stencil
+// interior kernels), so a busy or queued engine strikes the kernel from
+// the comparison rather than serializing the pipeline behind compute.
+// The fallback is always a device engine — the cheaper of copy and
+// kernel under the same contention rule — because the paths that use it
+// (eager staging, self-sends, kernel-tail routing) have no wire for the
+// NIC to overlap with.
+func (t *Transport) resolveEngine(mode PackMode, n1 *NodeGPU, ibm ib.Model, shape datatype.Shape2D, size, blockSize int) (eng, dev packEngine) {
 	switch mode {
 	case PackModeMemcpy2D:
-		return false
+		return engineCopy, engineCopy
 	case PackModeKernel:
-		return true
+		return engineKernel, engineKernel
 	}
 	// Foreign occupancy only: the transport's own pack kernels in flight
 	// (n1.kernOps) mean the engine business is pipeline traffic — e.g. the
 	// reverse direction of a bidirectional exchange — which interleaves
 	// fine at microsecond granularity. Application kernels, by contrast,
 	// hold the engine for whole compute phases.
-	eng := n1.Ctx.Device().Engine(gpu.EngineKernel)
-	if n1.kernOps == 0 && (eng.InUse() > 0 || eng.QueueLen() > 0) {
-		return false
-	}
+	ke := n1.Ctx.Device().Engine(gpu.EngineKernel)
+	foreign := n1.kernOps == 0 && (ke.InUse() > 0 || ke.QueueLen() > 0)
 	chunk := min(blockSize, size)
 	rows := max(1, chunk/shape.Width)
-	return n1.Ctx.Model().KernelPackBeatsCopy(rows, shape.Width, shape.Pitch)
+	m := n1.Ctx.Model()
+	dev = engineCopy
+	if !foreign && m.KernelPackBeatsCopy(rows, shape.Width, shape.Pitch) {
+		dev = engineKernel
+	}
+	if mode == PackModeNic {
+		return engineNic, dev
+	}
+	choice := ChoosePackEngine(m, ibm, rows, shape.Width, shape.Pitch)
+	if foreign && choice == PackModeKernel {
+		// Kernel struck by contention: rerun the comparison over the
+		// remaining two engines, same tie-break order.
+		bytes := rows * shape.Width
+		cs := gpu.CopyShape{Width: shape.Width, Height: rows, DPitch: shape.Width, SPitch: shape.Pitch}
+		choice = PackModeMemcpy2D
+		if ibm.GatherCost(bytes, rows) < m.AsyncIssue+m.CopyCost(gpu.D2D, cs) {
+			choice = PackModeNic
+		}
+	}
+	switch choice {
+	case PackModeKernel:
+		return engineKernel, dev
+	case PackModeNic:
+		return engineNic, dev
+	default:
+		return engineCopy, dev
+	}
+}
+
+// irregularEngine resolves one side's engine for a type with no uniform
+// 2D shape: the copy engine cannot express it, so the choice is kernel
+// vs. NIC, compared under auto on the steady-state chunk's segment count
+// from the cached plan.
+func (t *Transport) irregularEngine(mode PackMode, n1 *NodeGPU, ibm ib.Model, cp *datatype.ChunkPlan) packEngine {
+	switch mode {
+	case PackModeNic:
+		return engineNic
+	case PackModeAuto:
+		bytes, segs := cp.ChunkLen(0), cp.SegmentCount(0)
+		m := n1.Ctx.Model()
+		if ibm.GatherCost(bytes, segs) < m.AsyncIssue+m.PackKernelCost(bytes, segs) {
+			return engineNic
+		}
+	}
+	return engineKernel
 }

@@ -1,0 +1,120 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"mv2sim/internal/mem"
+)
+
+// TestPackRangeBytesMatchesPackBytes checks the byte-slice-side plan walk
+// against the uncached PackBytes over the whole type zoo: gathering
+// chunk-aligned runs through the plan must produce the same packed stream,
+// and scattering it back must round-trip every typed segment.
+func TestPackRangeBytesMatchesPackBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, dt := range planTestTypes(t) {
+		for _, count := range []int{1, 3, 8} {
+			total := count * dt.Size()
+			if total == 0 {
+				continue
+			}
+			span := dt.Span(count)
+			pad := 0
+			if dt.LB() < 0 {
+				pad = -dt.LB()
+			}
+			for _, chunkBytes := range []int{16, 100, total, total + 99} {
+				plan := dt.ChunkPlan(count, chunkBytes)
+				h := mem.NewHostSpace("h", pad+span)
+				src := h.Base().Add(pad)
+				mem.Fill(h.Base(), pad+span, func(i int) byte { return byte(rng.Intn(256)) })
+				want := make([]byte, total)
+				dt.PackBytes(want, src, count)
+
+				// Gather in random chunk-aligned runs; each call addresses
+				// its own sub-slice (dst[0] holds packed byte packOff).
+				got := make([]byte, total)
+				for off := 0; off < total; {
+					n := (1 + rng.Intn(3)) * chunkBytes
+					if off+n > total {
+						n = total - off
+					}
+					plan.PackRangeBytes(got[off:off+n], src, off, n)
+					off += n
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s count=%d chunk=%d: PackRangeBytes differs from PackBytes",
+						name, count, chunkBytes)
+				}
+
+				// Scatter the stream back into a zeroed typed buffer and
+				// compare the touched segments.
+				h2 := mem.NewHostSpace("h2", pad+span)
+				dst := h2.Base().Add(pad)
+				for off := 0; off < total; {
+					n := (1 + rng.Intn(3)) * chunkBytes
+					if off+n > total {
+						n = total - off
+					}
+					plan.UnpackRangeBytes(dst, got[off:off+n], off, n)
+					off += n
+				}
+				for _, s := range dt.SegmentsOf(count) {
+					if !mem.Equal(dst.Add(s.Off), src.Add(s.Off), s.Len) {
+						t.Fatalf("%s count=%d chunk=%d: segment %+v did not round-trip",
+							name, count, chunkBytes, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRangeSegments checks the descriptor-lowering count: per-chunk ranges
+// agree with SegmentCount, multi-chunk ranges telescope, the full range
+// covers every segment exactly once, and a zero-length range is empty.
+func TestRangeSegments(t *testing.T) {
+	for name, dt := range planTestTypes(t) {
+		total := 3 * dt.Size()
+		if total == 0 {
+			continue
+		}
+		for _, chunkBytes := range []int{16, 100, total + 99} {
+			plan := dt.ChunkPlan(3, chunkBytes)
+			sum := 0
+			for c := 0; c < plan.Chunks(); c++ {
+				n := plan.ChunkLen(c)
+				got := plan.RangeSegments(c*chunkBytes, n)
+				if want := plan.SegmentCount(c); got != want {
+					t.Fatalf("%s chunk=%d: RangeSegments(chunk %d) = %d, want SegmentCount %d",
+						name, chunkBytes, c, got, want)
+				}
+				sum += got
+			}
+			if got := plan.RangeSegments(0, total); got != sum {
+				t.Errorf("%s chunk=%d: full-range segments %d != per-chunk sum %d",
+					name, chunkBytes, got, sum)
+			}
+			if got := plan.RangeSegments(0, 0); got != 0 {
+				t.Errorf("%s chunk=%d: empty range has %d segments", name, chunkBytes, got)
+			}
+		}
+	}
+}
+
+// TestPackRangeBytesAlignment checks the chunk-alignment contract is
+// enforced on the byte-slice side too.
+func TestPackRangeBytesAlignment(t *testing.T) {
+	v, _ := Vector(8, 4, 8, Int32)
+	v.MustCommit()
+	plan := v.ChunkPlan(4, 32)
+	h := mem.NewHostSpace("h", v.Span(4))
+	defer func() {
+		if recover() == nil {
+			t.Error("misaligned byte-side plan range did not panic")
+		}
+	}()
+	plan.PackRangeBytes(make([]byte, 16), h.Base(), 8, 16)
+}

@@ -48,14 +48,31 @@ type Model struct {
 	// GPUDirect RDMA, which did not exist on the paper's 2011 testbed but
 	// arrived in its successors (MVAPICH2-GDR). Off by default.
 	AllowDeviceRegistration bool
+
+	// MaxSGEPerWQE caps the scatter/gather entries one work request can
+	// carry; a gather descriptor with more segments is split into
+	// ceil(segments/MaxSGEPerWQE) WQEs, each paying PostOverhead. Zero
+	// means DefaultMaxSGEPerWQE. See sg.go.
+	MaxSGEPerWQE int
+	// NicGatherNsPerSegment is the SGE unit's per-segment walk cost
+	// (address generation, one DMA descriptor fetch per entry). Zero means
+	// DefaultNicGatherNsPerSegment.
+	NicGatherNsPerSegment float64
+	// NicGatherNsPerByte is the SGE unit's streaming cost per gathered
+	// byte, floored at the wire byte rate (the unit feeds the link and
+	// cannot outrun it). Zero means DefaultNicGatherNsPerByte.
+	NicGatherNsPerByte float64
 }
 
 // DefaultModel returns the QDR calibration used throughout the repository.
 func DefaultModel() Model {
 	return Model{
-		Bandwidth:    3.2e9,
-		Latency:      1300 * sim.Nanosecond,
-		PostOverhead: 300 * sim.Nanosecond,
+		Bandwidth:             3.2e9,
+		Latency:               1300 * sim.Nanosecond,
+		PostOverhead:          300 * sim.Nanosecond,
+		MaxSGEPerWQE:          DefaultMaxSGEPerWQE,
+		NicGatherNsPerSegment: DefaultNicGatherNsPerSegment,
+		NicGatherNsPerByte:    DefaultNicGatherNsPerByte,
 	}
 }
 
@@ -131,11 +148,20 @@ func (f *Fabric) NewHCA(node int) *HCA {
 			txName = fmt.Sprintf("hca%d.tx.r%d", node, i)
 			rxName = fmt.Sprintf("hca%d.rx.r%d", node, i)
 		}
+		// The scatter/gather unit is serialized per rail like the links:
+		// one engine walks one descriptor at a time (sPIN-style handler
+		// cores are few; see sg.go).
+		sgeName := fmt.Sprintf("hca%d.nicEngine", node)
+		if f.model.Rails > 1 {
+			sgeName = fmt.Sprintf("hca%d.nicEngine.r%d", node, i)
+		}
 		h.rails = append(h.rails, &rail{
 			sendLink: f.e.NewResource(txName, 1),
 			recvLink: f.e.NewResource(rxName, 1),
+			sgEngine: f.e.NewResource(sgeName, 1),
 			txTrack:  txName,
 			rxTrack:  rxName,
+			sgeTrack: sgeName,
 		})
 	}
 	f.hcas[node] = h
@@ -145,11 +171,14 @@ func (f *Fabric) NewHCA(node int) *HCA {
 // HCA returns the adapter for a node, or nil.
 func (f *Fabric) HCA(node int) *HCA { return f.hcas[node] }
 
-// Region is a registered memory region addressable by remote RDMA.
+// Region is a registered memory region addressable by remote RDMA. A
+// region registered through RegisterScatterRegion additionally carries the
+// scatter descriptor the SGE unit applies to arriving writes (see sg.go).
 type Region struct {
 	Rkey uint32
 	ptr  mem.Ptr
 	len  int
+	sc   *scatterRegion
 }
 
 // Len returns the registered length.
@@ -170,8 +199,11 @@ type Stats struct {
 type rail struct {
 	sendLink *sim.Resource
 	recvLink *sim.Resource
+	// sgEngine is the rail's scatter/gather unit: it executes one gather
+	// or scatter descriptor at a time (see sg.go).
+	sgEngine *sim.Resource
 	// precomputed obs track names
-	txTrack, rxTrack string
+	txTrack, rxTrack, sgeTrack string
 }
 
 // HCA is one node's adapter.
@@ -191,6 +223,9 @@ type HCA struct {
 
 // Node returns the node ID this HCA serves.
 func (h *HCA) Node() int { return h.node }
+
+// Model returns the fabric cost model this HCA operates under.
+func (h *HCA) Model() Model { return h.f.model }
 
 // Rails returns the number of rails this HCA exposes (always >= 1).
 func (h *HCA) Rails() int { return len(h.rails) }
@@ -251,7 +286,7 @@ func (h *HCA) wireTime(n int) sim.Time {
 // span because it outlives local completion — carries the same chunk tag
 // plus an explicit wire dependency edge back to the tx task, which is how
 // the critical-path analyzer crosses ranks.
-func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, parent obs.Span, chunk int, deliver func(rx *HCA)) *sim.Event {
+func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, parent obs.Span, chunk int, deliver func(rx *HCA, wire obs.Task)) *sim.Event {
 	rx := h.f.hcas[dst]
 	if rx == nil {
 		panic(fmt.Sprintf("ib: no HCA for destination node %d", dst))
@@ -283,7 +318,7 @@ func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, parent obs
 		rxRail.recvLink.Release()
 		rx.stats.BytesRx += int64(nbytes)
 		h.f.hub.Counter(rx.rxCtr, float64(rx.stats.BytesRx))
-		deliver(rx)
+		deliver(rx, in.Task())
 	})
 	return localDone
 }
@@ -307,7 +342,7 @@ func (h *HCA) PostSendRail(dst int, msg Message, payload []byte, railIdx int) *s
 		snap = append([]byte(nil), payload...)
 	}
 	h.stats.SendsPosted++
-	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, railIdx, obs.Span{}, -1, func(rx *HCA) {
+	return h.transmit(dst, headerBytes+len(snap), obs.KindSend, railIdx, obs.Span{}, -1, func(rx *HCA, _ obs.Task) {
 		if rx.handler == nil {
 			panic(fmt.Sprintf("ib: message for node %d dropped: no handler", rx.node))
 		}
@@ -342,19 +377,33 @@ func (h *HCA) RDMAWriteRailTask(dst int, src mem.Ptr, n int, rkey uint32, roff, 
 	snap := make([]byte, n)
 	h.f.e.TaskAt(h.f.e.Now(), func() { copy(snap, src.Bytes(n)) })
 	h.stats.RDMAWrites++
-	return h.transmit(dst, n, obs.KindRDMA, railIdx, parent, chunk, func(rx *HCA) {
-		reg, ok := rx.regions[rkey]
-		if !ok {
-			panic(fmt.Sprintf("ib: RDMA write to unknown rkey %d on node %d", rkey, rx.node))
-		}
-		if roff < 0 || roff+len(snap) > reg.len {
-			panic(fmt.Sprintf("ib: RDMA write [%d,%d) outside region of %d bytes", roff, roff+len(snap), reg.len))
-		}
-		// Bytes land in remote memory at delivery time; the receiver only
-		// looks after the FIN, which trails the data on the same rail.
-		dst := reg.ptr.Add(roff).Bytes(len(snap))
-		h.f.e.TaskAt(h.f.e.Now(), func() { copy(dst, snap) })
+	return h.transmit(dst, n, obs.KindRDMA, railIdx, parent, chunk, func(rx *HCA, wire obs.Task) {
+		rx.deposit(rkey, roff, snap, railIdx, wire)
 	})
+}
+
+// deposit lands an arrived RDMA write payload in the target region: a
+// plain region takes a direct memory copy at delivery time; a scatter
+// region routes the payload through the receiving rail's SGE unit, which
+// walks the registered descriptor (see sg.go). wire is the receive-side
+// wire task, threaded through so the scatter task can record its stage
+// dependency.
+func (h *HCA) deposit(rkey uint32, roff int, snap []byte, railIdx int, wire obs.Task) {
+	reg, ok := h.regions[rkey]
+	if !ok {
+		panic(fmt.Sprintf("ib: RDMA write to unknown rkey %d on node %d", rkey, h.node))
+	}
+	if roff < 0 || roff+len(snap) > reg.len {
+		panic(fmt.Sprintf("ib: RDMA write [%d,%d) outside region of %d bytes", roff, roff+len(snap), reg.len))
+	}
+	if reg.sc != nil {
+		h.scatterDeposit(reg, roff, snap, railIdx, wire)
+		return
+	}
+	// Bytes land in remote memory at delivery time; the receiver only
+	// looks after the FIN, which trails the data on the same rail.
+	dst := reg.ptr.Add(roff).Bytes(len(snap))
+	h.f.e.TaskAt(h.f.e.Now(), func() { copy(dst, snap) })
 }
 
 // RDMARead fetches n bytes from the remote region identified by rkey at

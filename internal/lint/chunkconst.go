@@ -18,22 +18,29 @@ import (
 // topology that belongs either to the calibrated default (mpi.DefaultRails)
 // or to an explicit sweep variable. PackMode/UnpackMode joined with the
 // pack-engine selector: the modes are named core constants
-// (core.PackModeAuto / PackModeMemcpy2D / PackModeKernel), and a raw "1"
-// silently pins an engine choice nobody can grep for.
+// (core.PackModeAuto / PackModeMemcpy2D / PackModeKernel / PackModeNic),
+// and a raw "1" silently pins an engine choice nobody can grep for. The
+// NIC SGE tunables (MaxSGEPerWQE and the two gather cost rates) joined
+// with the nic pack engine: the three-way auto decision is calibrated
+// against ib.Default*, so a raw "32" or "0.05" desynchronizes the
+// heuristic from the hardware it models.
 var ChunkConst = &Analyzer{
 	Name: "chunkconst",
-	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit/Rails/PackMode tunables",
+	Doc:  "flags raw numeric literals assigned to BlockSize/EagerLimit/Rails/PackMode/NIC-SGE tunables",
 	Run:  runChunkConst,
 }
 
 // tunableNames maps each guarded field/variable name to the named
 // tunables a diagnostic should steer the author toward.
 var tunableNames = map[string]string{
-	"BlockSize":  "mpi.DefaultBlockSize / core.DefaultBlockSize",
-	"EagerLimit": "mpi.DefaultEagerLimit / core.DefaultEagerLimit",
-	"Rails":      "mpi.DefaultRails / core.DefaultRails",
-	"PackMode":   "core.PackModeAuto / PackModeMemcpy2D / PackModeKernel",
-	"UnpackMode": "core.PackModeAuto / PackModeMemcpy2D / PackModeKernel",
+	"BlockSize":             "mpi.DefaultBlockSize / core.DefaultBlockSize",
+	"EagerLimit":            "mpi.DefaultEagerLimit / core.DefaultEagerLimit",
+	"Rails":                 "mpi.DefaultRails / core.DefaultRails",
+	"PackMode":              "core.PackModeAuto / PackModeMemcpy2D / PackModeKernel / PackModeNic",
+	"UnpackMode":            "core.PackModeAuto / PackModeMemcpy2D / PackModeKernel / PackModeNic",
+	"MaxSGEPerWQE":          "ib.DefaultMaxSGEPerWQE",
+	"NicGatherNsPerSegment": "ib.DefaultNicGatherNsPerSegment",
+	"NicGatherNsPerByte":    "ib.DefaultNicGatherNsPerByte",
 }
 
 func runChunkConst(pass *Pass) error {
@@ -84,12 +91,13 @@ func assignedName(lhs ast.Expr) string {
 	return ""
 }
 
-// isRawNumber reports whether e is an integer literal or a constant
-// expression built purely from literals (e.g. 64 << 10, 4*1024).
+// isRawNumber reports whether e is a numeric literal or a constant
+// expression built purely from literals (e.g. 64 << 10, 4*1024, 0.05).
+// Floats joined with the NIC gather rates — the first float64 tunables.
 func isRawNumber(e ast.Expr) bool {
 	switch v := e.(type) {
 	case *ast.BasicLit:
-		return v.Kind == token.INT
+		return v.Kind == token.INT || v.Kind == token.FLOAT
 	case *ast.BinaryExpr:
 		return isRawNumber(v.X) && isRawNumber(v.Y)
 	case *ast.ParenExpr:

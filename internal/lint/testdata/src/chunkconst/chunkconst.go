@@ -103,3 +103,44 @@ func GoodModes() ModeConfig {
 	c.UnpackMode = PackModeKernel
 	return c
 }
+
+// NicConfig mirrors ib.Model's SGE-unit fields: the WQE gather-entry cap
+// and the two gather cost rates, the first float64 tunables on the list.
+type NicConfig struct {
+	MaxSGEPerWQE          int
+	NicGatherNsPerSegment float64
+	NicGatherNsPerByte    float64
+}
+
+// The named SGE defaults — the one place raw values may appear.
+const (
+	DefaultMaxSGEPerWQE          = 32
+	DefaultNicGatherNsPerSegment = 20.0
+	DefaultNicGatherNsPerByte    = 0.05
+)
+
+// Positive: raw SGE tunables, including float literals.
+func BadNic() NicConfig {
+	return NicConfig{
+		MaxSGEPerWQE:          32,   // want `raw literal used for MaxSGEPerWQE`
+		NicGatherNsPerSegment: 20.0, // want `raw literal used for NicGatherNsPerSegment`
+		NicGatherNsPerByte:    0.05, // want `raw literal used for NicGatherNsPerByte`
+	}
+}
+
+// Positive: raw literals assigned to SGE tunable fields.
+func BadNicAssign(c *NicConfig) {
+	c.MaxSGEPerWQE = 16          // want `raw literal assigned to MaxSGEPerWQE`
+	c.NicGatherNsPerByte = 2e-02 // want `raw literal assigned to NicGatherNsPerByte`
+}
+
+// Negative: the named defaults, and sweeping over variables.
+func GoodNic(perSeg float64) NicConfig {
+	c := NicConfig{
+		MaxSGEPerWQE:          DefaultMaxSGEPerWQE,
+		NicGatherNsPerSegment: DefaultNicGatherNsPerSegment,
+	}
+	c.NicGatherNsPerSegment = perSeg
+	c.NicGatherNsPerByte = DefaultNicGatherNsPerByte
+	return c
+}

@@ -275,6 +275,24 @@ func (r *Rank) RDMAChunkRailSpan(q *Request, s Slot, src mem.Ptr, n, rail int, s
 	return ev
 }
 
+// RDMANicChunkRailSpan places one chunk into its announced slot with the
+// HCA's scatter/gather unit walking the datatype in place of a packed
+// source buffer (ib.RDMAWriteGatherRailTask). The gather delays the wire
+// post by the SGE engine time, so the FIN cannot be posted here at call
+// time — it would overtake the data on the rail FIFO. Instead it rides
+// the onWirePosted hook, which the HCA invokes synchronously right after
+// posting the data transfer, restoring the exact post order
+// RDMAChunkRailSpan gets for free.
+func (r *Rank) RDMANicChunkRailSpan(q *Request, s Slot, sg ib.SGDesc, rail int, sp obs.Span) *sim.Event {
+	if sg.N != s.Len {
+		panic(fmt.Sprintf("mpi: chunk %d length %d does not match slot length %d", s.Chunk, sg.N, s.Len))
+	}
+	return r.hca.RDMAWriteGatherRailTask(q.peer, sg, s.Rkey, s.Off, rail, sp, s.Chunk, func() {
+		r.w.hub.InstantChild(sp, obs.KindFIN, r.obsTrack, s.Chunk, sg.N)
+		r.hca.PostSendRail(q.peer, finMsg{q.peerID, s.Chunk}, nil, rail)
+	})
+}
+
 // sendHostData is the host-memory rendezvous sender: pack each chunk on
 // the CPU and place it. Chunks are processed in order; each chunk's pack
 // overlaps the previous chunk's wire time through the async RDMA post.

@@ -22,6 +22,7 @@ const (
 	BucketCopyQueue   = "copy-engine-queue"
 	BucketKernelQueue = "kernel-engine-queue"
 	BucketRailQueue   = "rail-queue"
+	BucketNicQueue    = "nic-queueing"
 	BucketVbufWait    = "vbuf-wait"
 
 	// Protocol control: nothing was issued yet.
@@ -36,7 +37,7 @@ const (
 // BucketOrder is the canonical reporting order.
 var BucketOrder = []string{
 	BucketPack, BucketD2H, BucketWire, BucketH2D, BucketUnpack,
-	BucketCopyQueue, BucketKernelQueue, BucketRailQueue, BucketVbufWait,
+	BucketCopyQueue, BucketKernelQueue, BucketRailQueue, BucketNicQueue, BucketVbufWait,
 	BucketHandshake, BucketFIN, BucketEager,
 }
 
@@ -123,6 +124,14 @@ func (c *Collector) AnalyzeTransfer(tr Transfer) *Analysis {
 		}
 		if n.Kind == obs.KindRDMA {
 			a.Chunks++
+			// A NIC-offloaded chunk does its pack work inside the rdma
+			// stage span: the SGE gather child is that chunk's datatype
+			// processing, so the model sees it as the pack stage.
+			for _, ch := range c.childTasks(n.ID) {
+				if ch.Kind == obs.KindNicGather {
+					a.StageTotals[BucketPack] += ch.End - ch.Start
+				}
+			}
 		}
 	}
 	a.Rails = countRails(nodes)
@@ -158,8 +167,18 @@ func (c *Collector) stageNodes(tr Transfer) []obs.Task {
 			// wire task through the recorded wire edge.
 			for _, tx := range c.childTasks(t.ID) {
 				for _, depID := range c.rdeps[tx.ID] {
-					if rx, ok := c.byID[depID]; ok && rxWireTask(rx) {
-						add(rx)
+					rx, ok := c.byID[depID]
+					if !ok || !rxWireTask(rx) {
+						continue
+					}
+					add(rx)
+					// A nic-unpack receiver has no H2D/unpack spans under
+					// its recv request; its stage work is the SGE scatter
+					// task hanging off the rx wire task's stage edge.
+					for _, scID := range c.rdeps[rx.ID] {
+						if sc, ok := c.byID[scID]; ok && sc.Kind == obs.KindNicScatter {
+							add(sc)
+						}
 					}
 				}
 			}
@@ -321,6 +340,18 @@ func (c *Collector) decompose(a *Analysis, n obs.Task) {
 		a.Buckets[work] += n.End - n.Start
 		return
 	}
+	if n.Kind == obs.KindRDMA {
+		if g, ok := c.nicGatherChild(n); ok {
+			// NIC-offloaded chunk: the span telescopes into SGE-engine
+			// queueing, the gather itself (that chunk's pack work), rail
+			// arbitration, and the wire.
+			a.Buckets[BucketNicQueue] += clampTime(g.Start - n.Start)
+			a.Buckets[BucketPack] += g.End - g.Start
+			a.Buckets[BucketRailQueue] += clampTime(inner.Start - g.End)
+			a.Buckets[BucketWire] += n.End - maxTime(inner.Start, g.End)
+			return
+		}
+	}
 	queue := BucketCopyQueue
 	switch {
 	case n.Kind == obs.KindRDMA:
@@ -334,6 +365,24 @@ func (c *Collector) decompose(a *Analysis, n obs.Task) {
 	}
 	a.Buckets[queue] += qt
 	a.Buckets[work] += (n.End - n.Start) - qt
+}
+
+// nicGatherChild finds the SGE gather task inside a NIC-offloaded rdma
+// stage span, if any.
+func (c *Collector) nicGatherChild(n obs.Task) (obs.Task, bool) {
+	for _, ch := range c.childTasks(n.ID) {
+		if ch.Kind == obs.KindNicGather {
+			return ch, true
+		}
+	}
+	return obs.Task{}, false
+}
+
+func clampTime(t sim.Time) sim.Time {
+	if t < 0 {
+		return 0
+	}
+	return t
 }
 
 // innerWork finds the task inside a stage span that did the actual moving:
@@ -379,6 +428,12 @@ func classifyGap(cur obs.Task, label string, from, to sim.Time, waits []obs.Task
 		return out
 	case "chunk":
 		out[BucketFIN] = gap
+		return out
+	}
+	if cur.Kind == obs.KindNicScatter {
+		// Idle time before a scatter is the serialized SGE engine working
+		// through earlier chunks (or waiting for this chunk's bytes).
+		out[BucketNicQueue] = gap
 		return out
 	}
 	side := ".rxvbufs"
@@ -432,6 +487,9 @@ func workBucket(t obs.Task) (string, bool) {
 	case obs.KindH2D:
 		return BucketH2D, true
 	case obs.KindUnpack:
+		return BucketUnpack, true
+	case obs.KindNicScatter:
+		// The SGE scatter is the receive side's datatype processing.
 		return BucketUnpack, true
 	}
 	return "", false

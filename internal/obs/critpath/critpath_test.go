@@ -144,7 +144,7 @@ func TestAttributionProperties(t *testing.T) {
 	}
 	sizes := []int{64 << 10, 256 << 10, 1 << 20}
 	railses := []int{1, 2, 4}
-	modes := []core.PackMode{core.PackModeMemcpy2D, core.PackModeKernel, core.PackModeAuto}
+	modes := []core.PackMode{core.PackModeMemcpy2D, core.PackModeKernel, core.PackModeAuto, core.PackModeNic}
 
 	type key struct {
 		size, rails int

@@ -97,8 +97,8 @@ func (a *Analysis) Model() (*ModelCheck, bool) {
 // where the time the model did not predict actually went.
 func (a *Analysis) dominantStall() string {
 	stalls := []string{
-		BucketCopyQueue, BucketKernelQueue, BucketRailQueue, BucketVbufWait,
-		BucketHandshake, BucketFIN,
+		BucketCopyQueue, BucketKernelQueue, BucketRailQueue, BucketNicQueue,
+		BucketVbufWait, BucketHandshake, BucketFIN,
 	}
 	best, bestV := "none", sim.Time(0)
 	for _, b := range stalls {

@@ -57,6 +57,13 @@ const (
 	KindSend     = "send"
 	KindRDMARead = "rdma_read"
 
+	// NIC scatter/gather unit (internal/ib/sg.go): the HCA walking a
+	// datatype descriptor on its per-rail SGE engine — the send-side
+	// gather feeding the wire and the receive-side scatter landing
+	// arrived chunks in the typed buffer.
+	KindNicGather  = "nic_gather"
+	KindNicScatter = "nic_scatter"
+
 	// Staging pool (internal/hostmem): one task per vbuf hold, plus one
 	// task per interval a requester spent blocked on an empty pool.
 	KindVbuf     = "vbuf"

@@ -1,17 +1,24 @@
-// Kernel-vs-memcpy2D pack crossover sweep. The copy engine charges
-// DevRow per row on top of byte bandwidth; the gather kernel charges a
-// higher per-byte rate and a larger launch cost but no row term. This
-// sweep measures both engines packing one pipeline-chunk-shaped
-// (rows × rowBytes) strided block on the device and locates the break-even
-// row count per row width — the experimental basis of core's
-// PackModeAuto heuristic.
+// Pack-engine crossover sweep. Three engines compete to pack one
+// pipeline-chunk-shaped (rows × rowBytes) strided block: the copy engine
+// charges DevRow per row on top of byte bandwidth; the gather kernel
+// charges a higher per-byte rate and a larger launch cost but no row
+// term; the HCA's SGE unit charges per gathered segment plus a
+// WQE-posting term, with no device involvement at all. This sweep
+// measures all of them per grid cell and locates the kernel-vs-copy
+// break-even row count per row width — the experimental basis of core's
+// PackModeAuto heuristic, whose three-way pick must match the measured
+// best at every point.
 package osu
 
 import (
 	"fmt"
 
+	"mv2sim/internal/core"
 	"mv2sim/internal/cuda"
+	"mv2sim/internal/datatype"
 	"mv2sim/internal/gpu"
+	"mv2sim/internal/ib"
+	"mv2sim/internal/mem"
 	"mv2sim/internal/report"
 	"mv2sim/internal/sim"
 )
@@ -22,9 +29,27 @@ type CrossoverPoint struct {
 	RowBytes   int     `json:"row_bytes"`
 	Memcpy2DUs float64 `json:"memcpy2d_us"`
 	KernelUs   float64 `json:"kernel_us"`
+	NicUs      float64 `json:"nic_us"`
 	Auto       string  `json:"auto"`    // engine PackModeAuto would pick
 	AutoUs     float64 `json:"auto_us"` // its measured time
-	Best       string  `json:"best"`    // faster engine, measured
+	Best       string  `json:"best"`    // fastest engine, measured
+}
+
+// engines returns the point's measured engine table in tie-break order:
+// earlier entries win ties, so a NIC gather exactly matching the copy
+// engine still stays on the device.
+func (pt CrossoverPoint) engines() []struct {
+	Name string
+	Us   float64
+} {
+	return []struct {
+		Name string
+		Us   float64
+	}{
+		{"memcpy2d", pt.Memcpy2DUs},
+		{"kernel", pt.KernelUs},
+		{"nic", pt.NicUs},
+	}
 }
 
 // CrossoverResult is the full sweep: the measured grid plus the break-even
@@ -81,6 +106,36 @@ func packPoint(rows, rowBytes, pitch int, model gpu.CostModel) (cpy, kern sim.Ti
 	return cpy, kern, nil
 }
 
+// nicPoint measures the same grid cell on the HCA's SGE unit: a one-chunk
+// gather of the rows × rowBytes strided block, executed by a single-HCA
+// fabric. Virtual time is deterministic, so the measured duration is the
+// exact serialized engine occupancy of ib.Model.GatherCost.
+func nicPoint(rows, rowBytes, pitch int, model ib.Model) (sim.Time, error) {
+	e := sim.New()
+	f := ib.NewFabric(e, model)
+	h := f.NewHCA(0)
+	dt, err := datatype.Hvector(rows, rowBytes, pitch, datatype.Byte)
+	if err != nil {
+		return 0, fmt.Errorf("osu: crossover gather type (%dx%d): %w", rows, rowBytes, err)
+	}
+	dt.MustCommit()
+	src := mem.NewDeviceSpace("crossover.src", 0, rows*pitch)
+	dst := make([]byte, rows*rowBytes)
+	sg := ib.SGDesc{Plan: dt.ChunkPlan(1, rows*rowBytes), Buf: src.Base(), N: rows * rowBytes}
+	var dur sim.Time
+	e.Spawn("bench", func(p *sim.Proc) {
+		t0 := p.Now()
+		p.Wait(h.ExecuteGather(sg, dst))
+		dur = p.Now() - t0
+	})
+	runErr := e.Run()
+	e.Shutdown()
+	if runErr != nil {
+		return 0, fmt.Errorf("osu: nic gather crossover (%dx%d): %w", rows, rowBytes, runErr)
+	}
+	return dur, nil
+}
+
 // CrossoverBreakEven returns the smallest row count at which the kernel
 // pack is modeled faster than the copy engine for the given row width, or
 // -1 if the copy engine wins at every row count up to 1M rows.
@@ -103,8 +158,8 @@ func CrossoverBreakEven(rowBytes, pitch int, model *gpu.CostModel) int {
 
 // PackCrossover runs the sweep over the rows × rowBytes grid. Source rows
 // are strided at pitchFactor × rowBytes, mirroring a vector type packed
-// out of a wider matrix. The zero model means the default calibration.
-func PackCrossover(rowsList, rowBytesList []int, pitchFactor int, model gpu.CostModel) (*CrossoverResult, error) {
+// out of a wider matrix. The zero models mean the default calibrations.
+func PackCrossover(rowsList, rowBytesList []int, pitchFactor int, model gpu.CostModel, ibModel ib.Model) (*CrossoverResult, error) {
 	if pitchFactor < 2 {
 		pitchFactor = 2
 	}
@@ -113,10 +168,20 @@ func PackCrossover(rowsList, rowBytesList []int, pitchFactor int, model gpu.Cost
 	if m.PCIeBandwidth == 0 {
 		m = gpu.DefaultModel()
 	}
+	// Normalize the fabric model the same way ib.NewFabric will, so the
+	// heuristic and the measurement see identical cost constants.
+	ibm := ibModel
+	if ibm.Bandwidth <= 0 {
+		ibm = ib.DefaultModel()
+	}
 	for _, rowBytes := range rowBytesList {
 		pitch := pitchFactor * rowBytes
 		for _, rows := range rowsList {
 			cpy, kern, err := packPoint(rows, rowBytes, pitch, model)
+			if err != nil {
+				return nil, err
+			}
+			nic, err := nicPoint(rows, rowBytes, pitch, ibModel)
 			if err != nil {
 				return nil, err
 			}
@@ -125,15 +190,22 @@ func PackCrossover(rowsList, rowBytesList []int, pitchFactor int, model gpu.Cost
 				RowBytes:   rowBytes,
 				Memcpy2DUs: cpy.Micros(),
 				KernelUs:   kern.Micros(),
+				NicUs:      nic.Micros(),
 			}
-			pt.Best = "memcpy2d"
-			if kern < cpy {
-				pt.Best = "kernel"
+			table := pt.engines()
+			best := table[0]
+			for _, e := range table[1:] {
+				if e.Us < best.Us {
+					best = e
+				}
 			}
+			pt.Best = best.Name
 			// The heuristic core's PackModeAuto applies on an idle engine.
-			pt.Auto, pt.AutoUs = "memcpy2d", pt.Memcpy2DUs
-			if m.KernelPackBeatsCopy(rows, rowBytes, pitch) {
-				pt.Auto, pt.AutoUs = "kernel", pt.KernelUs
+			pt.Auto = core.ChoosePackEngine(&m, ibm, rows, rowBytes, pitch).String()
+			for _, e := range table {
+				if e.Name == pt.Auto {
+					pt.AutoUs = e.Us
+				}
 			}
 			res.Grid = append(res.Grid, pt)
 		}
@@ -145,23 +217,22 @@ func PackCrossover(rowsList, rowBytesList []int, pitchFactor int, model gpu.Cost
 // Table renders the sweep as rows×widths grids of per-engine times with
 // the auto pick marked.
 func (r *CrossoverResult) Table() *report.Table {
-	t := report.NewTable("Pack crossover: memcpy2D vs kernel (us, * = auto pick)",
-		"rows", "rowB", "memcpy2d", "kernel", "best", "break-even")
+	t := report.NewTable("Pack crossover: memcpy2D vs kernel vs nic (us, * = auto pick)",
+		"rows", "rowB", "memcpy2d", "kernel", "nic", "best", "break-even")
 	for _, pt := range r.Grid {
-		c, k := " ", " "
-		if pt.Auto == "memcpy2d" {
-			c = "*"
-		} else {
-			k = "*"
-		}
 		be := fmt.Sprint(r.BreakEvenRows[pt.RowBytes])
 		if r.BreakEvenRows[pt.RowBytes] < 0 {
 			be = "never"
 		}
-		t.Add(fmt.Sprint(pt.Rows), fmt.Sprint(pt.RowBytes),
-			fmt.Sprintf("%.3f%s", pt.Memcpy2DUs, c),
-			fmt.Sprintf("%.3f%s", pt.KernelUs, k),
-			pt.Best, be)
+		row := []string{fmt.Sprint(pt.Rows), fmt.Sprint(pt.RowBytes)}
+		for _, e := range pt.engines() {
+			mark := " "
+			if e.Name == pt.Auto {
+				mark = "*"
+			}
+			row = append(row, fmt.Sprintf("%.3f%s", e.Us, mark))
+		}
+		t.Add(append(row, pt.Best, be)...)
 	}
 	return t
 }

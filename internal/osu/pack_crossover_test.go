@@ -4,44 +4,79 @@ import (
 	"testing"
 
 	"mv2sim/internal/gpu"
+	"mv2sim/internal/ib"
 )
 
 // TestPackCrossoverSweep runs a reduced sweep grid and checks the
 // acceptance properties of the auto heuristic against the measured
-// engines: the kernel must win beyond the per-width break-even (and lose
-// below it), and the auto pick must stay within 5% of the per-shape best.
+// engines: auto must match the measured-best engine at every point, the
+// kernel must win the device-engine comparison beyond the per-width
+// break-even (and lose below it), and the NIC gather must win a nonempty
+// region (few coarse rows) while losing the many-fine-rows region.
 func TestPackCrossoverSweep(t *testing.T) {
 	res, err := PackCrossover(
 		[]int{16, 64, 101, 256, 4096},
 		[]int{4, 64, 1024, 4096},
-		4, gpu.CostModel{})
+		4, gpu.CostModel{}, ib.Model{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	nicWins := 0
 	for _, pt := range res.Grid {
-		best := pt.Memcpy2DUs
-		if pt.KernelUs < best {
-			best = pt.KernelUs
+		// The three-way pick mirrors the measured costs, so auto must
+		// agree with the measured best exactly — not just within a band.
+		if pt.Auto != pt.Best {
+			t.Errorf("%dx%d: auto picked %s, measured best is %s (memcpy2d=%.3f kernel=%.3f nic=%.3f)",
+				pt.Rows, pt.RowBytes, pt.Auto, pt.Best, pt.Memcpy2DUs, pt.KernelUs, pt.NicUs)
 		}
-		if pt.AutoUs > best*1.05 {
-			t.Errorf("%dx%d: auto picked %s (%.3fus), more than 5%% off the best %.3fus",
-				pt.Rows, pt.RowBytes, pt.Auto, pt.AutoUs, best)
+		best := pt.Memcpy2DUs
+		for _, e := range pt.engines() {
+			if e.Us < best {
+				best = e.Us
+			}
+		}
+		if pt.AutoUs != best {
+			t.Errorf("%dx%d: auto_us %.3f != best measured %.3f", pt.Rows, pt.RowBytes, pt.AutoUs, best)
+		}
+		if pt.Best == "nic" {
+			nicWins++
+		}
+		// The break-even table stays a device-engine property: which of
+		// copy and kernel wins, independent of the NIC column.
+		devBest := "memcpy2d"
+		if pt.KernelUs < pt.Memcpy2DUs {
+			devBest = "kernel"
 		}
 		be := res.BreakEvenRows[pt.RowBytes]
 		switch {
 		case be < 0:
-			if pt.Best != "memcpy2d" {
+			if devBest != "memcpy2d" {
 				t.Errorf("%dx%d: kernel measured faster but the model says it never wins", pt.Rows, pt.RowBytes)
 			}
 		case pt.Rows >= be:
-			if pt.Best != "kernel" {
+			if devBest != "kernel" {
 				t.Errorf("%dx%d: memcpy2d measured faster at/beyond break-even %d", pt.Rows, pt.RowBytes, be)
 			}
 		default:
-			if pt.Best != "memcpy2d" {
+			if devBest != "memcpy2d" {
 				t.Errorf("%dx%d: kernel measured faster below break-even %d", pt.Rows, pt.RowBytes, be)
 			}
 		}
+	}
+	if nicWins == 0 {
+		t.Error("NIC gather wins nowhere on the sweep grid; expected a nonempty few-coarse-rows region")
+	}
+	// Small chunks of few rows dodge the device engines' issue+launch
+	// overhead entirely; big many-row chunks must stay on the device.
+	byShape := map[[2]int]CrossoverPoint{}
+	for _, pt := range res.Grid {
+		byShape[[2]int{pt.Rows, pt.RowBytes}] = pt
+	}
+	if pt := byShape[[2]int{16, 4}]; pt.Best != "nic" {
+		t.Errorf("16x4: best = %s, want nic", pt.Best)
+	}
+	if pt := byShape[[2]int{4096, 4}]; pt.Best == "nic" {
+		t.Error("4096x4: NIC gather should lose to the device engines")
 	}
 	// The calibrated break-even for the paper's 4-byte elements: the
 	// kernel's 1us launch gap divided by the ~9.94ns/row copy-engine

@@ -62,7 +62,7 @@ echo "== engine parity gate"
 # the contract that lets -engine parallel be a pure wall-clock knob.
 pt=$(mktemp /tmp/mv2sim-pipetrace.XXXXXX.bin)
 go build -o "$pt" ./cmd/pipetrace
-for mode in memcpy2d auto kernel; do
+for mode in memcpy2d auto kernel nic; do
     for rails in 1 2; do
         es=$(mktemp /tmp/mv2sim-engser.XXXXXX.json)
         ep=$(mktemp /tmp/mv2sim-engpar.XXXXXX.json)
@@ -91,12 +91,28 @@ cmp "$pm" scripts/testdata/pipetrace_memcpy2d.golden || {
     echo "-packmode memcpy2d drifted from the golden pipeline output"; exit 1;
 }
 rm -f "$pm"
-for mode in auto kernel; do
+for mode in auto kernel nic; do
     mt=$(mktemp /tmp/mv2sim-packmode.XXXXXX.json)
     go run ./cmd/pipetrace -packmode "$mode" -chrome "$mt" > /dev/null
     go run ./cmd/tracecheck "$mt"
     rm -f "$mt"
 done
+
+echo "== nic pack-mode gate"
+# The NIC-offloaded engine must stay byte-deterministic (two back-to-back
+# runs produce identical traces, with the SGE gathers on the nicEngine
+# track), and its shortened gather→wire→scatter pipeline must still
+# satisfy the critical-path doctor's exact-attribution invariant
+# (Sum()==Wall()). No -strict: pinning nic on a shape it loses is allowed
+# to diverge from the model's happy path, exactness is not.
+na=$(mktemp /tmp/mv2sim-nic.XXXXXX.json)
+nb=$(mktemp /tmp/mv2sim-nic.XXXXXX.json)
+go run ./cmd/pipetrace -packmode nic -chrome "$na" > /dev/null
+go run ./cmd/pipetrace -packmode nic -chrome "$nb" > /dev/null
+cmp "$na" "$nb" || { echo "-packmode nic trace not deterministic"; exit 1; }
+grep -q 'nicEngine' "$na" || { echo "-packmode nic trace has no nicEngine track"; exit 1; }
+rm -f "$na" "$nb"
+go run ./cmd/pipedoctor -msg $((4<<20)) -packmode nic > /dev/null
 
 echo "== multi-rail trace gate"
 # The striped pipeline must stay deterministic and correctly named: at each
@@ -132,8 +148,12 @@ go run ./cmd/pipedoctor -msg $((4<<20)) -packmode memcpy2d -strict -bench "$pd" 
 echo "== dashboard endpoint gate"
 # Every dashboard JSON endpoint must stay byte-deterministic: snapshot
 # the committed fixture trace + fixture store (no HTTP involved) and
-# diff each endpoint document against its committed golden. Regenerate
-# after an intentional payload change with:
+# diff each endpoint document against its committed golden. The fixture
+# trace is a mixed-engine run (nic pack, auto unpack) so the goldens
+# cover the nicEngine utilization row and the nic-queueing stall strip
+# alongside the GPU stages. Regenerate after an intentional change with:
+#   go run ./cmd/pipetrace -packmode nic -unpackmode auto \
+#     -chrome scripts/testdata/dashboard_trace.json
 #   go run ./cmd/dashboard -trace scripts/testdata/dashboard_trace.json \
 #     -store scripts/testdata/dashboard_store.jsonl -snapshot scripts/testdata/dashboard_golden
 dd=$(mktemp -d /tmp/mv2sim-dash.XXXXXX)
