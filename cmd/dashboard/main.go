@@ -8,12 +8,14 @@
 //	dashboard                             run one live 2-GPU transfer, serve it
 //	dashboard -trace run.json             serve an existing ChromeTracer JSON file
 //	dashboard -store perf/store.jsonl     also serve the recorded perf trajectories
+//	dashboard -load BENCH_load.json       also serve the load–latency sweep
 //	dashboard -snapshot DIR               write every JSON endpoint to DIR and exit
 //	                                      (the network-free mode check.sh diffs)
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,6 +25,7 @@ import (
 	"mv2sim/internal/cluster"
 	"mv2sim/internal/core"
 	"mv2sim/internal/datatype"
+	"mv2sim/internal/load"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/mpi"
 	"mv2sim/internal/obs"
@@ -36,6 +39,7 @@ func main() {
 	addr := flag.String("addr", "localhost:8077", "HTTP listen address")
 	traceIn := flag.String("trace", "", "serve a ChromeTracer JSON file instead of running live")
 	storePath := flag.String("store", "", "append-only perf store to serve trajectories from")
+	loadPath := flag.String("load", "", "BENCH_load.json sweep to serve at /api/load")
 	snapshot := flag.String("snapshot", "", "write every JSON endpoint into this directory and exit")
 	msg := flag.Int("msg", 4<<20, "live mode: message size in bytes")
 	pitch := flag.Int("pitch", 16, "live mode: byte pitch between 4-byte vector elements")
@@ -72,6 +76,20 @@ func main() {
 	}
 
 	srv := dash.New(label, b, trace, st)
+	if *loadPath != "" {
+		data, err := os.ReadFile(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var doc load.Doc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			log.Fatalf("dashboard: %s: %v", *loadPath, err)
+		}
+		if doc.Schema != load.LoadSchema {
+			log.Fatalf("dashboard: %s: load_schema %d, want %d", *loadPath, doc.Schema, load.LoadSchema)
+		}
+		srv.SetLoad(&doc)
+	}
 	if *snapshot != "" {
 		if err := srv.Snapshot(*snapshot); err != nil {
 			log.Fatal(err)

@@ -46,6 +46,13 @@ type Pool struct {
 	gets, puts uint64
 	minFree    int
 
+	// held counts vbufs currently out of the pool; maxHeld is its
+	// high-water mark over the run — how deep the pipeline dug into the
+	// pool at its most concurrent. waits counts exhaustion events: Get
+	// calls that found the pool empty and had to block.
+	held, maxHeld int
+	waits         uint64
+
 	// Per-rail accounting for multi-rail pipelines: railGets[r] counts
 	// vbufs handed out to rail r's chunk stream, railHeld[r] how many it
 	// holds right now, railMaxHeld[r] its high-water mark. Slices grow
@@ -57,6 +64,7 @@ type Pool struct {
 
 	hub       *obs.Hub
 	freeCtr   string // occupancy gauge name
+	waitsCtr  string // cumulative exhaustion-wait gauge name
 	waitTrack string // track for pool-exhaustion wait tasks
 }
 
@@ -70,7 +78,8 @@ func NewPool(e sim.Engine, name string, hca *ib.HCA, base mem.Ptr, chunkSize, co
 	if base.IsDevice() {
 		panic("hostmem: vbuf pool must live in host memory")
 	}
-	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count, freeCtr: name + ".free", waitTrack: name + ".wait"}
+	p := &Pool{e: e, name: name, chunkSize: chunkSize, minFree: count,
+		freeCtr: name + ".free", waitsCtr: name + ".waits", waitTrack: name + ".wait"}
 	for i := 0; i < count; i++ {
 		ptr := base.Add(i * chunkSize)
 		v := &Vbuf{Ptr: ptr, Region: hca.Register(ptr, chunkSize), Index: i, pool: p, free: true}
@@ -112,7 +121,15 @@ func (p *Pool) Get(proc *sim.Proc) *Vbuf {
 // attribute pipeline stall to pool back-pressure rather than handshaking.
 func (p *Pool) GetRail(proc *sim.Proc, rail int) *Vbuf {
 	var waitSp obs.Span
+	blocked := false
 	for len(p.freeList) == 0 {
+		if !blocked {
+			// One exhaustion event per blocked Get, however many times the
+			// pool drains again before this requester wins a vbuf.
+			blocked = true
+			p.waits++
+			p.hub.Counter(p.waitsCtr, float64(p.waits))
+		}
 		if !waitSp.Active() {
 			waitSp = p.hub.Start(obs.KindVbufWait, p.waitTrack, -1, p.chunkSize)
 		}
@@ -153,6 +170,10 @@ func (p *Pool) take(rail int) *Vbuf {
 	v.free = false
 	v.rail = rail
 	p.gets++
+	p.held++
+	if p.held > p.maxHeld {
+		p.maxHeld = p.held
+	}
 	for len(p.railGets) <= rail {
 		p.railGets = append(p.railGets, 0)
 		p.railHeld = append(p.railHeld, 0)
@@ -184,6 +205,7 @@ func (p *Pool) Put(v *Vbuf) {
 	v.free = true
 	v.span.End()
 	v.span = obs.Span{}
+	p.held--
 	p.railHeld[v.rail]--
 	p.freeList = append(p.freeList, v)
 	p.puts++
@@ -194,6 +216,16 @@ func (p *Pool) Put(v *Vbuf) {
 		head.Trigger()
 	}
 }
+
+// MaxHeld returns the pool-wide concurrent-hold high-water mark: the most
+// vbufs that were simultaneously out of the pool over the run.
+func (p *Pool) MaxHeld() int { return p.maxHeld }
+
+// Waits returns the number of exhaustion events: Get calls that found the
+// pool empty and blocked until a vbuf came back. Each event is also
+// sampled as the cumulative "<pool>.waits" gauge, so time-series tracers
+// see when the pressure happened, not only how often.
+func (p *Pool) Waits() uint64 { return p.waits }
 
 // Rails returns the number of rails the pool has seen holds for (at
 // least 1 once any vbuf was taken).

@@ -7,6 +7,7 @@ import (
 
 	"mv2sim/internal/ib"
 	"mv2sim/internal/mem"
+	"mv2sim/internal/obs"
 	"mv2sim/internal/sim"
 )
 
@@ -195,5 +196,62 @@ func TestPropPoolConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestHighWaterAndWaits pins the load-telemetry gauges: MaxHeld is the
+// concurrent-hold high-water mark, and Waits counts Get calls that found
+// the pool empty — each sampled onto the hub as "<pool>.waits".
+func TestHighWaterAndWaits(t *testing.T) {
+	fx := newFixture()
+	p := NewPool(fx.e, "pool", fx.hca, fx.host.Base(), 64, 2)
+	series := obs.NewSeriesTracer()
+	p.SetHub(obs.NewHub(fx.e, series))
+
+	// Drain the pool, then two more takers must block (two exhaustion
+	// events) while high-water stays at the pool size.
+	fx.e.Spawn("holder", func(proc *sim.Proc) {
+		a, b := p.Get(proc), p.Get(proc)
+		proc.Sleep(100)
+		p.Put(a)
+		proc.Sleep(100)
+		p.Put(b)
+	})
+	for i := 0; i < 2; i++ {
+		fx.e.SpawnAt(1, "blocked", func(proc *sim.Proc) {
+			p.Put(p.GetRail(proc, 0))
+		})
+	}
+	if err := fx.e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxHeld() != 2 {
+		t.Errorf("MaxHeld = %d, want 2", p.MaxHeld())
+	}
+	if p.Waits() != 2 {
+		t.Errorf("Waits = %d, want 2", p.Waits())
+	}
+	pts := series.Points("pool.waits")
+	if len(pts) != 2 || pts[len(pts)-1].Value != 2 {
+		t.Errorf("pool.waits samples = %+v, want cumulative count ending at 2", pts)
+	}
+}
+
+// TestTryGetDoesNotCountAsWait pins that only blocking Gets are
+// exhaustion events: a failed TryGet is back-pressure the caller handles
+// itself (the eager path's double-buffer fallback), not a stall.
+func TestTryGetDoesNotCountAsWait(t *testing.T) {
+	fx := newFixture()
+	p := NewPool(fx.e, "pool", fx.hca, fx.host.Base(), 64, 1)
+	v, _ := p.TryGet()
+	if _, ok := p.TryGet(); ok {
+		t.Fatal("TryGet succeeded on an empty pool")
+	}
+	p.Put(v)
+	if p.Waits() != 0 {
+		t.Errorf("Waits = %d after failed TryGet, want 0", p.Waits())
+	}
+	if p.MaxHeld() != 1 {
+		t.Errorf("MaxHeld = %d, want 1", p.MaxHeld())
 	}
 }

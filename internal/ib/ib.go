@@ -162,6 +162,7 @@ func (f *Fabric) NewHCA(node int) *HCA {
 			txTrack:  txName,
 			rxTrack:  rxName,
 			sgeTrack: sgeName,
+			qCtr:     txName + ".queue",
 		})
 	}
 	f.hcas[node] = h
@@ -204,6 +205,12 @@ type rail struct {
 	sgEngine *sim.Resource
 	// precomputed obs track names
 	txTrack, rxTrack, sgeTrack string
+	// queued counts transfers posted to this rail that have not yet put
+	// their last byte on the wire — the send-queue depth, sampled as the
+	// "<txTrack>.queue" gauge. Under open-loop load its growth is the
+	// first visible sign of saturation.
+	queued int
+	qCtr   string
 }
 
 // HCA is one node's adapter.
@@ -297,12 +304,16 @@ func (h *HCA) transmit(dst int, nbytes int, kind string, railIdx int, parent obs
 	txRail, rxRail := h.railAt(railIdx), rx.railAt(railIdx)
 	localDone := h.f.e.NewEvent(fmt.Sprintf("hca%d.tx.done", h.node))
 	h.seq++
+	txRail.queued++
+	h.f.hub.Counter(txRail.qCtr, float64(txRail.queued))
 	h.f.e.Spawn(fmt.Sprintf("hca%d->%d.%d", h.node, dst, h.seq), func(p *sim.Proc) {
 		txRail.sendLink.Acquire(p)
 		tx := h.f.hub.StartChild(parent, kind, txRail.txTrack, chunk, nbytes)
 		p.Sleep(h.wireTime(nbytes))
 		tx.End()
 		txRail.sendLink.Release()
+		txRail.queued--
+		h.f.hub.Counter(txRail.qCtr, float64(txRail.queued))
 		localDone.Trigger() // last byte has left the sender
 		h.stats.BytesTx += int64(nbytes)
 		h.f.hub.Counter(h.txCtr, float64(h.stats.BytesTx))

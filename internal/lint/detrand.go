@@ -28,7 +28,14 @@ import (
 //  3. Wall-clock reads (time.Now/Since/Until/Sleep/After/Tick/NewTimer/
 //     NewTicker): simulated time comes from the engine, not the host.
 //  4. Importing math/rand: randomness must be threaded from the run
-//     configuration's seed, not package-global generators.
+//     configuration's seed, not package-global generators. One pattern is
+//     sanctioned: a file whose every use of the package is confined to
+//     constructing explicitly-seeded generators — rand.New,
+//     rand.NewSource, rand.NewZipf and their types rand.Rand, rand.Source,
+//     rand.Zipf — is deterministic by construction (the seed decides the
+//     stream), so the import is not flagged. Any package-level draw
+//     (rand.Int, rand.ExpFloat64, rand.Seed, ...) reads the process-global
+//     generator and keeps the import a finding.
 //  5. Raw `go` statements: goroutine interleaving is scheduled by the Go
 //     runtime, not the engine; simulated concurrency uses Engine.Spawn.
 var DetRand = &Analyzer{
@@ -58,15 +65,53 @@ func runDetRand(pass *Pass) error {
 	return nil
 }
 
-// checkRandImports flags math/rand imports (rule 4).
+// seededRandNames is the sanctioned subset of math/rand: explicit-seed
+// constructors and the types they produce. Everything else at package
+// level draws from (or reseeds) the shared global generator.
+var seededRandNames = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Zipf": true,
+}
+
+// checkRandImports flags math/rand imports (rule 4), exempting files
+// whose uses are confined to the seeded-constructor pattern.
 func checkRandImports(pass *Pass, file *ast.File) {
 	for _, imp := range file.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)
-		if path == "math/rand" || path == "math/rand/v2" {
-			pass.Reportf(imp.Pos(),
-				"%s in simulator library code makes runs nondeterministic; thread a seeded *rand.Rand from the run configuration instead", path)
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
 		}
+		if uses, bad := randPackageUses(pass, file, path); uses > 0 && bad == "" {
+			continue // sanctioned: only seeded constructors and their types
+		}
+		pass.Reportf(imp.Pos(),
+			"%s in simulator library code makes runs nondeterministic; thread a seeded *rand.Rand from the run configuration instead (only the explicit-seed constructors rand.New/rand.NewSource are exempt)", path)
 	}
+}
+
+// randPackageUses counts the file's selector uses of the given rand
+// package and returns the first selector outside the sanctioned set.
+func randPackageUses(pass *Pass, file *ast.File, path string) (uses int, bad string) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkg, ok := objOfIdent(pass.TypesInfo, id).(*types.PkgName)
+		if !ok || pkg.Imported().Path() != path {
+			return true
+		}
+		uses++
+		if !seededRandNames[sel.Sel.Name] && bad == "" {
+			bad = sel.Sel.Name
+		}
+		return true
+	})
+	return uses, bad
 }
 
 // wallClockFuncs are the time package entry points that read or wait on

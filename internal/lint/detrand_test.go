@@ -12,6 +12,16 @@ func TestDetRandCmdExempt(t *testing.T) {
 	RunGolden(t, Testdata(), DetRand, "detrand/cmd/appd")
 }
 
+// TestDetRandSeededExempt verifies the seeded-randomness carve-out: a
+// library file whose math/rand uses are confined to the explicit-seed
+// constructors (rand.New(rand.NewSource(seed))) is deterministic by
+// construction and draws no finding. The libd golden keeps the positive
+// case: a file that also calls a package-level draw (rand.Int) is still
+// flagged at the import.
+func TestDetRandSeededExempt(t *testing.T) {
+	RunGolden(t, Testdata(), DetRand, "detrand/internal/libseed")
+}
+
 // TestDetRandWorkerPoolExemption verifies the sanctioned worker-pool
 // pattern: a documented //lint:ignore detrand on the pool spawn silences
 // the go-statement finding at the driver level, while the raw analyzer

@@ -1,0 +1,124 @@
+// Package load is the open-loop load harness: seeded arrival-process
+// generators drive many concurrent non-contiguous transfers across
+// disjoint rank pairs through the full MV2-GPU-NC pipeline, and the
+// harness reports tail-latency (sojourn time from scheduled arrival to
+// delivery) and goodput per offered-load level. Sweeping the offered load
+// produces the load–latency curve whose saturation knee cmd/loadgen
+// detects and the perf store gates.
+//
+// Open-loop means arrivals do not wait for service: the schedule is fixed
+// up front from the seed, so when the system saturates the backlog — and
+// with it the sojourn tail — grows without bound instead of the arrival
+// rate politely adapting. That is the behaviour closed-loop benchmarks
+// (osu latency/bandwidth loops) structurally cannot show.
+package load
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mv2sim/internal/sim"
+)
+
+// Process names an arrival process.
+type Process string
+
+const (
+	// Poisson arrivals: exponential gaps, the classic open-loop model.
+	Poisson Process = "poisson"
+	// Deterministic arrivals: fixed gaps at the offered rate, the
+	// smoothest traffic a rate can be delivered at.
+	Deterministic Process = "deterministic"
+	// Bursty arrivals: a two-state Markov-modulated Poisson process that
+	// alternates between a hot state (burstFactor times the offered rate)
+	// and a cold state (the offered rate divided by burstFactor).
+	Bursty Process = "bursty"
+)
+
+// Processes lists every arrival process, in sweep order.
+var Processes = []Process{Deterministic, Poisson, Bursty}
+
+// ParseProcess parses a -process flag value.
+func ParseProcess(s string) (Process, error) {
+	switch Process(s) {
+	case Poisson, Deterministic, Bursty:
+		return Process(s), nil
+	}
+	return "", fmt.Errorf("load: unknown arrival process %q (want poisson, deterministic or bursty)", s)
+}
+
+// Bursty-process shape: the hot state offers burstFactor times the mean
+// rate, the cold state 1/burstFactor of it, and each arrival flips the
+// state with probability switchProb.
+const (
+	burstFactor = 4.0
+	switchProb  = 0.1
+)
+
+// Item is one scheduled transfer of a pair's workload: a message of Bytes
+// packed bytes (drawn from Config.Sizes; SizeIdx indexes it) arriving at
+// virtual time At.
+type Item struct {
+	At      sim.Time
+	Bytes   int
+	SizeIdx int
+}
+
+// Schedule generates the arrival schedule for one pair, deterministically
+// from the seed: the same (Config, pair) always yields the same items, so
+// sender and receiver derive identical schedules independently and the
+// whole run is reproducible byte for byte. Arrivals stop at the horizon;
+// message sizes are drawn uniformly from cfg.Sizes, and the gap after a
+// message of s bytes averages s divided by the pair's offered byte rate,
+// so the long-run offered load matches cfg.OfferedMBs divided over the
+// pairs regardless of the size mix.
+func Schedule(cfg Config, pair int) []Item {
+	cfg = cfg.withDefaults()
+	// A distinct, well-separated stream per pair: pairs must not see
+	// shifted copies of each other's arrivals.
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(pair)*982451653))
+	rate := cfg.OfferedMBs / float64(cfg.Pairs) * 1e6 / 1e9 // bytes per ns
+	hot := rng.Intn(2) == 0
+	var items []Item
+	t := sim.Time(0)
+	for {
+		sizeIdx := rng.Intn(len(cfg.Sizes))
+		s := cfg.Sizes[sizeIdx]
+		mean := float64(s) / rate // ns
+		var gap float64
+		switch cfg.Process {
+		case Deterministic:
+			gap = mean
+		case Poisson:
+			gap = rng.ExpFloat64() * mean
+		case Bursty:
+			if rng.Float64() < switchProb {
+				hot = !hot
+			}
+			if hot {
+				gap = rng.ExpFloat64() * mean / burstFactor
+			} else {
+				gap = rng.ExpFloat64() * mean * burstFactor
+			}
+		default:
+			panic(fmt.Sprintf("load: unknown arrival process %q", cfg.Process))
+		}
+		if gap < 1 {
+			gap = 1
+		}
+		t += sim.Time(gap)
+		if t >= cfg.Horizon {
+			return items
+		}
+		items = append(items, Item{At: t, Bytes: s, SizeIdx: sizeIdx})
+	}
+}
+
+// ScheduledBytes sums a schedule's packed payload.
+func ScheduledBytes(items []Item) int64 {
+	var n int64
+	for _, it := range items {
+		n += int64(it.Bytes)
+	}
+	return n
+}

@@ -178,14 +178,15 @@ func (w *World) GPUTransport() GPUTransport { return w.transport }
 // buffers. The HCA's node ID must equal the new rank's index.
 func (w *World) AddRank(hca *ib.HCA, host *mem.Space) *Rank {
 	r := &Rank{
-		w:        w,
-		rank:     len(w.ranks),
-		hca:      hca,
-		host:     host,
-		heap:     alloc.New(host.Size(), 64),
-		reqs:     map[int]*Request{},
-		stats:    &RankStats{},
-		obsTrack: fmt.Sprintf("rank%d.mpi", len(w.ranks)),
+		w:           w,
+		rank:        len(w.ranks),
+		hca:         hca,
+		host:        host,
+		heap:        alloc.New(host.Size(), 64),
+		reqs:        map[int]*Request{},
+		stats:       &RankStats{},
+		obsTrack:    fmt.Sprintf("rank%d.mpi", len(w.ranks)),
+		inflightCtr: fmt.Sprintf("rank%d.inflight", len(w.ranks)),
 	}
 	if hca.Node() != r.rank {
 		panic(fmt.Sprintf("mpi: HCA node %d attached as rank %d", hca.Node(), r.rank))
@@ -231,9 +232,10 @@ type Rank struct {
 	unexpected     []*inbound   // arrived unmatched, in arrival order
 	arrivalWaiters []*sim.Event // blocked Probe calls
 
-	nextID   int
-	reqs     map[int]*Request // in-flight rendezvous requests by ID
-	obsTrack string           // tracing track name, "rankN.mpi"
+	nextID      int
+	reqs        map[int]*Request // in-flight rendezvous requests by ID
+	obsTrack    string           // tracing track name, "rankN.mpi"
+	inflightCtr string           // in-flight request gauge, "rankN.inflight"
 }
 
 // Rank returns this process's rank index.

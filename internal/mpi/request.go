@@ -92,6 +92,12 @@ func (q *Request) Size() int {
 // Done reports whether the request has completed.
 func (q *Request) Done() bool { return q.done.Fired() }
 
+// OnComplete registers fn to run when the request completes; it runs
+// immediately if the request is already done. Open-loop load generators
+// use it to timestamp completions without dedicating a waiter proc per
+// outstanding request.
+func (q *Request) OnComplete(fn func()) { q.done.OnTrigger(fn) }
+
 // ObsSpan returns the request's tracing span (inert when tracing is off).
 // GPU transports parent their pipeline-stage tasks to it.
 func (q *Request) ObsSpan() obs.Span { return q.span }
@@ -107,6 +113,7 @@ func (r *Rank) newRequest(kind ReqKind, buf mem.Ptr, dt *datatype.Datatype, coun
 		done: r.w.e.NewEvent(fmt.Sprintf("rank%d.req%d", r.rank, r.nextID)),
 	}
 	r.reqs[q.id] = q
+	r.w.hub.Counter(r.inflightCtr, float64(len(r.reqs)))
 	return q
 }
 
@@ -127,6 +134,7 @@ func (r *Rank) nullRequest(kind ReqKind) *Request {
 // complete finalizes the request.
 func (q *Request) complete() {
 	delete(q.r.reqs, q.id)
+	q.r.w.hub.Counter(q.r.inflightCtr, float64(len(q.r.reqs)))
 	q.span.End()
 	q.done.Trigger()
 }

@@ -43,6 +43,16 @@ type Collector struct {
 	children map[uint64][]uint64
 	deps     map[uint64][]Edge
 	rdeps    map[uint64][]uint64 // reverse: task IDs depending on key
+	counters []CounterPoint
+}
+
+// CounterPoint is one gauge sample preserved from the task stream, so a
+// replayed trace keeps its time-series view (dashboard /api/series)
+// alongside the dependency structure.
+type CounterPoint struct {
+	Name  string
+	At    sim.Time
+	Value float64
 }
 
 // NewCollector creates an empty collector.
@@ -64,8 +74,19 @@ func (c *Collector) TaskStep(obs.Task, string) {}
 // TaskEnd records a completed task.
 func (c *Collector) TaskEnd(t obs.Task) { c.AddTask(t) }
 
-// CounterSample is a no-op; gauges carry no dependency structure.
-func (c *Collector) CounterSample(string, sim.Time, float64) {}
+// CounterSample records the gauge sample; gauges carry no dependency
+// structure but are kept for series replay.
+func (c *Collector) CounterSample(name string, at sim.Time, value float64) {
+	c.AddCounter(name, at, value)
+}
+
+// AddCounter records a gauge sample (ingestion entry point).
+func (c *Collector) AddCounter(name string, at sim.Time, value float64) {
+	c.counters = append(c.counters, CounterPoint{Name: name, At: at, Value: value})
+}
+
+// Counters returns the recorded gauge samples in arrival order.
+func (c *Collector) Counters() []CounterPoint { return c.counters }
 
 // TaskDepends records an explicit dependency edge.
 func (c *Collector) TaskDepends(t obs.Task, onID uint64, label string) {

@@ -21,13 +21,14 @@ type chromeEvent struct {
 	Ts   float64 `json:"ts"`
 	Dur  float64 `json:"dur"`
 	Args struct {
-		ID     uint64 `json:"id"`
-		Parent uint64 `json:"parent"`
-		Chunk  *int   `json:"chunk"`
-		Bytes  int    `json:"bytes"`
-		Task   uint64 `json:"task"`
-		On     uint64 `json:"on"`
-		Name   string `json:"name"` // thread_name metadata payload
+		ID     uint64  `json:"id"`
+		Parent uint64  `json:"parent"`
+		Chunk  *int    `json:"chunk"`
+		Bytes  int     `json:"bytes"`
+		Task   uint64  `json:"task"`
+		On     uint64  `json:"on"`
+		Name   string  `json:"name"`  // thread_name metadata payload
+		Value  float64 `json:"value"` // counter ("C") sample payload
 	} `json:"args"`
 }
 
@@ -47,10 +48,11 @@ func nanos(us float64) sim.Time {
 // instead of re-running the simulation.
 //
 // The mapping undoes ChromeTracer's encoding: "M" thread_name events
-// recover the tid→track map, "X" events become span tasks, "i" events in
-// category "dep" become dependency edges, and remaining "i" events become
-// instant tasks — except those whose args.id names an "X" task, which are
-// TaskStep milestones, not tasks, and are dropped.
+// recover the tid→track map, "X" events become span tasks, "C" events
+// become counter samples, "i" events in category "dep" become dependency
+// edges, and remaining "i" events become instant tasks — except those
+// whose args.id names an "X" task, which are TaskStep milestones, not
+// tasks, and are dropped.
 func Ingest(r io.Reader) (*Collector, error) {
 	var doc chromeDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
@@ -88,6 +90,8 @@ func Ingest(r io.Reader) (*Collector, error) {
 		switch ev.Ph {
 		case "X":
 			c.AddTask(task(ev))
+		case "C":
+			c.AddCounter(ev.Name, nanos(ev.Ts), ev.Args.Value)
 		case "i":
 			if ev.Cat == "dep" {
 				c.AddDep(ev.Args.Task, ev.Args.On, ev.Name)

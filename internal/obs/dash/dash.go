@@ -13,6 +13,8 @@
 //	/api/percentiles  per-kind p50/p95/p99 latency (ok=false under 2 samples)
 //	/api/critpath     per-transfer stall attribution and model check
 //	/api/trajectory   the perf store's recorded metric series
+//	/api/series       counter gauges and windowed busy fractions over time
+//	/api/load         the attached load–latency sweep (BENCH_load.json)
 //	/api/trace        the Chrome trace document (Perfetto-loadable)
 //	/                 embedded static page rendering the above
 //
@@ -32,6 +34,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"mv2sim/internal/load"
 	"mv2sim/internal/obs"
 	"mv2sim/internal/obs/critpath"
 	"mv2sim/internal/obs/store"
@@ -47,13 +50,14 @@ var staticFS embed.FS
 // consumers.
 const PayloadSchema = 1
 
-// Bundle is the set of tracers a dashboard serves from. Attach all four
+// Bundle is the set of tracers a dashboard serves from. Attach all five
 // to a live cluster run, or build them from an ingested trace with
 // Replay.
 type Bundle struct {
 	Busy    *obs.BusyTimeTracer
 	Stats   *obs.StatsTracer
 	Metrics *obs.MetricsTracer
+	Series  *obs.SeriesTracer
 	Col     *critpath.Collector
 }
 
@@ -63,36 +67,44 @@ func NewBundle() Bundle {
 		Busy:    obs.NewBusyTimeTracer(),
 		Stats:   obs.NewStatsTracer(),
 		Metrics: obs.NewMetricsTracer(),
+		Series:  obs.NewSeriesTracer(),
 		Col:     critpath.NewCollector(),
 	}
 }
 
 // Tracers returns the bundle as a cluster-attachable tracer list.
 func (b Bundle) Tracers() []obs.Tracer {
-	return []obs.Tracer{b.Busy, b.Stats, b.Metrics, b.Col}
+	return []obs.Tracer{b.Busy, b.Stats, b.Metrics, b.Series, b.Col}
 }
 
 // Replay rebuilds a bundle from an already-collected task stream (e.g. a
-// critpath.Ingest of a Chrome trace file): tasks are fed to the busy,
-// stats and metrics tracers in recorded order, so the result is
-// deterministic for a given trace document.
+// critpath.Ingest of a Chrome trace file): tasks and counter samples are
+// fed to the busy, stats, metrics and series tracers in recorded order,
+// so the result is deterministic for a given trace document — and
+// byte-identical to the live run (the series tracer derives busy windows
+// from TaskEnd alone for exactly this reason).
 func Replay(col *critpath.Collector) Bundle {
 	b := NewBundle()
 	b.Col = col
+	for _, c := range col.Counters() {
+		b.Series.CounterSample(c.Name, c.At, c.Value)
+	}
 	for _, t := range col.Tasks() {
 		b.Busy.TaskEnd(t)
 		b.Stats.TaskEnd(t)
 		b.Metrics.TaskEnd(t)
+		b.Series.TaskEnd(t)
 	}
 	return b
 }
 
 // Server renders one observed run plus the perf store.
 type Server struct {
-	label string
-	b     Bundle
-	trace []byte       // Chrome trace document served at /api/trace
-	st    *store.Store // nil when no store is attached
+	label   string
+	b       Bundle
+	trace   []byte       // Chrome trace document served at /api/trace
+	st      *store.Store // nil when no store is attached
+	loadDoc *load.Doc    // nil when no load sweep is attached
 }
 
 // New creates a dashboard server. trace may be nil (the /api/trace
@@ -102,9 +114,14 @@ func New(label string, b Bundle, trace []byte, st *store.Store) *Server {
 	return &Server{label: label, b: b, trace: trace, st: st}
 }
 
+// SetLoad attaches a load–latency sweep document (a parsed
+// BENCH_load.json) to the /api/load endpoint. nil detaches it; the
+// endpoint then reports available=false.
+func (s *Server) SetLoad(doc *load.Doc) { s.loadDoc = doc }
+
 // endpoints lists the JSON endpoint names in serving order — the
 // contract /api/meta advertises and Snapshot materializes.
-var endpoints = []string{"meta", "resources", "stats", "percentiles", "critpath", "trajectory"}
+var endpoints = []string{"meta", "resources", "stats", "percentiles", "critpath", "trajectory", "series", "load"}
 
 // marshal is the single JSON renderer every endpoint goes through:
 // two-space indent, trailing newline, HTML escaping off so byte output
@@ -163,13 +180,14 @@ type KindStat struct {
 // Percentile is one row of /api/percentiles. OK is false when the kind
 // has fewer than two samples; the quantile fields are then zero.
 type Percentile struct {
-	Kind  string  `json:"kind"`
-	Count uint64  `json:"count"`
-	OK    bool    `json:"ok"`
-	P50Us float64 `json:"p50_us"`
-	P95Us float64 `json:"p95_us"`
-	P99Us float64 `json:"p99_us"`
-	MaxUs float64 `json:"max_us"`
+	Kind   string  `json:"kind"`
+	Count  uint64  `json:"count"`
+	OK     bool    `json:"ok"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
 }
 
 // BucketShare is one stall bucket of a transfer.
@@ -202,6 +220,35 @@ type TransferInfo struct {
 	SumsExact bool          `json:"sums_exact"`
 	Buckets   []BucketShare `json:"buckets"`
 	Model     *ModelInfo    `json:"model,omitempty"`
+}
+
+// SeriesSample is one point of a time series in /api/series.
+type SeriesSample struct {
+	AtNs  int64   `json:"at_ns"`
+	Value float64 `json:"value"`
+}
+
+// SeriesInfo is one gauge or busy-fraction series in /api/series.
+type SeriesInfo struct {
+	Name    string         `json:"name"`
+	Count   int            `json:"count"`
+	Dropped int            `json:"dropped"`
+	Points  []SeriesSample `json:"points"`
+}
+
+// SeriesDoc is the /api/series payload.
+type SeriesDoc struct {
+	Schema       int          `json:"schema"`
+	BusyWindowNs int64        `json:"busy_window_ns"`
+	Series       []SeriesInfo `json:"series"`
+}
+
+// LoadDoc is the /api/load payload. Available is false when no sweep is
+// attached; Doc is then omitted.
+type LoadDoc struct {
+	Schema    int       `json:"schema"`
+	Available bool      `json:"available"`
+	Doc       *load.Doc `json:"doc,omitempty"`
 }
 
 // TrajPoint is one record of a metric's trajectory.
@@ -311,8 +358,10 @@ func (s *Server) Percentiles() []Percentile {
 			p.P50Us = p50.Micros()
 			p95, _ := s.b.Metrics.Percentile(k, 0.95)
 			p99, _ := s.b.Metrics.Percentile(k, 0.99)
+			p999, _ := s.b.Metrics.Percentile(k, 0.999)
 			p.P95Us = p95.Micros()
 			p.P99Us = p99.Micros()
+			p.P999Us = p999.Micros()
 		}
 		out = append(out, p)
 	}
@@ -389,6 +438,30 @@ func (s *Server) Trajectories() []Trajectory {
 	return out
 }
 
+// Series builds the /api/series payload: every gauge and busy-fraction
+// series the run recorded, in the tracer's sorted name order.
+func (s *Server) Series() SeriesDoc {
+	doc := SeriesDoc{Schema: PayloadSchema, Series: []SeriesInfo{}}
+	if s.b.Series == nil {
+		return doc
+	}
+	doc.BusyWindowNs = int64(s.b.Series.Window())
+	for _, name := range s.b.Series.Names() {
+		pts := s.b.Series.Points(name)
+		si := SeriesInfo{Name: name, Count: len(pts), Dropped: s.b.Series.Dropped(name), Points: []SeriesSample{}}
+		for _, p := range pts {
+			si.Points = append(si.Points, SeriesSample{AtNs: int64(p.At), Value: p.Value})
+		}
+		doc.Series = append(doc.Series, si)
+	}
+	return doc
+}
+
+// Load builds the /api/load payload.
+func (s *Server) Load() LoadDoc {
+	return LoadDoc{Schema: PayloadSchema, Available: s.loadDoc != nil, Doc: s.loadDoc}
+}
+
 // payload renders one named endpoint's JSON document.
 func (s *Server) payload(name string) ([]byte, error) {
 	switch name {
@@ -404,6 +477,10 @@ func (s *Server) payload(name string) ([]byte, error) {
 		return marshal(s.Critpath())
 	case "trajectory":
 		return marshal(s.Trajectories())
+	case "series":
+		return marshal(s.Series())
+	case "load":
+		return marshal(s.Load())
 	}
 	return nil, fmt.Errorf("dash: unknown endpoint %q", name)
 }

@@ -13,6 +13,7 @@ import (
 	"mv2sim/internal/cluster"
 	"mv2sim/internal/core"
 	"mv2sim/internal/datatype"
+	"mv2sim/internal/load"
 	"mv2sim/internal/mem"
 	"mv2sim/internal/obs"
 	"mv2sim/internal/obs/critpath"
@@ -218,7 +219,7 @@ func TestHandler(t *testing.T) {
 	if err := srv.Snapshot(dir); err != nil {
 		t.Fatal(err)
 	}
-	for _, ep := range []string{"meta", "resources", "stats", "percentiles", "critpath", "trajectory"} {
+	for _, ep := range []string{"meta", "resources", "stats", "percentiles", "critpath", "trajectory", "series", "load"} {
 		code, body := get("/api/" + ep)
 		if code != 200 {
 			t.Fatalf("/api/%s = %d", ep, code)
@@ -237,6 +238,19 @@ func TestHandler(t *testing.T) {
 	}
 	if code, body := get("/"); code != 200 || !strings.Contains(string(body), "mv2sim pipeline dashboard") {
 		t.Errorf("/ = %d, missing embedded page", code)
+	}
+
+	// Attaching a load sweep flips /api/load from a stub to the document.
+	doc := &load.Doc{Schema: load.LoadSchema, Seed: 1, Pairs: 4, Engine: "serial",
+		Rails: 1, PackMode: "auto", HorizonMs: 2,
+		Curves: []load.Curve{load.NewCurve(load.Poisson, []load.Result{
+			{OfferedMBs: 1000, GoodputMBs: 990, Transfers: 10, P50Us: 50, P99Us: 90, MaxUs: 120, MakespanMs: 1.5},
+		})}}
+	srv.SetLoad(doc)
+	if code, body := get("/api/load"); code != 200 ||
+		!strings.Contains(string(body), `"available": true`) ||
+		!strings.Contains(string(body), `"knee_offered_mbs": 1000`) {
+		t.Errorf("/api/load with sweep = %d:\n%s", code, body)
 	}
 
 	// A traceless server 404s the download rather than serving empty JSON.

@@ -79,6 +79,37 @@ func (h *Histogram) Mean() sim.Time {
 	return h.sum / sim.Time(h.count)
 }
 
+// Bucket is one power-of-two cell of a histogram: Count observations fell
+// in [Lo, Hi). The first cell starts at zero; the top cell is clamped to
+// the int64 range instead of overflowing.
+type Bucket struct {
+	Lo, Hi sim.Time
+	Count  uint64
+}
+
+// Buckets returns the non-empty cells in ascending duration order — the
+// raw material for CDF rendering (loadgen, the dashboard), where three
+// point quantiles are not enough. The boundaries are the histogram's
+// actual power-of-two edges, so plotting code needs no knowledge of the
+// bucketing scheme.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		b := Bucket{Hi: sim.Time(1) << uint(i+1), Count: c}
+		if i > 0 {
+			b.Lo = sim.Time(1) << uint(i)
+		}
+		if i >= 62 {
+			b.Hi = sim.Time(1<<63 - 1)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // Quantile estimates the q-th quantile (0 <= q <= 1): it walks the
 // cumulative bucket counts to the target rank and interpolates linearly
 // within the hit bucket. Exact for distributions narrower than one bucket;
@@ -183,7 +214,7 @@ func (m *MetricsTracer) Percentile(kind string, q float64) (sim.Time, bool) {
 // Table renders the registry as a percentile table. Kinds with fewer
 // than two samples show "-" in the quantile columns (see Percentile).
 func (m *MetricsTracer) Table(title string) *report.Table {
-	t := report.NewTable(title, "kind", "count", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)")
+	t := report.NewTable(title, "kind", "count", "p50 (us)", "p95 (us)", "p99 (us)", "p99.9 (us)", "max (us)")
 	for _, k := range m.order {
 		h := m.hists[k]
 		cell := func(q float64) string {
@@ -195,7 +226,7 @@ func (m *MetricsTracer) Table(title string) *report.Table {
 		}
 		t.Add(k,
 			fmt.Sprintf("%d", h.Count()),
-			cell(0.50), cell(0.95), cell(0.99),
+			cell(0.50), cell(0.95), cell(0.99), cell(0.999),
 			fmt.Sprintf("%.1f", h.Max().Micros()))
 	}
 	return t

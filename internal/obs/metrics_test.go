@@ -86,6 +86,66 @@ func TestHistogramExtremeDurations(t *testing.T) {
 	}
 }
 
+func TestHistogramBucketsAtPowerOfTwoEdges(t *testing.T) {
+	h := NewHistogram()
+	// Exactly at bucket edges: 2^k lands in [2^k, 2^(k+1)), 2^k-1 in the
+	// bucket below. 0 and 1 share the first cell [0, 2).
+	for _, d := range []sim.Time{0, 1, 2, 3, 4, 1024, 1023, 1025, 2048} {
+		h.Observe(d)
+	}
+	want := []Bucket{
+		{Lo: 0, Hi: 2, Count: 2},       // 0, 1
+		{Lo: 2, Hi: 4, Count: 2},       // 2, 3
+		{Lo: 4, Hi: 8, Count: 1},       // 4
+		{Lo: 512, Hi: 1024, Count: 1},  // 1023
+		{Lo: 1024, Hi: 2048, Count: 2}, // 1024, 1025
+		{Lo: 2048, Hi: 4096, Count: 1}, // 2048
+	}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	var total uint64
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+		total += got[i].Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+}
+
+func TestHistogramBucketsTopCellClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(sim.Time(1<<63 - 1))
+	bs := h.Buckets()
+	if len(bs) != 1 {
+		t.Fatalf("buckets = %+v", bs)
+	}
+	if bs[0].Lo != sim.Time(1)<<62 || bs[0].Hi != sim.Time(1<<63-1) {
+		t.Fatalf("top bucket [%d, %d) not clamped to the int64 range", bs[0].Lo, bs[0].Hi)
+	}
+}
+
+func TestHistogramP999(t *testing.T) {
+	// 999 fast observations and one slow outlier: p99.9 must leave the
+	// fast bucket and land within [min, max], strictly above p50.
+	h := NewHistogram()
+	for i := 0; i < 999; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(1 << 20)
+	p50, p999 := h.Quantile(0.5), h.Quantile(0.999)
+	if p50 != 1000 {
+		t.Fatalf("p50 = %d, want 1000", p50)
+	}
+	if p999 <= p50 || p999 > h.Max() {
+		t.Fatalf("p99.9 = %d, want in (%d, %d]", p999, p50, h.Max())
+	}
+}
+
 func TestHistogramObserveAllocatesNothing(t *testing.T) {
 	h := NewHistogram()
 	allocs := testing.AllocsPerRun(100, func() {

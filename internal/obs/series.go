@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"sort"
+
+	"mv2sim/internal/sim"
+)
+
+// Defaults for SeriesTracer. The ring capacity bounds memory per series
+// regardless of run length; the window is the busy-fraction sampling
+// granularity in virtual time.
+const (
+	DefaultSeriesCap    = 512
+	DefaultSeriesWindow = sim.Time(100_000) // 100 us
+)
+
+// SeriesPoint is one sample of a time series: a gauge value at a virtual
+// instant.
+type SeriesPoint struct {
+	At    sim.Time
+	Value float64
+}
+
+// SeriesTracer is the ring-buffer time-series sampler: the consumer of
+// CounterSample gauges (vbuf-pool occupancy and exhaustion waits, per-rail
+// wire queue depth, per-rank in-flight requests, HCA byte counters) plus a
+// derived windowed busy-fraction series per resource track. It exists so
+// the load harness and the dashboard can see a run's behaviour *over time*
+// — queue growth, pool exhaustion episodes, saturation onset — instead of
+// only end-of-run aggregates.
+//
+// Two independent inputs feed it:
+//
+//   - CounterSample records are stored verbatim, one bounded ring per
+//     gauge name; when a ring overflows, the oldest points are dropped
+//     and the drop count is reported so downsampling is never silent.
+//   - TaskEnd records accumulate per-track busy time into fixed virtual
+//     windows, served as the synthetic series "busy.<track>" (value =
+//     busy/window; overlapping tasks on one track can push it past 1).
+//     TaskStart is ignored, so a replay that only has completed tasks
+//     (dash.Replay over an ingested trace) reproduces the same series.
+//
+// Both derivations are order-insensitive within one virtual instant and
+// all timestamps are virtual, so the series are byte-deterministic across
+// runs and engines. Like every tracer, it costs nothing when no hub is
+// attached, and the hot-path methods allocate only when a sample is
+// actually recorded.
+type SeriesTracer struct {
+	cap    int
+	window sim.Time
+
+	rings map[string]*seriesRing
+	busy  map[string]map[int64]sim.Time
+}
+
+// NewSeriesTracer creates a sampler with the default ring capacity and
+// busy window.
+func NewSeriesTracer() *SeriesTracer {
+	return &SeriesTracer{
+		cap:    DefaultSeriesCap,
+		window: DefaultSeriesWindow,
+		rings:  map[string]*seriesRing{},
+		busy:   map[string]map[int64]sim.Time{},
+	}
+}
+
+// SetCap overrides the per-series ring capacity. Must be called before
+// samples arrive.
+func (s *SeriesTracer) SetCap(n int) {
+	if n <= 0 {
+		panic("obs: series ring capacity must be positive")
+	}
+	s.cap = n
+}
+
+// SetWindow overrides the busy-fraction window. Must be called before
+// samples arrive.
+func (s *SeriesTracer) SetWindow(w sim.Time) {
+	if w <= 0 {
+		panic("obs: series busy window must be positive")
+	}
+	s.window = w
+}
+
+// Window returns the busy-fraction window.
+func (s *SeriesTracer) Window() sim.Time { return s.window }
+
+// TaskStart is ignored; see the type comment (replay parity).
+func (s *SeriesTracer) TaskStart(Task) {}
+
+// TaskStep is ignored.
+func (s *SeriesTracer) TaskStep(Task, string) {}
+
+// TaskEnd folds the task's duration into its track's busy windows.
+func (s *SeriesTracer) TaskEnd(t Task) {
+	if t.Instant() || t.Where == "" {
+		return
+	}
+	wins := s.busy[t.Where]
+	if wins == nil {
+		wins = map[int64]sim.Time{}
+		s.busy[t.Where] = wins
+	}
+	for w := int64(t.Start / s.window); w <= int64((t.End-1)/s.window); w++ {
+		lo, hi := sim.Time(w)*s.window, sim.Time(w+1)*s.window
+		if t.Start > lo {
+			lo = t.Start
+		}
+		if t.End < hi {
+			hi = t.End
+		}
+		wins[w] += hi - lo
+	}
+}
+
+// CounterSample appends the gauge sample to the name's ring.
+func (s *SeriesTracer) CounterSample(name string, at sim.Time, value float64) {
+	r := s.rings[name]
+	if r == nil {
+		r = &seriesRing{}
+		s.rings[name] = r
+	}
+	r.push(SeriesPoint{At: at, Value: value}, s.cap)
+}
+
+// busyPrefix namespaces the derived busy-fraction series.
+const busyPrefix = "busy."
+
+// Names returns every series name, sorted: the raw counter gauges plus one
+// "busy.<track>" series per observed resource track.
+func (s *SeriesTracer) Names() []string {
+	out := make([]string, 0, len(s.rings)+len(s.busy))
+	for name := range s.rings {
+		out = append(out, name)
+	}
+	for where := range s.busy {
+		out = append(out, busyPrefix+where)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Points returns the series' samples in time order. Counter series return
+// the ring's retained points; busy series return one point per non-empty
+// window (At = window end, Value = busy fraction), capped to the most
+// recent ring-capacity windows. Unknown names return nil.
+func (s *SeriesTracer) Points(name string) []SeriesPoint {
+	if wins, ok := s.busy[nameTrack(name)]; ok && len(name) > len(busyPrefix) && name[:len(busyPrefix)] == busyPrefix {
+		idx := make([]int64, 0, len(wins))
+		for w := range wins {
+			idx = append(idx, w)
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+		if len(idx) > s.cap {
+			idx = idx[len(idx)-s.cap:]
+		}
+		out := make([]SeriesPoint, 0, len(idx))
+		for _, w := range idx {
+			out = append(out, SeriesPoint{
+				At:    sim.Time(w+1) * s.window,
+				Value: float64(wins[w]) / float64(s.window),
+			})
+		}
+		return out
+	}
+	if r := s.rings[name]; r != nil {
+		return r.points()
+	}
+	return nil
+}
+
+// Dropped returns how many samples the named counter series evicted from
+// its ring (always 0 for busy series, whose windows are capped at query
+// time instead).
+func (s *SeriesTracer) Dropped(name string) int {
+	if r := s.rings[name]; r != nil {
+		return r.dropped
+	}
+	return 0
+}
+
+// nameTrack strips the busy prefix; for non-busy names it returns a string
+// that cannot collide with a track (tracks never start with "busy.").
+func nameTrack(name string) string {
+	if len(name) > len(busyPrefix) && name[:len(busyPrefix)] == busyPrefix {
+		return name[len(busyPrefix):]
+	}
+	return name
+}
+
+// seriesRing is a bounded append-only window over one series: the last
+// cap points survive, older ones are counted as dropped.
+type seriesRing struct {
+	buf     []SeriesPoint
+	next    int // overwrite position once full
+	full    bool
+	dropped int
+}
+
+func (r *seriesRing) push(p SeriesPoint, cap int) {
+	if !r.full {
+		r.buf = append(r.buf, p)
+		if len(r.buf) == cap {
+			r.full = true
+		}
+		return
+	}
+	r.buf[r.next] = p
+	r.next = (r.next + 1) % len(r.buf)
+	r.dropped++
+}
+
+func (r *seriesRing) points() []SeriesPoint {
+	if !r.full {
+		return append([]SeriesPoint(nil), r.buf...)
+	}
+	out := make([]SeriesPoint, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"mv2sim/internal/sim"
+)
+
+func TestSeriesTracerCounterRing(t *testing.T) {
+	clk := &fakeClock{}
+	s := NewSeriesTracer()
+	h := NewHub(clk, s)
+
+	for i := 0; i < 5; i++ {
+		clk.t = sim.Time(i * 100)
+		h.Counter("pool.free", float64(10-i))
+	}
+	got := s.Points("pool.free")
+	want := []SeriesPoint{
+		{At: 0, Value: 10}, {At: 100, Value: 9}, {At: 200, Value: 8},
+		{At: 300, Value: 7}, {At: 400, Value: 6},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("points = %+v, want %+v", got, want)
+	}
+	if d := s.Dropped("pool.free"); d != 0 {
+		t.Fatalf("dropped = %d, want 0", d)
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "pool.free" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSeriesTracerRingEviction(t *testing.T) {
+	s := NewSeriesTracer()
+	s.SetCap(4)
+	for i := 0; i < 10; i++ {
+		s.CounterSample("g", sim.Time(i), float64(i))
+	}
+	got := s.Points("g")
+	want := []SeriesPoint{{At: 6, Value: 6}, {At: 7, Value: 7}, {At: 8, Value: 8}, {At: 9, Value: 9}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("points after eviction = %+v, want %+v", got, want)
+	}
+	if d := s.Dropped("g"); d != 6 {
+		t.Fatalf("dropped = %d, want 6", d)
+	}
+}
+
+func TestSeriesTracerBusyWindows(t *testing.T) {
+	s := NewSeriesTracer()
+	s.SetWindow(1000)
+	// One task fully inside window 0, one spanning windows 2..3, and an
+	// instant marker that must not contribute.
+	s.TaskEnd(Task{ID: 1, Kind: KindD2H, Where: "gpu0.d2h", Start: 100, End: 600})
+	s.TaskEnd(Task{ID: 2, Kind: KindD2H, Where: "gpu0.d2h", Start: 2500, End: 3500})
+	s.TaskEnd(Task{ID: 3, Kind: KindFIN, Where: "gpu0.d2h", Start: 700, End: 700})
+
+	got := s.Points("busy.gpu0.d2h")
+	want := []SeriesPoint{
+		{At: 1000, Value: 0.5}, // 500ns of window [0,1000)
+		{At: 3000, Value: 0.5}, // 500ns of window [2000,3000)
+		{At: 4000, Value: 0.5}, // 500ns of window [3000,4000)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("busy points = %+v, want %+v", got, want)
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "busy.gpu0.d2h" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestSeriesTracerBusyBoundaryExact(t *testing.T) {
+	// A task ending exactly on a window boundary must not leak into the
+	// next window.
+	s := NewSeriesTracer()
+	s.SetWindow(1000)
+	s.TaskEnd(Task{ID: 1, Kind: KindRDMA, Where: "hca0.tx", Start: 0, End: 1000})
+	got := s.Points("busy.hca0.tx")
+	want := []SeriesPoint{{At: 1000, Value: 1.0}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("busy points = %+v, want %+v", got, want)
+	}
+}
+
+// TestSeriesTracerReplayParity pins the property the dashboard's replay
+// mode depends on: feeding only the completed tasks and counter samples
+// (what an ingested trace preserves), in recorded order, yields the same
+// series as the live interleaving.
+func TestSeriesTracerReplayParity(t *testing.T) {
+	live := NewSeriesTracer()
+	replay := NewSeriesTracer()
+
+	tasks := []Task{
+		{ID: 1, Kind: KindPack, Where: "gpu0.pack", Start: 0, End: 40_000},
+		{ID: 2, Kind: KindD2H, Where: "gpu0.d2h", Start: 40_000, End: 260_000},
+		{ID: 3, Kind: KindPack, Where: "gpu0.pack", Start: 50_000, End: 90_000},
+	}
+	samples := []SeriesPoint{{At: 10_000, Value: 3}, {At: 20_000, Value: 2}, {At: 250_000, Value: 3}}
+
+	// Live: interleaved starts, counters, ends.
+	for _, tk := range tasks {
+		live.TaskStart(tk)
+	}
+	for _, p := range samples {
+		live.CounterSample("pool.free", p.At, p.Value)
+	}
+	for _, tk := range tasks {
+		live.TaskEnd(tk)
+	}
+	// Replay: counters first, then TaskEnd only (dash.Replay's order).
+	for _, p := range samples {
+		replay.CounterSample("pool.free", p.At, p.Value)
+	}
+	for _, tk := range tasks {
+		replay.TaskEnd(tk)
+	}
+
+	if !reflect.DeepEqual(live.Names(), replay.Names()) {
+		t.Fatalf("names: live %v, replay %v", live.Names(), replay.Names())
+	}
+	for _, name := range live.Names() {
+		if !reflect.DeepEqual(live.Points(name), replay.Points(name)) {
+			t.Fatalf("%s: live %+v, replay %+v", name, live.Points(name), replay.Points(name))
+		}
+	}
+}

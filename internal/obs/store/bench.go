@@ -14,9 +14,9 @@ import (
 // the trajectory plots but a noisy CI machine can never fail the gate.
 
 // Extract sniffs which BENCH format the document is and flattens it.
-// The returned source is one of "repro", "pack", "critpath", "wallclock".
-// Records come back sorted by metric key, so extraction is deterministic
-// regardless of JSON map order.
+// The returned source is one of "repro", "pack", "critpath", "wallclock",
+// "load". Records come back sorted by metric key, so extraction is
+// deterministic regardless of JSON map order.
 func Extract(data []byte) (source string, recs []Record, err error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -35,6 +35,9 @@ func Extract(data []byte) (source string, recs []Record, err error) {
 	case probe["engine_event_ns"] != nil:
 		recs, err = ExtractWallclock(data)
 		source = "wallclock"
+	case probe["load_schema"] != nil:
+		recs, err = ExtractLoad(data)
+		source = "load"
 	default:
 		return "", nil, fmt.Errorf("store: unrecognized bench file (keys: %s)", strings.Join(sortedKeys(probe), ", "))
 	}
@@ -234,6 +237,78 @@ func ExtractWallclock(data []byte) ([]Record, error) {
 			Record{Source: "wallclock", Metric: p + ".parallel_wall_ms", Unit: "ms", Value: b.ParallelPairsWallMs},
 			Record{Source: "wallclock", Metric: p + ".parallel_speedup", Unit: "x", Value: b.ParallelSpeedup},
 		)
+	}
+	return recs, nil
+}
+
+// loadBench mirrors load.Doc; kept structural so the store does not
+// import the harness.
+type loadBench struct {
+	LoadSchema int `json:"load_schema"`
+	Curves     []struct {
+		Process string `json:"process"`
+		Points  []struct {
+			OfferedMBs float64 `json:"offered_mbs"`
+			GoodputMBs float64 `json:"goodput_mbs"`
+			P50Us      float64 `json:"p50_us"`
+			P99Us      float64 `json:"p99_us"`
+		} `json:"points"`
+		KneeIndex      int     `json:"knee_index"`
+		KneeOfferedMBs float64 `json:"knee_offered_mbs"`
+		PeakGoodputMBs float64 `json:"peak_goodput_mbs"`
+	} `json:"curves"`
+}
+
+// ExtractLoad flattens BENCH_load.json. Per arrival process, the knee
+// offered load and peak goodput gate higher-better — a regression that
+// saturates the pipeline earlier or caps it lower fails the trajectory
+// gate. Per-point goodput gates higher-better too, and the p50/p99
+// sojourn tails gate lower-better up to the knee; past it the open-loop
+// backlog makes tails a property of the sweep's overload depth rather
+// than the pipeline, so they ride along as informational.
+func ExtractLoad(data []byte) ([]Record, error) {
+	var b loadBench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: parse load bench: %w", err)
+	}
+	if b.LoadSchema != 1 {
+		return nil, fmt.Errorf("store: load bench schema %d unsupported", b.LoadSchema)
+	}
+	var recs []Record
+	for _, c := range b.Curves {
+		prefix := fmt.Sprintf("load.%s", c.Process)
+		recs = append(recs,
+			Record{
+				Source: "load", Metric: prefix + ".knee_offered_mbs",
+				Unit: "MB/s", Better: BetterHigher, Value: c.KneeOfferedMBs,
+			},
+			Record{
+				Source: "load", Metric: prefix + ".peak_goodput_mbs",
+				Unit: "MB/s", Better: BetterHigher, Value: c.PeakGoodputMBs,
+			})
+		for i, pt := range c.Points {
+			tailBetter := BetterLower
+			if c.KneeIndex < 0 || i > c.KneeIndex {
+				tailBetter = "" // saturated point: tails informational
+			}
+			recs = append(recs,
+				Record{
+					Source: "load", Metric: fmt.Sprintf("%s.pt%d.goodput_mbs", prefix, i),
+					Unit: "MB/s", Better: BetterHigher, Value: pt.GoodputMBs,
+				},
+				Record{
+					Source: "load", Metric: fmt.Sprintf("%s.pt%d.offered_mbs", prefix, i),
+					Unit: "MB/s", Value: pt.OfferedMBs, // informational: the stimulus
+				},
+				Record{
+					Source: "load", Metric: fmt.Sprintf("%s.pt%d.p50_us", prefix, i),
+					Unit: "us", Better: tailBetter, Value: pt.P50Us,
+				},
+				Record{
+					Source: "load", Metric: fmt.Sprintf("%s.pt%d.p99_us", prefix, i),
+					Unit: "us", Better: tailBetter, Value: pt.P99Us,
+				})
+		}
 	}
 	return recs, nil
 }

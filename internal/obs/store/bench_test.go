@@ -138,7 +138,7 @@ func TestExtractWallclockDirections(t *testing.T) {
 }
 
 func TestExtractIsDeterministic(t *testing.T) {
-	for _, doc := range []string{reproDoc, packDoc, critpathDoc, wallclockDoc} {
+	for _, doc := range []string{reproDoc, packDoc, critpathDoc, wallclockDoc, loadDoc} {
 		_, a, err := Extract([]byte(doc))
 		if err != nil {
 			t.Fatal(err)
@@ -150,5 +150,64 @@ func TestExtractIsDeterministic(t *testing.T) {
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("extraction order not deterministic:\n%+v\nvs\n%+v", a, b)
 		}
+	}
+}
+
+const loadDoc = `{
+  "load_schema": 1,
+  "seed": 1,
+  "pairs": 4,
+  "curves": [
+    {
+      "process": "poisson",
+      "points": [
+        {"offered_mbs": 2000, "goodput_mbs": 1950, "p50_us": 150, "p99_us": 300},
+        {"offered_mbs": 8000, "goodput_mbs": 7500, "p50_us": 180, "p99_us": 400},
+        {"offered_mbs": 16000, "goodput_mbs": 10400, "p50_us": 900, "p99_us": 2500}
+      ],
+      "knee_index": 1,
+      "knee_offered_mbs": 8000,
+      "peak_goodput_mbs": 10400
+    }
+  ]
+}`
+
+func TestExtractLoadDirections(t *testing.T) {
+	source, recs, err := Extract([]byte(loadDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if source != "load" {
+		t.Fatalf("detected %q, want load", source)
+	}
+	byMetric := map[string]Record{}
+	for _, r := range recs {
+		byMetric[r.Metric] = r
+	}
+	for metric, want := range map[string]struct {
+		value  float64
+		better string
+	}{
+		"load.poisson.knee_offered_mbs": {8000, BetterHigher},
+		"load.poisson.peak_goodput_mbs": {10400, BetterHigher},
+		"load.poisson.pt0.goodput_mbs":  {1950, BetterHigher},
+		"load.poisson.pt1.p99_us":       {400, BetterLower}, // at the knee: gated
+		"load.poisson.pt2.p99_us":       {2500, ""},         // past the knee: informational
+		"load.poisson.pt2.offered_mbs":  {16000, ""},        // stimulus: informational
+		"load.poisson.pt2.goodput_mbs":  {10400, BetterHigher},
+	} {
+		r, ok := byMetric[metric]
+		if !ok {
+			t.Fatalf("metric %s missing; have %v", metric, sortedKeys(byMetric))
+		}
+		if r.Value != want.value || r.Better != want.better {
+			t.Fatalf("metric %s = %+v, want value %g better %q", metric, r, want.value, want.better)
+		}
+	}
+}
+
+func TestExtractLoadRejectsFutureSchema(t *testing.T) {
+	if _, _, err := Extract([]byte(`{"load_schema": 2, "curves": []}`)); err == nil {
+		t.Fatal("future load schema extracted without error")
 	}
 }

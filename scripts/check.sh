@@ -145,20 +145,45 @@ echo "== pipedoctor gate"
 pd="${PIPEDOCTOR_OUT:-$(mktemp /tmp/mv2sim-critpath.XXXXXX.json)}"
 go run ./cmd/pipedoctor -msg $((4<<20)) -packmode memcpy2d -strict -bench "$pd" > /dev/null
 
+echo "== load harness gate"
+# The open-loop load sweep must be byte-reproducible: regenerating
+# BENCH_load.json with the committed default configuration (same seed →
+# same arrival schedules → same virtual timeline) must match the
+# committed file exactly. The file's knee/goodput/tail metrics are then
+# gated against the recorded trajectory below.
+lb=$(mktemp /tmp/mv2sim-load.XXXXXX.json)
+go run ./cmd/loadgen -bench "$lb" > /dev/null
+cmp "$lb" BENCH_load.json || {
+    echo "BENCH_load.json drifted: loadgen defaults no longer reproduce the committed sweep"; exit 1; }
+
+# The knee gate must actually bite: a synthetic saturation regression
+# (knee collapsing to 1 MB/s) appended to a copy of the store must fail
+# the self-gate, or the gate is dead code.
+ls=$(mktemp /tmp/mv2sim-loadstore.XXXXXX.jsonl)
+cp perf/store.jsonl "$ls"
+printf '{"schema":1,"seq":99999,"commit":"synthetic","source":"load","metric":"load.poisson.knee_offered_mbs","unit":"MB/s","better":"higher","value":1}\n' >> "$ls"
+if go run ./cmd/perfstore gate -store "$ls" -self -tol 5 > /dev/null 2>&1; then
+    echo "synthetic knee regression passed the self-gate; the load gate is dead"; exit 1
+fi
+rm -f "$ls"
+
 echo "== dashboard endpoint gate"
 # Every dashboard JSON endpoint must stay byte-deterministic: snapshot
-# the committed fixture trace + fixture store (no HTTP involved) and
-# diff each endpoint document against its committed golden. The fixture
-# trace is a mixed-engine run (nic pack, auto unpack) so the goldens
-# cover the nicEngine utilization row and the nic-queueing stall strip
-# alongside the GPU stages. Regenerate after an intentional change with:
+# the committed fixture trace + fixture store + committed load sweep (no
+# HTTP involved) and diff each endpoint document against its committed
+# golden. The fixture trace is a mixed-engine run (nic pack, auto unpack)
+# so the goldens cover the nicEngine utilization row and the nic-queueing
+# stall strip alongside the GPU stages; the load sweep exercises
+# /api/load with a populated document. Regenerate after an intentional
+# change with:
 #   go run ./cmd/pipetrace -packmode nic -unpackmode auto \
 #     -chrome scripts/testdata/dashboard_trace.json
 #   go run ./cmd/dashboard -trace scripts/testdata/dashboard_trace.json \
-#     -store scripts/testdata/dashboard_store.jsonl -snapshot scripts/testdata/dashboard_golden
+#     -store scripts/testdata/dashboard_store.jsonl -load BENCH_load.json \
+#     -snapshot scripts/testdata/dashboard_golden
 dd=$(mktemp -d /tmp/mv2sim-dash.XXXXXX)
 go run ./cmd/dashboard -trace scripts/testdata/dashboard_trace.json \
-    -store scripts/testdata/dashboard_store.jsonl -snapshot "$dd" > /dev/null
+    -store scripts/testdata/dashboard_store.jsonl -load BENCH_load.json -snapshot "$dd" > /dev/null
 for g in scripts/testdata/dashboard_golden/*.json; do
     cmp "$dd/$(basename "$g")" "$g" || {
         echo "dashboard endpoint $(basename "$g") drifted from its golden"; exit 1; }
@@ -178,10 +203,10 @@ out=$(go run ./cmd/perfstore gate -store perf/store.jsonl -self -tol 5) || {
     echo "stored trajectory tail regressed >5% against its own best"; exit 1; }
 pc=$(mktemp /tmp/mv2sim-packcand.XXXXXX.json)
 go run ./cmd/packbench -crossover -bench "$pc" > /dev/null
-out=$(go run ./cmd/perfstore gate -store perf/store.jsonl -tol 5 "$pd" "$pc") || {
+out=$(go run ./cmd/perfstore gate -store perf/store.jsonl -tol 5 "$pd" "$pc" "$lb") || {
     echo "$out" | grep '^FAIL' || true
     echo "candidate bench metrics regressed >5% against the recorded trajectory"; exit 1; }
-rm -f "$pc"
+rm -f "$pc" "$lb"
 if [ -z "${PIPEDOCTOR_OUT:-}" ]; then
     rm -f "$pd"
 fi
